@@ -1,0 +1,157 @@
+//! Criterion microbenchmarks for the hot paths of the simulator: event
+//! queue churn, DRE updates, CDF sampling, Hermes path selection, CONGA
+//! ingress selection, and a small end-to-end simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hermes_sim::{EventQueue, SimRng, Time};
+use hermes_core::{Hermes, HermesParams, RackSensing};
+use hermes_lb::{Conga, CongaCfg};
+use hermes_net::{
+    Dre, EdgeLb, FabricLb, FlowCtx, FlowId, HostId, LeafId, Packet, PathId, Topology,
+};
+use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_workload::{FlowGen, FlowSizeDist};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(Time::from_ns(rng.u64() % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_dre(c: &mut Criterion) {
+    c.bench_function("dre_add_and_rate_1k", |b| {
+        b.iter(|| {
+            let mut d = Dre::default_horizon();
+            let mut t = Time::ZERO;
+            for _ in 0..1000 {
+                t += Time::from_ns(1200);
+                d.add(1500, t);
+            }
+            black_box(d.rate_bps(t))
+        })
+    });
+}
+
+fn bench_cdf_sampling(c: &mut Criterion) {
+    let dist = FlowSizeDist::web_search();
+    c.bench_function("web_search_sample_1k", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(dist.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_hermes_select(c: &mut Criterion) {
+    let topo = Topology::sim_baseline();
+    let params = HermesParams::from_topology(&topo);
+    let shared = RackSensing::shared(&topo, LeafId(0), params);
+    let mut h = Hermes::new(shared, true);
+    let cands: Vec<PathId> = (0..8u16).map(PathId).collect();
+    let ctx = FlowCtx {
+        flow: FlowId(1),
+        src: HostId(0),
+        dst: HostId(20),
+        src_leaf: LeafId(0),
+        dst_leaf: LeafId(1),
+        bytes_sent: 1_000_000,
+        rate_bps: 1e9,
+        current_path: PathId(2),
+        is_new: false,
+        timed_out: false,
+        since_change: Time::MAX,
+    };
+    c.bench_function("hermes_select_path", |b| {
+        let mut rng = SimRng::new(3);
+        let mut t = Time::from_ms(1);
+        b.iter(|| {
+            t += Time::from_ns(100);
+            black_box(h.select_path(&ctx, &cands, t, &mut rng))
+        })
+    });
+}
+
+fn bench_conga_ingress(c: &mut Criterion) {
+    let topo = Topology::sim_baseline();
+    let mut conga = Conga::new(&topo, CongaCfg::default());
+    let cands: Vec<PathId> = (0..8u16).map(PathId).collect();
+    let q = [0u64; 8];
+    c.bench_function("conga_ingress_select", |b| {
+        let mut rng = SimRng::new(4);
+        let mut t = Time::from_ms(1);
+        let mut fid = 0u64;
+        b.iter(|| {
+            fid += 1;
+            t += Time::from_ns(100);
+            let pkt = Packet::data(FlowId(fid), HostId(0), HostId(20), 0, 1460, false);
+            black_box(conga.ingress_select(
+                LeafId(0),
+                LeafId(1),
+                &pkt,
+                &cands,
+                &q,
+                t,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("testbed_50_flows_ecmp", |b| {
+        let topo = Topology::testbed();
+        b.iter(|| {
+            let mut gen =
+                FlowGen::new(&topo, FlowSizeDist::web_search(), 0.4, None, SimRng::new(7));
+            let mut sim = Simulation::new(SimConfig::new(topo.clone(), Scheme::Ecmp).with_seed(1));
+            sim.add_flows(gen.schedule(50));
+            sim.run_to_completion(Time::from_secs(20));
+            black_box(sim.stats.events)
+        })
+    });
+    group.bench_function("testbed_50_flows_hermes", |b| {
+        let topo = Topology::testbed();
+        let params = HermesParams::paper_testbed(&topo);
+        b.iter(|| {
+            let mut gen =
+                FlowGen::new(&topo, FlowSizeDist::web_search(), 0.4, None, SimRng::new(7));
+            let mut sim = Simulation::new(
+                SimConfig::new(topo.clone(), Scheme::Hermes(params)).with_seed(1),
+            );
+            sim.add_flows(gen.schedule(50));
+            sim.run_to_completion(Time::from_secs(20));
+            black_box(sim.stats.events)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_dre,
+    bench_cdf_sampling,
+    bench_hermes_select,
+    bench_conga_ingress,
+    bench_end_to_end
+);
+criterion_main!(benches);

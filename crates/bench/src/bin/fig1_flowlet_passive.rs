@@ -1,0 +1,131 @@
+//! **Figure 1 / Example 1** — flowlet switching cannot timely react to
+//! congestion under a stable traffic pattern.
+//!
+//! The paper's scenario: small flows A, B end up on path P1, large flows
+//! C, D on path P2 (all DCTCP, rack L0 → rack L1 over two parallel
+//! paths). When A and B complete, P1 goes idle — but DCTCP's smooth
+//! window produces no inactivity gaps, so CONGA never sees a flowlet it
+//! could reroute and C, D keep sharing P2. Ideal rebalancing (move one
+//! large flow to the idle path) almost halves their completion time.
+//!
+//! We reproduce the adversarial initial placement by staging arrivals:
+//! A and B start together (CONGA's DREs are empty, so they pick paths
+//! independently at random — we select seeds where they collide, which
+//! is the interesting half); C and D arrive once A/B are at line rate,
+//! so CONGA's utilization metric steers both onto the other path.
+//! The "ideal" row is computed analytically for the same byte schedule.
+
+use hermes_sim::Time;
+use hermes_core::HermesParams;
+use hermes_lb::CongaCfg;
+use hermes_net::{FlowId, HostId, LinkCfg, Topology};
+use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_workload::FlowSpec;
+use hermes_bench::TextTable;
+
+const SMALL: u64 = 12_500_000; // A, B: 12.5 MB ≈ 20 ms at a shared 10G path
+const LARGE: u64 = 62_500_000; // C, D: 62.5 MB
+
+fn topo() -> Topology {
+    Topology::leaf_spine(
+        2,
+        2,
+        4,
+        LinkCfg::new(10_000_000_000, Time::from_us(5)),
+        LinkCfg::new(10_000_000_000, Time::from_us(10)),
+    )
+}
+
+/// Returns (mean large FCT, runs used) over seeds where the adversarial
+/// placement (C and D sharing one path) actually formed — detected by
+/// the large flows finishing within 5% of each other *and* notably
+/// slower than the single-path ideal.
+fn run(scheme: &dyn Fn(&Topology) -> Scheme, seeds: u64) -> (f64, usize) {
+    let t = topo();
+    let mut fcts = Vec::new();
+    for seed in 0..seeds {
+        let mut sim = Simulation::new(SimConfig::new(t.clone(), scheme(&t)).with_seed(100 + seed));
+        let mk = |id: u64, src: u32, dst: u32, size: u64, at_us: u64| FlowSpec {
+            id: FlowId(id),
+            src: HostId(src),
+            dst: HostId(dst),
+            size,
+            start: Time::from_us(at_us),
+        };
+        sim.add_flows([
+            mk(0, 0, 4, SMALL, 0),
+            mk(1, 1, 5, SMALL, 50),
+            // C, D arrive once A/B have ramped up (~5 ms).
+            mk(2, 2, 6, LARGE, 5_000),
+            mk(3, 3, 7, LARGE, 5_050),
+        ]);
+        sim.run_to_completion(Time::from_secs(10));
+        let large: Vec<f64> = sim
+            .records()
+            .iter()
+            .filter(|r| r.size == LARGE)
+            .map(|r| (r.finish.expect("must finish") - r.start).as_secs_f64())
+            .collect();
+        let line_rate_fct = LARGE as f64 * 8.0 / 10e9;
+        // Keep runs where C and D actually collided on one path.
+        let collided = large.iter().all(|&f| f > 1.5 * line_rate_fct);
+        if collided {
+            fcts.extend(large);
+        }
+    }
+    let n = fcts.len();
+    (fcts.iter().sum::<f64>() / n.max(1) as f64, n / 2)
+}
+
+fn main() {
+    println!("== Figure 1: flowlet switching cannot split flows under stable traffic ==");
+    let seeds = 24;
+    // Ideal for the collided schedule: C and D share one 10G path while
+    // A, B drain the other (A, B finish ≈ (5000 µs gap accounted) —
+    // then one large flow moves to the idle path: both finish at an
+    // effective rate close to dedicated 10G for the remainder.
+    // Shared until A/B done at ~t_ab; delivered ≈ 5G × t_ab each; rest
+    // at 10G. t_ab ≈ 2·SMALL/10G (two smalls share one path).
+    let t_ab = 2.0 * SMALL as f64 * 8.0 / 10e9;
+    let shared_window = t_ab - 0.005; // C,D start 5 ms in
+    let delivered_shared = 5e9 * shared_window / 8.0;
+    let ideal = shared_window + (LARGE as f64 - delivered_shared) * 8.0 / 10e9;
+    let (conga, conga_runs) = run(&|_t| Scheme::Conga(CongaCfg::default()), seeds);
+    let (letflow, lf_runs) = run(
+        &|_t| Scheme::LetFlow { flowlet_timeout: Time::from_us(150) },
+        seeds,
+    );
+    let (hermes, hermes_runs) = run(&|t| Scheme::Hermes(HermesParams::from_topology(t)), seeds);
+    let mut tab = TextTable::new(&[
+        "scheme",
+        "mean large-flow FCT (ms)",
+        "vs ideal",
+        "collided runs",
+    ]);
+    tab.row(vec![
+        "ideal rebalancing".into(),
+        format!("{:.1}", ideal * 1e3),
+        "1.00x".into(),
+        "-".into(),
+    ]);
+    for (name, fct, n) in [
+        ("CONGA (flowlet 150us)", conga, conga_runs),
+        ("LetFlow (flowlet 150us)", letflow, lf_runs),
+        ("Hermes", hermes, hermes_runs),
+    ] {
+        tab.row(vec![
+            name.into(),
+            format!("{:.1}", fct * 1e3),
+            format!("{:.2}x", fct / ideal),
+            format!("{n}"),
+        ]);
+    }
+    tab.print();
+    println!(
+        "\n(paper: with DCTCP there are no flowlet gaps, so CONGA cannot split the\n\
+         colliding large flows; ideal rerouting almost halves their FCT. Hermes'\n\
+         R-gate also declines to move ~5 Gbps flows — its wins come from multi-flow\n\
+         collisions in the macro workloads, §5.3.1 — so the motivation figure is\n\
+         about the *gap to ideal* that passive flowlets leave on the table.)"
+    );
+}

@@ -1,0 +1,83 @@
+//! **Figure 3 / Example 3** — congestion mismatch persists even with
+//! capacity-proportional weights on heterogeneous paths.
+//!
+//! Two parallel paths of 1 Gbps and 10 Gbps; Presto* sprays a DCTCP flow
+//! 1:10 to match capacities. The shared congestion window cannot serve
+//! two paths whose bandwidth-delay products differ 10×: marks from the
+//! 1 Gbps path halt growth needed for the 10 Gbps path, and bursts sized
+//! by the 10 Gbps path overrun the 1 Gbps queue. The paper measures only
+//! ≈5 Gbps of the 11 Gbps aggregate. Hermes simply keeps the flow on the
+//! big path.
+
+use hermes_sim::Time;
+use hermes_core::HermesParams;
+use hermes_net::{FlowId, HostId, LeafId, LinkCfg, SpineId, Topology};
+use hermes_runtime::{Probe, Scheme, SimConfig, Simulation};
+use hermes_workload::FlowSpec;
+use hermes_bench::TextTable;
+
+fn topo() -> Topology {
+    let mut t = Topology::leaf_spine(
+        2,
+        2,
+        2,
+        LinkCfg::new(10_000_000_000, Time::from_us(5)),
+        LinkCfg::new(10_000_000_000, Time::from_us(10)),
+    );
+    // Path 0 degraded to 1 Gbps on both legs (a 1G spine).
+    t.degrade_link(LeafId(0), SpineId(0), 1_000_000_000);
+    t.degrade_link(LeafId(1), SpineId(0), 1_000_000_000);
+    t
+}
+
+fn run(scheme: Scheme) -> (f64, f64) {
+    let t = topo();
+    let mut sim = Simulation::new(SimConfig::new(t, scheme).with_seed(5));
+    const SIZE: u64 = 80_000_000;
+    sim.add_flow(FlowSpec {
+        id: FlowId(0),
+        src: HostId(0),
+        dst: HostId(2),
+        size: SIZE,
+        start: Time::ZERO,
+    });
+    let qs = sim.add_sampler(Time::from_us(100), Probe::LeafUpQueue(LeafId(0), SpineId(0)));
+    let prog = sim.add_sampler(Time::from_ms(1), Probe::FlowDelivered(FlowId(0)));
+    sim.run_until(Time::from_ms(40));
+    let delivered = sim.sampler_series(prog).last().map(|&(_, v)| v).unwrap_or(0);
+    let goodput = delivered as f64 * 8.0 / 0.040 / 1e9;
+    let qmax = sim
+        .sampler_series(qs)
+        .iter()
+        .map(|&(_, v)| v)
+        .max()
+        .unwrap() as f64
+        / 1e3;
+    (goodput, qmax)
+}
+
+fn main() {
+    println!("== Figure 3: weighted spray over 1G/10G heterogeneous paths ==");
+    let (p_gbps, p_qmax) = run(Scheme::presto_weighted());
+    let (h_gbps, h_qmax) = run(Scheme::Hermes(HermesParams::from_topology(&topo())));
+    let mut tab = TextTable::new(&[
+        "scheme",
+        "flow A goodput (Gbps)",
+        "1G-path queue max (KB)",
+    ]);
+    tab.row(vec![
+        "Presto* (1:10 weights)".into(),
+        format!("{p_gbps:.2}"),
+        format!("{p_qmax:.1}"),
+    ]);
+    tab.row(vec![
+        "Hermes".into(),
+        format!("{h_gbps:.2}"),
+        format!("{h_qmax:.1}"),
+    ]);
+    tab.print();
+    println!(
+        "\n(paper: Presto achieves only ~5 of the 11 Gbps aggregate due to\n\
+         congestion mismatch; Hermes pins the flow to the 10 Gbps path)"
+    );
+}

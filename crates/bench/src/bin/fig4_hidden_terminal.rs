@@ -1,0 +1,121 @@
+//! **Figure 4 / Example 4** — the hidden-terminal scenario: CONGA's
+//! aged congestion metrics make a bursty flow flip between spines and
+//! slam into a flow it cannot see.
+//!
+//! Flow B sends continuously L1→L2. Flow A sends 10 ms bursts from
+//! L0→L2 with 3 ms pauses (every pause exceeds the flowlet timeout, so
+//! each burst is free to reroute). A has no feedback about the path it
+//! is *not* using; after CONGA's 10 ms aging period the alternative
+//! looks empty, so A keeps jumping onto B's spine with a full-size
+//! window, spiking the S1→L2 queue (Fig. 4b). Hermes' probing sees B's
+//! path as non-good before each burst starts.
+
+use hermes_sim::Time;
+use hermes_core::HermesParams;
+use hermes_net::{FlowId, HostId, LeafId, LinkCfg, SpineId, Topology};
+use hermes_runtime::{Probe, Scheme, SimConfig, Simulation};
+use hermes_workload::FlowSpec;
+use hermes_bench::TextTable;
+
+fn topo() -> Topology {
+    Topology::leaf_spine(
+        3,
+        2,
+        2,
+        LinkCfg::new(10_000_000_000, Time::from_us(5)),
+        LinkCfg::new(10_000_000_000, Time::from_us(10)),
+    )
+}
+
+struct Outcome {
+    /// Queue spikes at S1→L2 (samples above the ECN threshold).
+    spikes_s1: usize,
+    q_max_kb: [f64; 2],
+    b_fct_ms: f64,
+}
+
+fn run(scheme: Scheme) -> Outcome {
+    let t = topo();
+    let mut sim = Simulation::new(SimConfig::new(t, scheme).with_seed(8));
+    // Flow B: long continuous flow L1 (host 2) → L2 (host 4).
+    const B_SIZE: u64 = 120_000_000; // ~96 ms at 10G
+    sim.add_flow(FlowSpec {
+        id: FlowId(0),
+        src: HostId(2),
+        dst: HostId(4),
+        size: B_SIZE,
+        start: Time::ZERO,
+    });
+    // Flow A: 10 ms bursts every 13 ms from L0 (host 0) → L2 (host 5).
+    // Each burst is a fresh "flowlet" (and a fresh flow id here, which
+    // gives flowlet-based schemes their reroute opportunity exactly as
+    // the pause does in the paper).
+    let burst_bytes = (10e9 * 0.010 / 8.0) as u64; // 10 ms at line rate
+    for i in 0..8u64 {
+        sim.add_flow(FlowSpec {
+            id: FlowId(1 + i),
+            src: HostId(0),
+            dst: HostId(5),
+            size: burst_bytes,
+            start: Time::from_ms(2 + 13 * i),
+        });
+    }
+    let q0 = sim.add_sampler(Time::from_us(100), Probe::SpineDownQueue(SpineId(0), LeafId(2)));
+    let q1 = sim.add_sampler(Time::from_us(100), Probe::SpineDownQueue(SpineId(1), LeafId(2)));
+    sim.run_until(Time::from_ms(250));
+    let ecn_k = 100_000u64; // 10G marking threshold
+    let spikes_s1 = sim
+        .sampler_series(q1)
+        .iter()
+        .filter(|&&(_, v)| v > ecn_k)
+        .count();
+    let qmax = |s: usize| {
+        sim.sampler_series(s)
+            .iter()
+            .map(|&(_, v)| v)
+            .max()
+            .unwrap_or(0) as f64
+            / 1e3
+    };
+    let b_fct = sim.records()[0]
+        .finish
+        .map(|f| (f - sim.records()[0].start).as_millis_f64())
+        .unwrap_or(f64::NAN);
+    Outcome {
+        spikes_s1,
+        q_max_kb: [qmax(q0), qmax(q1)],
+        b_fct_ms: b_fct,
+    }
+}
+
+fn main() {
+    println!("== Figure 4: hidden terminal — queue spikes from stale-metric rerouting ==");
+    let conga = run(Scheme::Conga(hermes_lb::CongaCfg::default()));
+    let hermes = run(Scheme::Hermes(HermesParams::from_topology(&topo())));
+    let mut tab = TextTable::new(&[
+        "scheme",
+        "S1->L2 samples > ECN K",
+        "S0->L2 qmax (KB)",
+        "S1->L2 qmax (KB)",
+        "flow B FCT (ms)",
+    ]);
+    for (name, o) in [("CONGA", &conga), ("Hermes", &hermes)] {
+        tab.row(vec![
+            name.into(),
+            format!("{}", o.spikes_s1),
+            format!("{:.0}", o.q_max_kb[0]),
+            format!("{:.0}", o.q_max_kb[1]),
+            format!("{:.1}", o.b_fct_ms),
+        ]);
+    }
+    tab.print();
+    println!(
+        "\n(paper: every time flow A reroutes onto B's spine with stale information,\n\
+         the queue spikes — CONGA flips A on every flowlet because the unused path's\n\
+         metric ages to zero within 10 ms. Hermes never reroutes mid-burst (its\n\
+         cautious gate keeps the established window off foreign paths), though with\n\
+         bursts modelled as fresh flows its *initial* placements are blind whenever\n\
+         the busy spine shows no queue — the end-host visibility limit the paper\n\
+         itself concedes in §6.)"
+    );
+}

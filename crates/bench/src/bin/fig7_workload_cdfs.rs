@@ -1,0 +1,35 @@
+//! **Figure 7** — the two evaluation workloads' flow-size CDFs
+//! (web-search from DCTCP, data-mining from VL2), printed as
+//! `(size_bytes, cumulative_probability)` series plus the summary
+//! moments the paper quotes in §5.1.
+
+use hermes_bench::TextTable;
+use hermes_workload::FlowSizeDist;
+
+fn main() {
+    println!("== Figure 7: traffic distributions used for evaluation ==");
+    for dist in [FlowSizeDist::web_search(), FlowSizeDist::data_mining()] {
+        println!("\n-- {} --", dist.name());
+        let mut t = TextTable::new(&["percentile", "flow size (bytes)"]);
+        for p in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0] {
+            t.row(vec![format!("{:.0}%", p * 100.0), format!("{:.0}", dist.quantile(p))]);
+        }
+        t.print();
+        println!("mean flow size: {:.2} MB", dist.mean_bytes() / 1e6);
+        let frac_small = dist.cdf(100_000.0);
+        let frac_large = 1.0 - dist.cdf(10_000_000.0);
+        println!(
+            "flows < 100KB: {:.1}%   flows > 10MB: {:.1}%",
+            frac_small * 100.0,
+            frac_large * 100.0
+        );
+    }
+    // §5.1: "the data-mining workload is more skewed with 95% of all
+    // data bytes belonging to about 3.6% of flows that are larger than
+    // 35MB".
+    let dm = FlowSizeDist::data_mining();
+    println!(
+        "\ndata-mining flows > 35MB: {:.1}% of flows",
+        (1.0 - dm.cdf(35e6)) * 100.0
+    );
+}

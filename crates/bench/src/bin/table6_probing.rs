@@ -1,0 +1,47 @@
+//! **Table 6** — comparison of probing schemes: visibility vs. probing
+//! overhead on a 100×100 leaf-spine fabric with 10 Gbps links, 64 B
+//! probes, 500 µs probe interval.
+//!
+//! Paper's rows: piggyback (<0.01 visibility, no probes), brute force
+//! (full visibility, ~100× a link's capacity in probes), power of two
+//! choices (>3 visibility, ~3×), Hermes (>3 visibility, ~3% thanks to
+//! per-rack probe agents and rack-wide sharing).
+
+use hermes_bench::{ProbingCostModel, TextTable};
+
+fn main() {
+    let model = ProbingCostModel::default();
+    println!(
+        "== Table 6: probing schemes ({}x{} leaf-spine, {} hosts/rack, {} Gbps links, {} B probes every {} us) ==",
+        model.n_leaves,
+        model.n_spines,
+        model.hosts_per_leaf,
+        model.link_bps / 1e9,
+        model.probe_bytes,
+        model.interval_s * 1e6,
+    );
+    let mut t = TextTable::new(&["scheme", "visibility (paths/dst)", "overhead (× edge link)"]);
+    for row in model.rows() {
+        let overhead = if row.overhead_frac == 0.0 {
+            "none (no probes)".to_string()
+        } else if row.overhead_frac >= 1.0 {
+            format!("{:.1}x", row.overhead_frac)
+        } else {
+            format!("{:.1}%", row.overhead_frac * 100.0)
+        };
+        let vis = if row.visibility < 0.01 {
+            "<0.01".to_string()
+        } else {
+            format!("{:.0}", row.visibility)
+        };
+        t.row(vec![row.scheme.to_string(), vis, overhead]);
+    }
+    t.print();
+    let rows = model.rows();
+    println!();
+    println!(
+        "hermes vs brute-force overhead: {:.0}x lower;  hermes vs piggyback visibility: {:.0}x higher",
+        rows[1].overhead_frac / rows[3].overhead_frac,
+        rows[3].visibility / rows[0].visibility,
+    );
+}

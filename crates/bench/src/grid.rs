@@ -1,0 +1,190 @@
+//! The standard experiment shape: a (scheme × load) grid over one
+//! workload and topology, reported exactly the way the paper's FCT
+//! figures are (overall avg, small avg, small 99th, large avg,
+//! unfinished fraction; optionally normalized to one scheme).
+
+use hermes_net::{SpineFailure, SpineId, Topology};
+use hermes_runtime::Scheme;
+use hermes_sim::Time;
+use hermes_transport::TransportCfg;
+use hermes_workload::{FctSummary, FlowSizeDist};
+
+use crate::{avg_summaries, flows, fmt_ms, fmt_ratio, run_point, runs, PointCfg, TextTable};
+
+/// A full figure's worth of runs.
+pub struct GridSpec {
+    pub title: String,
+    pub topo: Topology,
+    /// Define load against this capacity (healthy-fabric convention).
+    pub capacity: Option<u64>,
+    pub schemes: Vec<(String, Scheme)>,
+    pub loads: Vec<f64>,
+    pub dist: FlowSizeDist,
+    /// Flows per point before `HERMES_SCALE`.
+    pub base_flows: usize,
+    pub failures: Vec<(SpineId, SpineFailure)>,
+    pub transport: TransportCfg,
+    /// Explicit reorder-mask override applied to every scheme.
+    pub reorder_mask: Option<Option<Time>>,
+    /// Normalize output ratios to this scheme's values.
+    pub normalize_to: Option<String>,
+    pub drain: Time,
+}
+
+impl GridSpec {
+    pub fn new(title: &str, topo: Topology, dist: FlowSizeDist) -> GridSpec {
+        GridSpec {
+            title: title.to_string(),
+            topo,
+            capacity: None,
+            schemes: Vec::new(),
+            loads: Vec::new(),
+            dist,
+            base_flows: 400,
+            failures: Vec::new(),
+            transport: TransportCfg::dctcp(),
+            reorder_mask: None,
+            normalize_to: None,
+            drain: Time::from_secs(3),
+        }
+    }
+
+    pub fn scheme(mut self, name: &str, s: Scheme) -> GridSpec {
+        self.schemes.push((name.to_string(), s));
+        self
+    }
+
+    pub fn loads(mut self, l: &[f64]) -> GridSpec {
+        self.loads = l.to_vec();
+        self
+    }
+
+    pub fn flows(mut self, n: usize) -> GridSpec {
+        self.base_flows = n;
+        self
+    }
+
+    pub fn capacity(mut self, c: u64) -> GridSpec {
+        self.capacity = Some(c);
+        self
+    }
+
+    pub fn failure(mut self, s: SpineId, f: SpineFailure) -> GridSpec {
+        self.failures.push((s, f));
+        self
+    }
+
+    pub fn transport(mut self, t: TransportCfg) -> GridSpec {
+        self.transport = t;
+        self
+    }
+
+    pub fn reorder_mask(mut self, m: Option<Time>) -> GridSpec {
+        self.reorder_mask = Some(m);
+        self
+    }
+
+    pub fn normalize_to(mut self, name: &str) -> GridSpec {
+        self.normalize_to = Some(name.to_string());
+        self
+    }
+
+    pub fn drain(mut self, d: Time) -> GridSpec {
+        self.drain = d;
+        self
+    }
+
+    /// Run every point and print the figure's table(s). Returns the raw
+    /// summaries as `(scheme, load) → FctSummary` in row-major order.
+    pub fn run(&self) -> Vec<(String, f64, FctSummary)> {
+        println!("== {} ==", self.title);
+        println!(
+            "   workload={}  flows/point={}  seeds/point={}",
+            self.dist.name(),
+            flows(self.base_flows),
+            runs()
+        );
+        let mut results = Vec::new();
+        for (name, scheme) in &self.schemes {
+            for &load in &self.loads {
+                let t0 = std::time::Instant::now();
+                let mut sums = Vec::new();
+                for seed in 0..runs() {
+                    let mut cfg = PointCfg::new(
+                        self.topo.clone(),
+                        scheme.clone(),
+                        self.dist.clone(),
+                        load,
+                    )
+                    .flows(flows(self.base_flows))
+                    .seed(1_000 + seed)
+                    .transport(self.transport)
+                    .drain(self.drain);
+                    if let Some(c) = self.capacity {
+                        cfg = cfg.capacity(c);
+                    }
+                    if let Some(m) = self.reorder_mask {
+                        cfg = cfg.reorder_mask(m);
+                    }
+                    for (s, f) in &self.failures {
+                        cfg = cfg.failure(*s, *f);
+                    }
+                    sums.push(run_point(&cfg).fct);
+                }
+                let avg = avg_summaries(&sums);
+                eprintln!(
+                    "   [{}] {name} load {load:.2}: avg {:.3} ms ({} unfinished) in {:.1}s",
+                    self.dist.name(),
+                    avg.avg * 1e3,
+                    avg.unfinished,
+                    t0.elapsed().as_secs_f64()
+                );
+                results.push((name.clone(), load, avg));
+            }
+        }
+        self.print_tables(&results);
+        results
+    }
+
+    fn baseline(&self, results: &[(String, f64, FctSummary)], load: f64) -> Option<FctSummary> {
+        let norm = self.normalize_to.as_ref()?;
+        results
+            .iter()
+            .find(|(n, l, _)| n == norm && *l == load)
+            .map(|(_, _, s)| *s)
+    }
+
+    fn print_tables(&self, results: &[(String, f64, FctSummary)]) {
+        let normalized = self.normalize_to.is_some();
+        let unit = if normalized { "(×)" } else { "(ms)" };
+        let mut t = TextTable::new(&[
+            "scheme",
+            "load",
+            &format!("avg {unit}"),
+            &format!("small avg {unit}"),
+            &format!("small p99 {unit}"),
+            &format!("large avg {unit}"),
+            "unfinished",
+        ]);
+        for (name, load, s) in results {
+            let base = self.baseline(results, *load);
+            let cell = |v: f64, b: fn(&FctSummary) -> f64| -> String {
+                match base {
+                    Some(bs) if b(&bs) > 0.0 => fmt_ratio(v / b(&bs)),
+                    _ => fmt_ms(v),
+                }
+            };
+            t.row(vec![
+                name.clone(),
+                format!("{load:.2}"),
+                cell(s.avg, |b| b.avg),
+                cell(s.avg_small, |b| b.avg_small),
+                cell(s.p99_small, |b| b.p99_small),
+                cell(s.avg_large, |b| b.avg_large),
+                format!("{:.2}%", 100.0 * s.unfinished_frac()),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+}

@@ -1,0 +1,198 @@
+//! Single experiment-point runner: one (topology, scheme, workload,
+//! load, seed) tuple → FCT summary.
+
+use hermes_sim::{SimRng, Time};
+use hermes_net::{SpineFailure, SpineId, Topology};
+use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_transport::TransportCfg;
+use hermes_workload::{summarize, FctSummary, FlowGen, FlowSizeDist};
+
+/// One experiment point.
+#[derive(Clone)]
+pub struct PointCfg {
+    pub topo: Topology,
+    pub scheme: Scheme,
+    pub dist: FlowSizeDist,
+    /// Offered load relative to `capacity_override` (or the topology's
+    /// live uplink capacity).
+    pub load: f64,
+    pub n_flows: usize,
+    pub seed: u64,
+    /// Load is usually defined against the *healthy* fabric even when
+    /// the topology under test is degraded (the paper's convention).
+    pub capacity_override: Option<u64>,
+    pub transport: TransportCfg,
+    /// Explicit reorder-mask override (None = scheme default).
+    pub reorder_mask: Option<Option<Time>>,
+    pub failures: Vec<(SpineId, SpineFailure)>,
+    /// Extra simulated time after the last arrival before declaring
+    /// remaining flows unfinished.
+    pub drain: Time,
+    /// Visibility observation window (Table 2).
+    pub visibility_linger: Time,
+}
+
+impl PointCfg {
+    pub fn new(topo: Topology, scheme: Scheme, dist: FlowSizeDist, load: f64) -> PointCfg {
+        PointCfg {
+            topo,
+            scheme,
+            dist,
+            load,
+            n_flows: 500,
+            seed: 1,
+            capacity_override: None,
+            transport: TransportCfg::dctcp(),
+            reorder_mask: None,
+            failures: Vec::new(),
+            drain: Time::from_secs(3),
+            visibility_linger: Time::ZERO,
+        }
+    }
+
+    pub fn visibility_linger(mut self, l: Time) -> PointCfg {
+        self.visibility_linger = l;
+        self
+    }
+
+    pub fn flows(mut self, n: usize) -> PointCfg {
+        self.n_flows = n;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> PointCfg {
+        self.seed = s;
+        self
+    }
+
+    pub fn capacity(mut self, c: u64) -> PointCfg {
+        self.capacity_override = Some(c);
+        self
+    }
+
+    pub fn failure(mut self, s: SpineId, f: SpineFailure) -> PointCfg {
+        self.failures.push((s, f));
+        self
+    }
+
+    pub fn transport(mut self, t: TransportCfg) -> PointCfg {
+        self.transport = t;
+        self
+    }
+
+    pub fn reorder_mask(mut self, m: Option<Time>) -> PointCfg {
+        self.reorder_mask = Some(m);
+        self
+    }
+
+    pub fn drain(mut self, d: Time) -> PointCfg {
+        self.drain = d;
+        self
+    }
+}
+
+/// The outcome of a point: FCT stats plus run diagnostics.
+#[derive(Clone, Copy, Debug)]
+pub struct PointResult {
+    pub fct: FctSummary,
+    pub events: u64,
+    pub sim_time: Time,
+    /// Table 2 visibility measurements.
+    pub vis_switch: f64,
+    pub vis_host: f64,
+}
+
+/// Run one point. Deterministic in `(cfg, seed)`.
+pub fn run_point(cfg: &PointCfg) -> PointResult {
+    let mut gen = FlowGen::new(
+        &cfg.topo,
+        cfg.dist.clone(),
+        cfg.load,
+        cfg.capacity_override,
+        SimRng::new(cfg.seed).split(0x6E4),
+    );
+    let specs = gen.schedule(cfg.n_flows);
+    let last_arrival = specs.last().map(|s| s.start).unwrap_or(Time::ZERO);
+    let mut sim_cfg = SimConfig::new(cfg.topo.clone(), cfg.scheme.clone())
+        .with_seed(cfg.seed)
+        .with_transport(cfg.transport)
+        .with_visibility_linger(cfg.visibility_linger);
+    if let Some(mask) = cfg.reorder_mask {
+        sim_cfg = sim_cfg.with_reorder_mask(mask);
+    }
+    let mut sim = Simulation::new(sim_cfg);
+    for (s, f) in &cfg.failures {
+        sim.set_spine_failure(*s, *f);
+    }
+    sim.add_flows(specs);
+    let horizon = last_arrival + cfg.drain;
+    sim.run_to_completion(horizon);
+    let (vis_switch, vis_host) = sim.visibility();
+    PointResult {
+        fct: summarize(sim.records(), horizon),
+        events: sim.stats.events,
+        sim_time: sim.now(),
+        vis_switch,
+        vis_host,
+    }
+}
+
+/// Average FCT summaries over multiple seeds (component-wise).
+pub fn avg_summaries(v: &[FctSummary]) -> FctSummary {
+    assert!(!v.is_empty());
+    let n = v.len() as f64;
+    let mut out = v[0];
+    let mean = |f: fn(&FctSummary) -> f64| v.iter().map(f).sum::<f64>() / n;
+    out.avg = mean(|s| s.avg);
+    out.p50 = mean(|s| s.p50);
+    out.p95 = mean(|s| s.p95);
+    out.p99 = mean(|s| s.p99);
+    out.avg_small = mean(|s| s.avg_small);
+    out.p99_small = mean(|s| s.p99_small);
+    out.avg_large = mean(|s| s.avg_large);
+    out.unfinished = v.iter().map(|s| s.unfinished).sum::<usize>() / v.len();
+    out.n = v.iter().map(|s| s.n).sum::<usize>() / v.len();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_net::LeafId;
+
+    #[test]
+    fn point_runs_and_is_deterministic() {
+        let topo = Topology::testbed();
+        let cfg = PointCfg::new(topo, Scheme::Ecmp, FlowSizeDist::web_search(), 0.3).flows(50);
+        let a = run_point(&cfg);
+        let b = run_point(&cfg);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.fct.avg, b.fct.avg);
+        assert_eq!(a.fct.unfinished, 0);
+        assert!(a.fct.avg > 0.0);
+    }
+
+    #[test]
+    fn failure_points_report_unfinished() {
+        let topo = Topology::testbed();
+        let cfg = PointCfg::new(topo, Scheme::Ecmp, FlowSizeDist::web_search(), 0.3)
+            .flows(60)
+            .failure(SpineId(0), SpineFailure::blackhole(LeafId(0), LeafId(1), 1.0))
+            .drain(Time::from_ms(500));
+        let r = run_point(&cfg);
+        assert!(r.fct.unfinished > 0, "blackholed ECMP flows cannot finish");
+    }
+
+    #[test]
+    fn averaging_is_componentwise() {
+        let mut a = FctSummary::default();
+        a.avg = 1.0;
+        a.p99 = 2.0;
+        let mut b = FctSummary::default();
+        b.avg = 3.0;
+        b.p99 = 6.0;
+        let m = avg_summaries(&[a, b]);
+        assert_eq!(m.avg, 2.0);
+        assert_eq!(m.p99, 4.0);
+    }
+}

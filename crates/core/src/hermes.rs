@@ -1,0 +1,666 @@
+//! Hermes: the load balancer (§3).
+//!
+//! Each host runs a [`Hermes`] instance; all instances under one rack
+//! share a [`RackSensing`] table (the paper's probe agents share probed
+//! information "among all hypervisors under the same rack", §3.1.3).
+//! One host per rack is the *probe agent*: every probe interval it
+//! probes, per destination rack, two random paths plus the previously
+//! best one (power of two choices with memory), and the results land in
+//! the shared table.
+//!
+//! Path selection is Algorithm 2 — *timely yet cautious rerouting*:
+//!
+//! * New flows, flows that hit an RTO, and flows on failed paths are
+//!   (re)placed immediately: best *good* path by local sending rate,
+//!   else best *gray* path, else a random non-failed path.
+//! * A flow on a *congested* path is rerouted only if it is worth it:
+//!   it must have sent more than `S` bytes (small flows finish before
+//!   the new path pays off), be sending below `R` (fast flows lose more
+//!   from the reordering dip than they gain), and the target must be
+//!   *notably* better (`Δ_RTT` and `Δ_ECN` margins) — pruning the
+//!   vigorous rerouting that causes congestion mismatch (§2.2.2).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use hermes_sim::{SimRng, Time};
+use hermes_net::{Dre, EdgeLb, FlowCtx, LeafId, PathId, ProbeTarget, Topology};
+
+use crate::params::HermesParams;
+use crate::state::{PathState, PathType};
+
+/// Rack-shared sensing state: one `PathState` per (destination rack,
+/// spine path), plus decision counters for diagnostics.
+pub struct RackSensing {
+    pub params: HermesParams,
+    my_leaf: LeafId,
+    /// `state[dst_leaf][spine]`.
+    state: Vec<Vec<PathState>>,
+    /// Static live-candidate sets per destination leaf.
+    candidates: Vec<Vec<PathId>>,
+    /// Decision counters.
+    pub stat_reroutes: u64,
+    pub stat_initial: u64,
+    pub stat_failovers: u64,
+    pub stat_probes: u64,
+}
+
+impl RackSensing {
+    /// Build the rack table for `my_leaf` over `topo`.
+    pub fn new(topo: &Topology, my_leaf: LeafId, params: HermesParams) -> RackSensing {
+        let candidates = (0..topo.n_leaves)
+            .map(|d| {
+                if d == my_leaf.0 as usize {
+                    Vec::new()
+                } else {
+                    topo.path_candidates(my_leaf, LeafId(d as u16))
+                }
+            })
+            .collect();
+        RackSensing {
+            params,
+            my_leaf,
+            state: vec![vec![PathState::default(); topo.n_spines]; topo.n_leaves],
+            candidates,
+            stat_reroutes: 0,
+            stat_initial: 0,
+            stat_failovers: 0,
+            stat_probes: 0,
+        }
+    }
+
+    /// Shared handle for all hosts of the rack.
+    pub fn shared(topo: &Topology, my_leaf: LeafId, params: HermesParams) -> Rc<RefCell<RackSensing>> {
+        Rc::new(RefCell::new(RackSensing::new(topo, my_leaf, params)))
+    }
+
+    #[inline]
+    fn st(&mut self, dst: LeafId, path: PathId) -> &mut PathState {
+        &mut self.state[dst.0 as usize][path.0 as usize]
+    }
+
+    /// Read-only view of a path's state (tests, diagnostics).
+    pub fn path_state(&self, dst: LeafId, path: PathId) -> &PathState {
+        &self.state[dst.0 as usize][path.0 as usize]
+    }
+
+    /// Characterize one path now.
+    pub fn characterize(&mut self, dst: LeafId, path: PathId, now: Time) -> PathType {
+        let p = self.params;
+        self.st(dst, path).characterize(&p, now)
+    }
+
+    /// The freshest-best path toward `dst` by RTT (probe memory).
+    fn best_path(&self, dst: LeafId) -> Option<PathId> {
+        self.candidates[dst.0 as usize]
+            .iter()
+            .filter_map(|&p| {
+                let s = &self.state[dst.0 as usize][p.0 as usize];
+                if s.failed() {
+                    return None;
+                }
+                s.t_rtt().map(|r| (r, p))
+            })
+            .min_by_key(|&(r, _)| r)
+            .map(|(_, p)| p)
+    }
+}
+
+/// One host's Hermes instance.
+pub struct Hermes {
+    shared: Rc<RefCell<RackSensing>>,
+    /// Whether this host is its rack's probe agent.
+    is_agent: bool,
+    /// Host-local per-path aggregate sending rate `r_p`.
+    r_p: HashMap<(LeafId, PathId), Dre>,
+}
+
+impl Hermes {
+    pub fn new(shared: Rc<RefCell<RackSensing>>, is_agent: bool) -> Hermes {
+        Hermes {
+            shared,
+            is_agent,
+            r_p: HashMap::new(),
+        }
+    }
+
+    pub fn sensing(&self) -> Rc<RefCell<RackSensing>> {
+        Rc::clone(&self.shared)
+    }
+
+    fn rp_bps(&mut self, dst: LeafId, path: PathId, now: Time) -> f64 {
+        self.r_p
+            .get_mut(&(dst, path))
+            .map_or(0.0, |d| d.rate_bps(now))
+    }
+
+    /// Among `set`, the path with the smallest local sending rate
+    /// (Algorithm 2's `Argmin r_p`). Ties — which are the common case,
+    /// since most paths carry none of this host's traffic — break
+    /// *randomly*: a deterministic tie-break would herd every host onto
+    /// the same lowest-indexed path (§3.1.3's synchronization concern).
+    fn argmin_rp(
+        &mut self,
+        dst: LeafId,
+        set: &[PathId],
+        now: Time,
+        rng: &mut SimRng,
+    ) -> Option<PathId> {
+        let rates: Vec<(f64, PathId)> = set
+            .iter()
+            .map(|&p| (self.rp_bps(dst, p, now), p))
+            .collect();
+        let min = rates
+            .iter()
+            .map(|&(r, _)| r)
+            .fold(f64::INFINITY, f64::min);
+        let tied: Vec<PathId> = rates
+            .iter()
+            .filter(|&&(r, _)| r <= min * 1.001 + 1.0)
+            .map(|&(_, p)| p)
+            .collect();
+        if tied.is_empty() {
+            None
+        } else {
+            Some(tied[rng.below(tied.len())])
+        }
+    }
+}
+
+/// `cur − cand > Δ` on both RTT and ECN fraction (§3.2; RTT alone in
+/// RTT-only mode).
+fn notably_better(
+    params: &HermesParams,
+    cur: &PathState,
+    cand: &PathState,
+) -> bool {
+    let (Some(cur_rtt), Some(cand_rtt)) = (cur.t_rtt(), cand.t_rtt()) else {
+        return false;
+    };
+    if cur_rtt.saturating_sub(cand_rtt) <= params.delta_rtt {
+        return false;
+    }
+    params.rtt_only || cur.f_ecn() - cand.f_ecn() > params.delta_ecn
+}
+
+impl EdgeLb for Hermes {
+    fn select_path(
+        &mut self,
+        ctx: &FlowCtx,
+        candidates: &[PathId],
+        now: Time,
+        rng: &mut SimRng,
+    ) -> PathId {
+        let params = self.shared.borrow().params;
+        let d = ctx.dst_leaf;
+        // Classify every candidate once.
+        let classes: Vec<(PathId, PathType)> = {
+            let mut sh = self.shared.borrow_mut();
+            candidates
+                .iter()
+                .map(|&p| (p, sh.characterize(d, p, now)))
+                .collect()
+        };
+        let class_of = |p: PathId| classes.iter().find(|(q, _)| *q == p).map(|(_, t)| *t);
+        let cur = ctx.current_path;
+        let cur_class = if cur.is_spine() {
+            class_of(cur)
+        } else {
+            None
+        };
+
+        let of = |t: PathType| -> Vec<PathId> {
+            classes
+                .iter()
+                .filter(|(_, c)| *c == t)
+                .map(|(p, _)| *p)
+                .collect()
+        };
+
+        // Lines 3–12: new flow, post-timeout, or failed path.
+        let needs_placement =
+            ctx.is_new || ctx.timed_out || cur_class.is_none() || cur_class == Some(PathType::Failed);
+        if needs_placement {
+            let good = of(PathType::Good);
+            let chosen = if let Some(p) = self.argmin_rp(d, &good, now, rng) {
+                p
+            } else {
+                let gray = of(PathType::Gray);
+                if let Some(p) = self.argmin_rp(d, &gray, now, rng) {
+                    p
+                } else {
+                    // Random path with no failure; if everything is
+                    // failed, random among all (keep trying).
+                    let mut non_failed = of(PathType::Congested);
+                    if non_failed.is_empty() {
+                        non_failed = candidates.to_vec();
+                    }
+                    non_failed[rng.below(non_failed.len())]
+                }
+            };
+            let mut sh = self.shared.borrow_mut();
+            if cur_class == Some(PathType::Failed) {
+                sh.stat_failovers += 1;
+            } else {
+                sh.stat_initial += 1;
+            }
+            return chosen;
+        }
+
+        // Lines 13–23: reroute off a congested path, cautiously.
+        if cur_class == Some(PathType::Congested) && params.enable_reroute {
+            if ctx.bytes_sent > params.size_threshold
+                && ctx.rate_bps < params.rate_threshold_bps
+                && ctx.since_change > params.reroute_cooldown
+            {
+                let cur_snapshot = *self.shared.borrow().path_state(d, cur);
+                let notably = |sh: &RackSensing, p: PathId| {
+                    notably_better(&params, &cur_snapshot, sh.path_state(d, p))
+                };
+                let pick = {
+                    let sh = self.shared.borrow();
+                    let good: Vec<PathId> = of(PathType::Good)
+                        .into_iter()
+                        .filter(|&p| notably(&sh, p))
+                        .collect();
+                    if good.is_empty() {
+                        of(PathType::Gray)
+                            .into_iter()
+                            .filter(|&p| notably(&sh, p))
+                            .collect()
+                    } else {
+                        good
+                    }
+                };
+                if let Some(p) = self.argmin_rp(d, &pick, now, rng) {
+                    self.shared.borrow_mut().stat_reroutes += 1;
+                    return p;
+                }
+            }
+            return cur; // do not reroute
+        }
+
+        cur // good/gray current path: stay
+    }
+
+    fn on_ack(
+        &mut self,
+        ctx: &FlowCtx,
+        path: PathId,
+        rtt: Option<Time>,
+        ecn: bool,
+        _bytes_acked: u64,
+        now: Time,
+    ) {
+        if !path.is_spine() {
+            return; // intra-rack or synthetic (reorder-flush) ACKs
+        }
+        let mut sh = self.shared.borrow_mut();
+        let p = sh.params;
+        sh.st(ctx.dst_leaf, path).sample(rtt, ecn, &p, now);
+    }
+
+    fn on_timeout(&mut self, ctx: &FlowCtx, path: PathId, _now: Time) {
+        if !path.is_spine() {
+            return;
+        }
+        let mut sh = self.shared.borrow_mut();
+        let p = sh.params;
+        sh.st(ctx.dst_leaf, path).on_timeout(&p);
+    }
+
+    fn on_retransmit(&mut self, ctx: &FlowCtx, path: PathId, now: Time) {
+        if !path.is_spine() {
+            return;
+        }
+        let mut sh = self.shared.borrow_mut();
+        let p = sh.params;
+        sh.st(ctx.dst_leaf, path).on_retransmit(&p, now);
+    }
+
+    fn on_data_sent(&mut self, ctx: &FlowCtx, path: PathId, bytes: u64, now: Time) {
+        if !path.is_spine() {
+            return;
+        }
+        {
+            let mut sh = self.shared.borrow_mut();
+            let p = sh.params;
+            sh.st(ctx.dst_leaf, path).on_sent(&p, now);
+        }
+        self.r_p
+            .entry((ctx.dst_leaf, path))
+            .or_insert_with(Dre::default_horizon)
+            .add(bytes, now);
+    }
+
+    fn probe_plan(&mut self, _now: Time, rng: &mut SimRng) -> Vec<ProbeTarget> {
+        if !self.is_agent {
+            return Vec::new();
+        }
+        let mut sh = self.shared.borrow_mut();
+        if !sh.params.enable_probing {
+            return Vec::new();
+        }
+        let my = sh.my_leaf;
+        let choices = sh.params.probe_choices;
+        let mut plan = Vec::new();
+        for d in 0..sh.candidates.len() {
+            let dst = LeafId(d as u16);
+            if dst == my {
+                continue;
+            }
+            let cands = &sh.candidates[d];
+            if cands.is_empty() {
+                continue;
+            }
+            let mut targets: Vec<PathId> = rng
+                .sample_distinct(cands.len(), choices)
+                .into_iter()
+                .map(|i| cands[i])
+                .collect();
+            // "an extra probe on the previously observed best path"
+            if let Some(best) = sh.best_path(dst) {
+                if !targets.contains(&best) {
+                    targets.push(best);
+                }
+            }
+            plan.extend(targets.into_iter().map(|path| ProbeTarget { dst_leaf: dst, path }));
+        }
+        sh.stat_probes += plan.len() as u64;
+        plan
+    }
+
+    fn on_probe_result(&mut self, dst_leaf: LeafId, path: PathId, rtt: Time, ecn: bool, now: Time) {
+        if !path.is_spine() {
+            return;
+        }
+        let mut sh = self.shared.borrow_mut();
+        let p = sh.params;
+        sh.st(dst_leaf, path).sample(Some(rtt), ecn, &p, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Rc<RefCell<RackSensing>>, Hermes, HermesParams) {
+        let topo = Topology::sim_baseline();
+        let params = HermesParams::from_topology(&topo);
+        let shared = RackSensing::shared(&topo, LeafId(0), params);
+        let h = Hermes::new(Rc::clone(&shared), true);
+        (shared, h, params)
+    }
+
+    fn ctx_new() -> FlowCtx {
+        FlowCtx {
+            flow: hermes_net::FlowId(1),
+            src: hermes_net::HostId(0),
+            dst: hermes_net::HostId(20),
+            src_leaf: LeafId(0),
+            dst_leaf: LeafId(1),
+            bytes_sent: 0,
+            rate_bps: 0.0,
+            current_path: PathId::UNSET,
+            is_new: true,
+            timed_out: false,
+            since_change: Time::MAX,
+        }
+    }
+
+    fn cands() -> Vec<PathId> {
+        (0..8u16).map(PathId).collect()
+    }
+
+    /// Feed a path signals that classify it as `good`/`congested`.
+    fn feed(sh: &Rc<RefCell<RackSensing>>, dst: LeafId, p: PathId, rtt: Time, ecn: bool, now: Time) {
+        let mut s = sh.borrow_mut();
+        let params = s.params;
+        for _ in 0..100 {
+            s.st(dst, p).sample(Some(rtt), ecn, &params, now);
+        }
+    }
+
+    #[test]
+    fn new_flow_prefers_good_path() {
+        let (sh, mut h, params) = setup();
+        let mut rng = SimRng::new(1);
+        let now = Time::from_ms(1);
+        let good_rtt = params.t_rtt_low - Time::from_us(10);
+        feed(&sh, LeafId(1), PathId(5), good_rtt, false, now);
+        // All other paths unsampled (gray). The good one must win.
+        let p = h.select_path(&ctx_new(), &cands(), now, &mut rng);
+        assert_eq!(p, PathId(5));
+        assert_eq!(sh.borrow().stat_initial, 1);
+    }
+
+    #[test]
+    fn new_flow_balances_by_local_rate_among_good() {
+        let (sh, mut h, params) = setup();
+        let mut rng = SimRng::new(1);
+        let now = Time::from_ms(1);
+        let good_rtt = params.t_rtt_low - Time::from_us(10);
+        feed(&sh, LeafId(1), PathId(2), good_rtt, false, now);
+        feed(&sh, LeafId(1), PathId(6), good_rtt, false, now);
+        // Load path 2 locally.
+        let c = ctx_new();
+        h.on_data_sent(&c, PathId(2), 1_000_000, now);
+        let p = h.select_path(&c, &cands(), now, &mut rng);
+        assert_eq!(p, PathId(6), "least-loaded good path wins");
+    }
+
+    #[test]
+    fn sticks_to_gray_current_path() {
+        let (_sh, mut h, _params) = setup();
+        let mut rng = SimRng::new(1);
+        let now = Time::from_ms(1);
+        let mut c = ctx_new();
+        c.is_new = false;
+        c.current_path = PathId(3); // unsampled → gray
+        let p = h.select_path(&c, &cands(), now, &mut rng);
+        assert_eq!(p, PathId(3), "no reason to move off a gray path");
+    }
+
+    #[test]
+    fn congested_path_reroutes_only_when_cautious_checks_pass() {
+        let (sh, mut h, params) = setup();
+        let mut rng = SimRng::new(1);
+        let now = Time::from_ms(1);
+        let hot = params.t_rtt_high + Time::from_us(100);
+        let cold = params.t_rtt_low - Time::from_us(10);
+        feed(&sh, LeafId(1), PathId(0), hot, true, now); // congested
+        feed(&sh, LeafId(1), PathId(4), cold, false, now); // good
+        let mut c = ctx_new();
+        c.is_new = false;
+        c.current_path = PathId(0);
+        // Small flow: stays despite congestion.
+        c.bytes_sent = 10_000;
+        c.rate_bps = 0.0;
+        assert_eq!(h.select_path(&c, &cands(), now, &mut rng), PathId(0));
+        // Large slow flow: reroutes to the notably better good path.
+        c.bytes_sent = params.size_threshold + 1;
+        assert_eq!(h.select_path(&c, &cands(), now, &mut rng), PathId(4));
+        assert_eq!(sh.borrow().stat_reroutes, 1);
+        // High-rate flow: stays (R check).
+        c.rate_bps = params.rate_threshold_bps * 2.0;
+        assert_eq!(h.select_path(&c, &cands(), now, &mut rng), PathId(0));
+    }
+
+    #[test]
+    fn reroute_cooldown_blocks_flipflop() {
+        let (sh, mut h, params) = setup();
+        let mut rng = SimRng::new(1);
+        let now = Time::from_ms(1);
+        let hot = params.t_rtt_high + Time::from_us(100);
+        let cold = params.t_rtt_low - Time::from_us(10);
+        feed(&sh, LeafId(1), PathId(0), hot, true, now);
+        feed(&sh, LeafId(1), PathId(4), cold, false, now);
+        let mut c = ctx_new();
+        c.is_new = false;
+        c.current_path = PathId(0);
+        c.bytes_sent = params.size_threshold + 1;
+        // Just rerouted: must stay despite the notably better path.
+        c.since_change = params.reroute_cooldown / 2;
+        assert_eq!(h.select_path(&c, &cands(), now, &mut rng), PathId(0));
+        // Cooldown elapsed: free to move.
+        c.since_change = params.reroute_cooldown + Time::from_us(1);
+        assert_eq!(h.select_path(&c, &cands(), now, &mut rng), PathId(4));
+    }
+
+    #[test]
+    fn no_reroute_without_notable_margin() {
+        let (sh, mut h, params) = setup();
+        let mut rng = SimRng::new(1);
+        let now = Time::from_ms(1);
+        let hot = params.t_rtt_high + Time::from_us(100);
+        // Alternative barely better than current: margin not met.
+        let alt = hot.saturating_sub(params.delta_rtt) + Time::from_us(1);
+        feed(&sh, LeafId(1), PathId(0), hot, true, now);
+        feed(&sh, LeafId(1), PathId(4), alt, true, now);
+        let mut c = ctx_new();
+        c.is_new = false;
+        c.current_path = PathId(0);
+        c.bytes_sent = params.size_threshold + 1;
+        assert_eq!(
+            h.select_path(&c, &cands(), now, &mut rng),
+            PathId(0),
+            "both Δ_RTT and Δ_ECN must be exceeded"
+        );
+        assert_eq!(sh.borrow().stat_reroutes, 0);
+    }
+
+    #[test]
+    fn timeout_triggers_immediate_replacement() {
+        let (sh, mut h, params) = setup();
+        let mut rng = SimRng::new(1);
+        let now = Time::from_ms(1);
+        let good_rtt = params.t_rtt_low - Time::from_us(10);
+        feed(&sh, LeafId(1), PathId(7), good_rtt, false, now);
+        let mut c = ctx_new();
+        c.is_new = false;
+        c.current_path = PathId(2);
+        c.timed_out = true;
+        assert_eq!(h.select_path(&c, &cands(), now, &mut rng), PathId(7));
+    }
+
+    #[test]
+    fn failed_path_is_evacuated_and_avoided() {
+        let (sh, mut h, _params) = setup();
+        let mut rng = SimRng::new(1);
+        let now = Time::from_ms(1);
+        let c0 = ctx_new();
+        // Three timeouts on path 2 → failed.
+        for _ in 0..3 {
+            h.on_timeout(&c0, PathId(2), now);
+        }
+        let mut c = ctx_new();
+        c.is_new = false;
+        c.current_path = PathId(2);
+        let p = h.select_path(&c, &cands(), now, &mut rng);
+        assert_ne!(p, PathId(2));
+        assert_eq!(sh.borrow().stat_failovers, 1);
+        // New flows also avoid it.
+        for seed in 0..20 {
+            let mut r = SimRng::new(seed);
+            assert_ne!(h.select_path(&ctx_new(), &cands(), now, &mut r), PathId(2));
+        }
+    }
+
+    #[test]
+    fn reroute_ablation_pins_congested_flows() {
+        let topo = Topology::sim_baseline();
+        let mut params = HermesParams::from_topology(&topo);
+        params.enable_reroute = false;
+        let sh = RackSensing::shared(&topo, LeafId(0), params);
+        let mut h = Hermes::new(Rc::clone(&sh), true);
+        let mut rng = SimRng::new(1);
+        let now = Time::from_ms(1);
+        let hot = params.t_rtt_high + Time::from_us(100);
+        let cold = params.t_rtt_low - Time::from_us(10);
+        feed(&sh, LeafId(1), PathId(0), hot, true, now);
+        feed(&sh, LeafId(1), PathId(4), cold, false, now);
+        let mut c = ctx_new();
+        c.is_new = false;
+        c.current_path = PathId(0);
+        c.bytes_sent = params.size_threshold + 1;
+        assert_eq!(h.select_path(&c, &cands(), now, &mut rng), PathId(0));
+    }
+
+    #[test]
+    fn probe_plan_is_power_of_two_choices_plus_best() {
+        let (sh, mut h, _params) = setup();
+        let mut rng = SimRng::new(1);
+        // Give dst leaf 3 a known-best path.
+        feed(&sh, LeafId(3), PathId(6), Time::from_us(70), false, Time::from_ms(1));
+        let plan = h.probe_plan(Time::from_ms(1), &mut rng);
+        // 7 destination racks; 2 or 3 probes each.
+        let per_dst: Vec<usize> = (0..8u16)
+            .filter(|&d| d != 0)
+            .map(|d| plan.iter().filter(|t| t.dst_leaf == LeafId(d)).count())
+            .collect();
+        assert!(per_dst.iter().all(|&n| (2..=3).contains(&n)), "{per_dst:?}");
+        // dst 3's plan includes the remembered best path.
+        assert!(plan
+            .iter()
+            .any(|t| t.dst_leaf == LeafId(3) && t.path == PathId(6)));
+        // Non-agents never probe.
+        let mut follower = Hermes::new(Rc::clone(&sh), false);
+        assert!(follower.probe_plan(Time::from_ms(1), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn probing_ablation_disables_plans() {
+        let topo = Topology::sim_baseline();
+        let mut params = HermesParams::from_topology(&topo);
+        params.enable_probing = false;
+        let sh = RackSensing::shared(&topo, LeafId(0), params);
+        let mut h = Hermes::new(sh, true);
+        let mut rng = SimRng::new(1);
+        assert!(h.probe_plan(Time::from_ms(1), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn probe_results_update_shared_state() {
+        let (sh, mut h, params) = setup();
+        let now = Time::from_ms(2);
+        h.on_probe_result(LeafId(4), PathId(1), Time::from_us(65), false, now);
+        let mut s = sh.borrow_mut();
+        assert_eq!(s.characterize(LeafId(4), PathId(1), now), PathType::Good);
+        let _ = params;
+    }
+
+    #[test]
+    fn probe_agents_share_state_with_followers() {
+        let (sh, mut agent, params) = setup();
+        let mut follower = Hermes::new(Rc::clone(&sh), false);
+        let now = Time::from_ms(1);
+        let good_rtt = params.t_rtt_low - Time::from_us(10);
+        // The agent's probe result...
+        agent.on_probe_result(LeafId(1), PathId(3), good_rtt, false, now);
+        for _ in 0..50 {
+            agent.on_probe_result(LeafId(1), PathId(3), good_rtt, false, now);
+        }
+        // ...guides the follower's placement.
+        let mut rng = SimRng::new(2);
+        let p = follower.select_path(&ctx_new(), &cands(), now, &mut rng);
+        assert_eq!(p, PathId(3));
+    }
+
+    #[test]
+    fn non_spine_signals_are_ignored() {
+        let (sh, mut h, _params) = setup();
+        let c = ctx_new();
+        h.on_ack(&c, PathId::DIRECT, Some(Time::from_us(50)), true, 1460, Time::from_ms(1));
+        h.on_timeout(&c, PathId::UNSET, Time::from_ms(1));
+        h.on_retransmit(&c, PathId::DIRECT, Time::from_ms(1));
+        h.on_data_sent(&c, PathId::UNSET, 1460, Time::from_ms(1));
+        // Nothing recorded anywhere.
+        let s = sh.borrow();
+        for d in 0..8u16 {
+            for p in 0..8u16 {
+                assert!(s.path_state(LeafId(d), PathId(p)).t_rtt().is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # hermes-core — the Hermes load balancer (SIGCOMM 2017)
+//!
+//! The paper's primary contribution, as a host-side (hypervisor) module:
+//!
+//! * **Comprehensive sensing** (§3.1) — [`PathState`] fuses RTT and ECN
+//!   into the good/gray/congested characterization of Algorithm 1, and
+//!   detects the two production switch-failure modes: packet blackholes
+//!   (3 timeouts with nothing ACKed) and silent random drops (high
+//!   retransmission fraction on an uncongested path).
+//! * **Active probing** (§3.1.3) — per-rack probe agents probe two
+//!   random paths plus the previously best path per destination rack
+//!   (power of two choices with memory) and share results rack-wide via
+//!   [`RackSensing`].
+//! * **Timely yet cautious rerouting** (§3.2, Algorithm 2) — [`Hermes`]
+//!   implements `hermes_net::EdgeLb`: per-packet granularity, immediate
+//!   reaction to failures/timeouts, and a cost-benefit gate (`S`, `R`,
+//!   `Δ_RTT`, `Δ_ECN`) before any congestion-driven reroute.
+//! * [`HermesParams`] — every Table 4 parameter with the §3.3 rules of
+//!   thumb, plus ablation switches for the Fig. 18 experiments.
+
+mod hermes;
+mod params;
+mod state;
+
+pub use hermes::{Hermes, RackSensing};
+pub use params::HermesParams;
+pub use state::{PathState, PathType};

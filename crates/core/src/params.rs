@@ -1,0 +1,163 @@
+//! Hermes parameters (Table 4) and the §3.3 rules of thumb that derive
+//! them from a topology.
+
+use hermes_sim::Time;
+use hermes_net::Topology;
+
+/// All tunables of Hermes, with the paper's recommended defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct HermesParams {
+    // --- Congestion sensing (§3.1.1) ---
+    /// `T_ECN`: ECN fraction above which a path may be congested (40%).
+    pub t_ecn: f64,
+    /// `T_RTT_low`: RTT below which a path may be good
+    /// (base RTT + 20–40 µs; default +20 µs).
+    pub t_rtt_low: Time,
+    /// `T_RTT_high`: RTT above which a path may be congested
+    /// (base RTT + 1.5 × one-hop delay).
+    pub t_rtt_high: Time,
+    // --- Failure sensing (§3.1.2) ---
+    /// Timeouts with zero ACKs that flag a blackhole (3).
+    pub timeout_fail_count: u32,
+    /// Retransmission fraction that flags silent random drops (1%).
+    pub retx_fail_fraction: f64,
+    /// The τ window over which the retransmission fraction is measured
+    /// (10 ms).
+    pub retx_window: Time,
+    /// Minimum packets sent in a window before the fraction is trusted.
+    pub retx_min_samples: u32,
+    // --- Probing (§3.1.3) ---
+    /// Probe interval (100–500 µs; default 500 µs). `Time::MAX` disables.
+    pub probe_interval: Time,
+    /// Random probes per destination rack per interval (power of two
+    /// choices), plus one on the previously best path.
+    pub probe_choices: usize,
+    // --- Cautious rerouting (§3.2) ---
+    /// `Δ_RTT`: a path must beat the current one by this much RTT
+    /// (one-hop delay).
+    pub delta_rtt: Time,
+    /// `Δ_ECN`: and by this much ECN fraction (3–10%; default 5%).
+    pub delta_ecn: f64,
+    /// `S`: minimum bytes sent before a flow may be rerouted
+    /// (100–800 KB; default 600 KB).
+    pub size_threshold: u64,
+    /// `R`: flows sending faster than this are not rerouted
+    /// (20–40% of link capacity; default 30%).
+    pub rate_threshold_bps: f64,
+    /// Minimum time between congestion-driven reroutes of one flow.
+    /// Not in Table 4, but required in practice: each reroute costs a
+    /// reordering dip (Fig. 6's R₁ → ½R₁), so a reroute only pays off
+    /// once the flow has recovered and actually banked the gain —
+    /// several tens of RTTs. Without this, a loaded fabric shows
+    /// persistent "notably better" gaps between busy paths and flows
+    /// chase them dozens of times per second (set to ~50 base RTTs).
+    pub reroute_cooldown: Time,
+    // --- Sensing estimator details ---
+    /// EWMA gain for the per-path ECN fraction.
+    pub ecn_ewma: f64,
+    /// EWMA gain for the per-path RTT.
+    pub rtt_ewma: f64,
+    /// A path with no sample newer than this is Gray (unknown).
+    pub stale_horizon: Time,
+    // --- Ablation switches (§5.4, Fig. 18) and §5.4's TCP mode ---
+    /// Disable active probing ("Hermes without probing").
+    pub enable_probing: bool,
+    /// Disable congested-path rerouting ("Hermes without rerouting";
+    /// new-flow placement and failure evasion stay active).
+    pub enable_reroute: bool,
+    /// Sense with RTT only (§5.4: Hermes over plain TCP, no ECN).
+    pub rtt_only: bool,
+}
+
+impl HermesParams {
+    /// Apply the §3.3 rules of thumb to a topology: thresholds derived
+    /// from its base RTT, one-hop delay, and host link rate.
+    pub fn from_topology(topo: &Topology) -> HermesParams {
+        let base = topo.base_rtt();
+        let hop = topo.one_hop_delay();
+        HermesParams {
+            t_ecn: 0.40,
+            t_rtt_low: base + Time::from_us(20),
+            t_rtt_high: base + hop.mul_f64(1.5),
+            timeout_fail_count: 3,
+            retx_fail_fraction: 0.01,
+            retx_window: Time::from_ms(10),
+            retx_min_samples: 30,
+            probe_interval: Time::from_us(500),
+            probe_choices: 2,
+            delta_rtt: hop,
+            delta_ecn: 0.05,
+            size_threshold: 600_000,
+            rate_threshold_bps: 0.30 * topo.host_link.rate_bps as f64,
+            reroute_cooldown: base * 50,
+            ecn_ewma: 1.0 / 16.0,
+            rtt_ewma: 0.25,
+            stale_horizon: Time::from_ms(5),
+            enable_probing: true,
+            enable_reroute: true,
+            rtt_only: false,
+        }
+    }
+
+    /// The paper's explicit testbed configuration (§3.3): on the 1 Gbps
+    /// testbed the authors pick T_RTT_high = 300 µs and Δ_RTT = 120 µs
+    /// rather than the raw one-hop-delay formula (which, with a 30 KB
+    /// marking threshold at 1 Gbps, would put T_RTT_high at ~435 µs and
+    /// make the "congested" class nearly unreachable).
+    pub fn paper_testbed(topo: &Topology) -> HermesParams {
+        let mut p = HermesParams::from_topology(topo);
+        let base = topo.base_rtt();
+        p.t_rtt_high = base.max(Time::from_us(100)) + Time::from_us(200);
+        p.delta_rtt = Time::from_us(120);
+        p
+    }
+
+    /// §5.4's TCP variant: RTT-only sensing with 1.5× larger RTT
+    /// thresholds.
+    pub fn for_tcp(topo: &Topology) -> HermesParams {
+        let mut p = HermesParams::from_topology(topo);
+        let base = topo.base_rtt();
+        p.rtt_only = true;
+        p.t_rtt_high = base + (p.t_rtt_high - base).mul_f64(1.5);
+        p.delta_rtt = p.delta_rtt.mul_f64(1.5);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_baseline_matches_paper_regime() {
+        let topo = Topology::sim_baseline();
+        let p = HermesParams::from_topology(&topo);
+        // §3.3: T_RTT_high ≈ 180 µs in simulations, Δ_RTT ≈ 80 µs.
+        let high = p.t_rtt_high.as_us();
+        assert!((150..=210).contains(&high), "T_RTT_high {high}us");
+        assert_eq!(p.delta_rtt, Time::from_us(80));
+        assert!((p.rate_threshold_bps - 3e9).abs() < 1.0);
+        assert_eq!(p.size_threshold, 600_000);
+        assert!(p.t_rtt_low < p.t_rtt_high);
+    }
+
+    #[test]
+    fn tcp_mode_relaxes_rtt_thresholds() {
+        let topo = Topology::sim_baseline();
+        let d = HermesParams::from_topology(&topo);
+        let t = HermesParams::for_tcp(&topo);
+        assert!(t.rtt_only);
+        assert!(t.t_rtt_high > d.t_rtt_high);
+        assert!(t.delta_rtt > d.delta_rtt);
+        assert_eq!(t.t_ecn, d.t_ecn);
+    }
+
+    #[test]
+    fn testbed_thresholds_scale_with_one_gig() {
+        let topo = Topology::testbed();
+        let p = HermesParams::from_topology(&topo);
+        // 1G: one-hop delay = 30 KB / 1 Gbps = 240 µs.
+        assert_eq!(p.delta_rtt, Time::from_us(240));
+        assert!((p.rate_threshold_bps - 0.3e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! DRILL (Ghorbani et al.) — switch-local per-packet micro load
+//! balancing.
+//!
+//! Each packet samples `d` random output queues plus the queue chosen
+//! last time ("power of two choices with memory") and takes the
+//! shortest, using only switch-local queue depths. Excellent under
+//! symmetric fabrics and microbursts; §7 notes it reroutes every packet
+//! vigorously with purely local information, so it suffers congestion
+//! mismatch under asymmetry — which Fig. 13/14 style runs show.
+
+use std::collections::HashMap;
+
+use hermes_sim::{SimRng, Time};
+use hermes_net::{FabricLb, LeafId, Packet, PathId};
+
+/// DRILL(d, 1): `d` random samples plus one remembered best.
+pub struct Drill {
+    /// Random samples per decision.
+    samples: usize,
+    /// Remembered least-loaded uplink per (leaf, destination leaf).
+    memory: HashMap<(LeafId, LeafId), PathId>,
+}
+
+impl Drill {
+    pub fn new(samples: usize) -> Drill {
+        assert!(samples >= 1);
+        Drill {
+            samples,
+            memory: HashMap::new(),
+        }
+    }
+}
+
+impl FabricLb for Drill {
+    fn ingress_select(
+        &mut self,
+        leaf: LeafId,
+        dst_leaf: LeafId,
+        _pkt: &Packet,
+        candidates: &[PathId],
+        uplink_qbytes: &[u64],
+        _now: Time,
+        rng: &mut SimRng,
+    ) -> PathId {
+        debug_assert_eq!(candidates.len(), uplink_qbytes.len());
+        let key = (leaf, dst_leaf);
+        let mut best: Option<(u64, PathId)> = None;
+        let consider = |idx: usize, best: &mut Option<(u64, PathId)>| {
+            let cand = (uplink_qbytes[idx], candidates[idx]);
+            if best.is_none() || cand.0 < best.unwrap().0 {
+                *best = Some(cand);
+            }
+        };
+        for _ in 0..self.samples.min(candidates.len()) {
+            consider(rng.below(candidates.len()), &mut best);
+        }
+        if let Some(&prev) = self.memory.get(&key) {
+            if let Some(idx) = candidates.iter().position(|&p| p == prev) {
+                consider(idx, &mut best);
+            }
+        }
+        let (_, chosen) = best.expect("at least one sample");
+        self.memory.insert(key, chosen);
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_net::{FlowId, HostId};
+
+    fn pkt() -> Packet {
+        Packet::data(FlowId(1), HostId(0), HostId(20), 0, 1460, false)
+    }
+
+    const CANDS: [PathId; 4] = [PathId(0), PathId(1), PathId(2), PathId(3)];
+
+    #[test]
+    fn converges_to_empty_queue() {
+        let mut lb = Drill::new(2);
+        let mut rng = SimRng::new(1);
+        // Queue 2 is empty, everything else deep. With memory, DRILL
+        // locks onto queue 2 after it is sampled once.
+        let q = [50_000u64, 60_000, 0, 70_000];
+        let mut hits = 0;
+        for _ in 0..100 {
+            if lb.ingress_select(LeafId(0), LeafId(1), &pkt(), &CANDS, &q, Time::ZERO, &mut rng)
+                == PathId(2)
+            {
+                hits += 1;
+            }
+        }
+        assert!(hits > 80, "memory must lock onto the empty queue: {hits}");
+    }
+
+    #[test]
+    fn memory_is_per_leaf_pair() {
+        let mut lb = Drill::new(2);
+        let mut rng = SimRng::new(2);
+        let q_a = [0u64, 9_000, 9_000, 9_000];
+        let q_b = [9_000u64, 9_000, 9_000, 0];
+        for _ in 0..50 {
+            lb.ingress_select(LeafId(0), LeafId(1), &pkt(), &CANDS, &q_a, Time::ZERO, &mut rng);
+            lb.ingress_select(LeafId(2), LeafId(3), &pkt(), &CANDS, &q_b, Time::ZERO, &mut rng);
+        }
+        assert_eq!(lb.memory[&(LeafId(0), LeafId(1))], PathId(0));
+        assert_eq!(lb.memory[&(LeafId(2), LeafId(3))], PathId(3));
+    }
+
+    #[test]
+    fn handles_fewer_candidates_than_samples() {
+        let mut lb = Drill::new(5);
+        let mut rng = SimRng::new(3);
+        let p = lb.ingress_select(
+            LeafId(0),
+            LeafId(1),
+            &pkt(),
+            &[PathId(1)],
+            &[123],
+            Time::ZERO,
+            &mut rng,
+        );
+        assert_eq!(p, PathId(1));
+    }
+}

@@ -1,0 +1,119 @@
+//! ECMP — per-flow random hashing (RFC 2992), the production baseline.
+//!
+//! A flow picks one path uniformly at random when it starts and never
+//! moves, regardless of congestion, timeouts, or failures. This is what
+//! makes it collapse under blackholes in Fig. 17: a deterministic subset
+//! of flows is pinned to the failed switch forever.
+
+use std::collections::HashMap;
+
+use hermes_sim::{SimRng, Time};
+use hermes_net::{EdgeLb, FlowCtx, FlowId, PathId};
+
+/// Per-flow random hashing.
+#[derive(Default)]
+pub struct Ecmp {
+    assigned: HashMap<FlowId, PathId>,
+}
+
+impl Ecmp {
+    pub fn new() -> Ecmp {
+        Ecmp::default()
+    }
+}
+
+impl EdgeLb for Ecmp {
+    fn select_path(
+        &mut self,
+        ctx: &FlowCtx,
+        candidates: &[PathId],
+        _now: Time,
+        rng: &mut SimRng,
+    ) -> PathId {
+        if let Some(&p) = self.assigned.get(&ctx.flow) {
+            if candidates.contains(&p) {
+                return p;
+            }
+        }
+        // New flow (or its hashed path's link was cut before it started).
+        let p = candidates[rng.below(candidates.len())];
+        self.assigned.insert(ctx.flow, p);
+        p
+    }
+
+    fn on_flow_finished(&mut self, ctx: &FlowCtx, _now: Time) {
+        self.assigned.remove(&ctx.flow);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_net::{HostId, LeafId};
+
+    fn ctx(flow: u64) -> FlowCtx {
+        FlowCtx {
+            flow: FlowId(flow),
+            src: HostId(0),
+            dst: HostId(20),
+            src_leaf: LeafId(0),
+            dst_leaf: LeafId(1),
+            bytes_sent: 0,
+            rate_bps: 0.0,
+            current_path: PathId::UNSET,
+            is_new: true,
+            timed_out: false,
+            since_change: Time::MAX,
+        }
+    }
+
+    #[test]
+    fn flow_is_sticky() {
+        let mut lb = Ecmp::new();
+        let mut rng = SimRng::new(1);
+        let cands = [PathId(0), PathId(1), PathId(2), PathId(3)];
+        let first = lb.select_path(&ctx(7), &cands, Time::ZERO, &mut rng);
+        for _ in 0..100 {
+            assert_eq!(lb.select_path(&ctx(7), &cands, Time::ZERO, &mut rng), first);
+        }
+    }
+
+    #[test]
+    fn flows_spread_roughly_uniformly() {
+        let mut lb = Ecmp::new();
+        let mut rng = SimRng::new(2);
+        let cands = [PathId(0), PathId(1), PathId(2), PathId(3)];
+        let mut counts = [0usize; 4];
+        for f in 0..4000 {
+            let p = lb.select_path(&ctx(f), &cands, Time::ZERO, &mut rng);
+            counts[p.0 as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn finished_flows_are_forgotten() {
+        let mut lb = Ecmp::new();
+        let mut rng = SimRng::new(3);
+        let cands = [PathId(0), PathId(1)];
+        lb.select_path(&ctx(1), &cands, Time::ZERO, &mut rng);
+        assert_eq!(lb.assigned.len(), 1);
+        lb.on_flow_finished(&ctx(1), Time::ZERO);
+        assert!(lb.assigned.is_empty());
+    }
+
+    #[test]
+    fn rehashes_only_when_path_dies() {
+        let mut lb = Ecmp::new();
+        let mut rng = SimRng::new(4);
+        let all = [PathId(0), PathId(1), PathId(2), PathId(3)];
+        let p = lb.select_path(&ctx(9), &all, Time::ZERO, &mut rng);
+        // Remove the assigned path from candidates (link cut): re-hash.
+        let rest: Vec<PathId> = all.iter().copied().filter(|&x| x != p).collect();
+        let p2 = lb.select_path(&ctx(9), &rest, Time::ZERO, &mut rng);
+        assert_ne!(p, p2);
+        assert!(rest.contains(&p2));
+    }
+}

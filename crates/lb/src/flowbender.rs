@@ -1,0 +1,196 @@
+//! FlowBender (Kabbani et al., CoNEXT 2014) — end-host flow-level
+//! adaptive rerouting.
+//!
+//! Each flow monitors the fraction of ECN-echoed ACKs over a window;
+//! when it exceeds a threshold the flow is re-hashed onto a random
+//! different path (blind — no view of where it lands). Timeouts also
+//! trigger a re-hash. The paper characterizes this as "reactive and
+//! random rerouting": timely, but neither congestion-informed in its
+//! *choice* nor cautious, which costs it under high load.
+
+use std::collections::HashMap;
+
+use hermes_sim::{SimRng, Time};
+use hermes_net::{EdgeLb, FlowCtx, FlowId, PathId};
+
+/// FlowBender parameters (defaults per the original paper).
+#[derive(Clone, Copy, Debug)]
+pub struct FlowBenderCfg {
+    /// Fraction of marked ACKs that triggers a reroute.
+    pub ecn_threshold: f64,
+    /// ACKs per observation window (≈ one congestion window).
+    pub window_acks: u32,
+}
+
+impl Default for FlowBenderCfg {
+    fn default() -> FlowBenderCfg {
+        FlowBenderCfg {
+            ecn_threshold: 0.05,
+            window_acks: 16,
+        }
+    }
+}
+
+struct FlowState {
+    path: PathId,
+    acks: u32,
+    marked: u32,
+    want_reroute: bool,
+}
+
+/// FlowBender.
+pub struct FlowBender {
+    cfg: FlowBenderCfg,
+    flows: HashMap<FlowId, FlowState>,
+}
+
+impl FlowBender {
+    pub fn new(cfg: FlowBenderCfg) -> FlowBender {
+        FlowBender {
+            cfg,
+            flows: HashMap::new(),
+        }
+    }
+}
+
+impl EdgeLb for FlowBender {
+    fn select_path(
+        &mut self,
+        ctx: &FlowCtx,
+        candidates: &[PathId],
+        _now: Time,
+        rng: &mut SimRng,
+    ) -> PathId {
+        let st = self.flows.entry(ctx.flow).or_insert_with(|| FlowState {
+            path: candidates[rng.below(candidates.len())],
+            acks: 0,
+            marked: 0,
+            want_reroute: false,
+        });
+        let dead = !candidates.contains(&st.path);
+        if st.want_reroute || dead {
+            st.want_reroute = false;
+            // Re-hash to a *different* live path when possible.
+            let others: Vec<PathId> = candidates
+                .iter()
+                .copied()
+                .filter(|&p| p != st.path)
+                .collect();
+            st.path = if others.is_empty() {
+                candidates[rng.below(candidates.len())]
+            } else {
+                others[rng.below(others.len())]
+            };
+        }
+        st.path
+    }
+
+    fn on_ack(
+        &mut self,
+        ctx: &FlowCtx,
+        _path: PathId,
+        _rtt: Option<Time>,
+        ecn: bool,
+        _bytes_acked: u64,
+        _now: Time,
+    ) {
+        let Some(st) = self.flows.get_mut(&ctx.flow) else {
+            return;
+        };
+        st.acks += 1;
+        if ecn {
+            st.marked += 1;
+        }
+        if st.acks >= self.cfg.window_acks {
+            let frac = st.marked as f64 / st.acks as f64;
+            if frac > self.cfg.ecn_threshold {
+                st.want_reroute = true;
+            }
+            st.acks = 0;
+            st.marked = 0;
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &FlowCtx, _path: PathId, _now: Time) {
+        if let Some(st) = self.flows.get_mut(&ctx.flow) {
+            st.want_reroute = true;
+        }
+    }
+
+    fn on_flow_finished(&mut self, ctx: &FlowCtx, _now: Time) {
+        self.flows.remove(&ctx.flow);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_net::{HostId, LeafId};
+
+    fn ctx(flow: u64) -> FlowCtx {
+        FlowCtx {
+            flow: FlowId(flow),
+            src: HostId(0),
+            dst: HostId(20),
+            src_leaf: LeafId(0),
+            dst_leaf: LeafId(1),
+            bytes_sent: 0,
+            rate_bps: 0.0,
+            current_path: PathId::UNSET,
+            is_new: true,
+            timed_out: false,
+            since_change: Time::MAX,
+        }
+    }
+
+    const CANDS: [PathId; 4] = [PathId(0), PathId(1), PathId(2), PathId(3)];
+
+    #[test]
+    fn stable_without_congestion() {
+        let mut lb = FlowBender::new(FlowBenderCfg::default());
+        let mut rng = SimRng::new(9);
+        let p = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+        for _ in 0..200 {
+            lb.on_ack(&ctx(1), p, None, false, 1460, Time::ZERO);
+            assert_eq!(lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng), p);
+        }
+    }
+
+    #[test]
+    fn sustained_marks_cause_reroute() {
+        let mut lb = FlowBender::new(FlowBenderCfg::default());
+        let mut rng = SimRng::new(9);
+        let p = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+        for _ in 0..16 {
+            lb.on_ack(&ctx(1), p, None, true, 1460, Time::ZERO);
+        }
+        let q = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+        assert_ne!(p, q, "marked window must move the flow");
+    }
+
+    #[test]
+    fn below_threshold_does_not_reroute() {
+        let cfg = FlowBenderCfg {
+            ecn_threshold: 0.5,
+            window_acks: 10,
+        };
+        let mut lb = FlowBender::new(cfg);
+        let mut rng = SimRng::new(9);
+        let p = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+        // 3 of 10 marked < 50%.
+        for i in 0..10 {
+            lb.on_ack(&ctx(1), p, None, i < 3, 1460, Time::ZERO);
+        }
+        assert_eq!(lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng), p);
+    }
+
+    #[test]
+    fn timeout_triggers_reroute() {
+        let mut lb = FlowBender::new(FlowBenderCfg::default());
+        let mut rng = SimRng::new(9);
+        let p = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+        lb.on_timeout(&ctx(1), p, Time::from_ms(10));
+        let q = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+        assert_ne!(p, q);
+    }
+}

@@ -1,0 +1,142 @@
+//! LetFlow (Vanini et al., NSDI 2017) — flowlet switching with random
+//! path choice, in the switch.
+//!
+//! No congestion state at all: every new flowlet picks a uniformly
+//! random uplink. Balance emerges because flowlets on congested paths
+//! stretch in time and naturally shed load. The paper's critique (§2.2.2,
+//! §5.3.2): with steady traffic there are no flowlet gaps, so LetFlow
+//! converges slowly — and it cannot detect failures (§5.3.3).
+
+use hermes_sim::{SimRng, Time};
+use hermes_net::{FabricLb, FlowId, LeafId, Packet, PathId};
+
+use crate::flowlet::FlowletTable;
+
+/// LetFlow.
+pub struct LetFlow {
+    flowlets: FlowletTable<(FlowId, LeafId)>,
+}
+
+impl LetFlow {
+    /// `timeout` — flowlet gap (150 µs in the paper's simulations).
+    pub fn new(timeout: Time) -> LetFlow {
+        LetFlow {
+            flowlets: FlowletTable::new(timeout),
+        }
+    }
+}
+
+impl FabricLb for LetFlow {
+    fn ingress_select(
+        &mut self,
+        leaf: LeafId,
+        _dst_leaf: LeafId,
+        pkt: &Packet,
+        candidates: &[PathId],
+        _uplink_qbytes: &[u64],
+        now: Time,
+        rng: &mut SimRng,
+    ) -> PathId {
+        let key = (pkt.flow, leaf);
+        if let Some(p) = self.flowlets.current(key, now) {
+            if candidates.contains(&p) {
+                return p;
+            }
+        }
+        let p = candidates[rng.below(candidates.len())];
+        self.flowlets.assign(key, p, now);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_net::HostId;
+
+    fn pkt(flow: u64) -> Packet {
+        Packet::data(FlowId(flow), HostId(0), HostId(20), 0, 1460, false)
+    }
+
+    const CANDS: [PathId; 4] = [PathId(0), PathId(1), PathId(2), PathId(3)];
+
+    #[test]
+    fn sticky_within_flowlet_random_across() {
+        let mut lb = LetFlow::new(Time::from_us(150));
+        let mut rng = SimRng::new(3);
+        let p = lb.ingress_select(
+            LeafId(0),
+            LeafId(1),
+            &pkt(1),
+            &CANDS,
+            &[0; 4],
+            Time::ZERO,
+            &mut rng,
+        );
+        // Back-to-back packets: same path.
+        for i in 1..10 {
+            let q = lb.ingress_select(
+                LeafId(0),
+                LeafId(1),
+                &pkt(1),
+                &CANDS,
+                &[0; 4],
+                Time::from_us(i * 10),
+                &mut rng,
+            );
+            assert_eq!(p, q);
+        }
+        // After long gaps, path choices spread across candidates.
+        let mut seen = std::collections::HashSet::new();
+        let mut t = Time::from_ms(1);
+        for _ in 0..200 {
+            t += Time::from_us(500); // > timeout: every packet a new flowlet
+            seen.insert(lb.ingress_select(
+                LeafId(0),
+                LeafId(1),
+                &pkt(1),
+                &CANDS,
+                &[0; 4],
+                t,
+                &mut rng,
+            ));
+        }
+        assert_eq!(seen.len(), 4, "random choice must reach every path");
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        // The same flow id seen at two leaves (data vs ACK direction)
+        // keeps independent flowlet state.
+        let mut lb = LetFlow::new(Time::from_us(150));
+        let mut rng = SimRng::new(4);
+        let a = lb.ingress_select(
+            LeafId(0),
+            LeafId(1),
+            &pkt(1),
+            &CANDS,
+            &[0; 4],
+            Time::ZERO,
+            &mut rng,
+        );
+        // Choose repeatedly at leaf 1 until it diverges — they're
+        // independent random draws, so this must happen quickly.
+        let mut diverged = false;
+        for i in 0..20 {
+            let b = lb.ingress_select(
+                LeafId(1),
+                LeafId(0),
+                &pkt(1),
+                &CANDS,
+                &[0; 4],
+                Time::from_ms(1 + i),
+                &mut rng,
+            );
+            if b != a {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged);
+    }
+}

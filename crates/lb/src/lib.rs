@@ -1,0 +1,35 @@
+//! # hermes-lb — baseline datacenter load balancers
+//!
+//! Every scheme the paper compares Hermes against (Table 1):
+//!
+//! | Scheme | Kind | Granularity | Congestion awareness |
+//! |---|---|---|---|
+//! | [`Ecmp`] | edge | flow | oblivious |
+//! | [`RoundRobinSpray`] (DRB) | edge | packet | oblivious |
+//! | [`PrestoSpray`] (Presto*) | edge | packet (weighted) | oblivious |
+//! | [`FlowBender`] | edge | flow (reactive rehash) | end-host ECN |
+//! | [`CloveEcn`] | edge | flowlet | end-host ECN weights |
+//! | [`LetFlow`] | switch | flowlet | oblivious (implicit) |
+//! | [`Drill`] | switch | packet | switch-local queues |
+//! | [`Conga`] | switch | flowlet | global (in-band feedback) |
+//!
+//! Edge schemes implement `hermes_net::EdgeLb`; switch schemes implement
+//! `hermes_net::FabricLb`. Hermes itself lives in `hermes-core`.
+
+mod clove;
+mod conga;
+mod drill;
+mod ecmp;
+mod flowbender;
+mod flowlet;
+mod letflow;
+mod spray;
+
+pub use clove::{CloveCfg, CloveEcn};
+pub use conga::{Conga, CongaCfg};
+pub use drill::Drill;
+pub use ecmp::Ecmp;
+pub use flowbender::{FlowBender, FlowBenderCfg};
+pub use flowlet::FlowletTable;
+pub use letflow::LetFlow;
+pub use spray::{PrestoSpray, RoundRobinSpray};

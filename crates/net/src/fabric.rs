@@ -1,0 +1,588 @@
+//! The fabric: ports wired into a leaf-spine topology, packet
+//! forwarding, failure application, and load-balancer hook dispatch.
+
+use hermes_sim::{EventQueue, SimRng};
+
+use crate::failure::SpineFailure;
+use crate::lbapi::{FabricLb, LinkRef};
+use crate::packet::Packet;
+use crate::port::{Enqueue, Port};
+use crate::topology::Topology;
+use crate::types::{HostId, LeafId, NodeId, PathId, SpineId};
+
+/// The single event type of a fabric simulation.
+///
+/// `HostTimer` and `Global` are never produced or consumed by the fabric
+/// itself — they exist so higher layers (transport timers, flow arrivals,
+/// probe ticks) share one totally ordered queue with packet events.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A port finished serializing its in-flight packet.
+    TxDone { node: NodeId, port: usize },
+    /// A packet arrived at a node (after link propagation).
+    Arrive { node: NodeId, pkt: Box<Packet> },
+    /// Runtime-interpreted per-host timer (e.g. a flow's RTO).
+    HostTimer { host: HostId, token: u64 },
+    /// Runtime-interpreted global timer (flow arrivals, probe ticks, …).
+    Global { token: u64 },
+}
+
+/// Fabric-wide counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FabricStats {
+    /// Packets destroyed by injected switch failures.
+    pub drops_failure: u64,
+    /// Packets dropped because no live path existed.
+    pub drops_disconnected: u64,
+    /// Edge-stamped paths that were invalid and had to be re-hashed
+    /// (should stay 0 — a nonzero value flags a scheme bug).
+    pub path_fallbacks: u64,
+    /// Packets delivered to destination hosts.
+    pub delivered: u64,
+}
+
+/// The simulated fabric.
+pub struct Fabric {
+    topo: Topology,
+    /// Host NIC uplink ports (host → leaf), indexed by host.
+    host_ports: Vec<Port>,
+    /// Leaf ports: `0..hosts_per_leaf` down to host slots, then
+    /// `hosts_per_leaf + s` up to spine `s` (None where cut).
+    leaf_ports: Vec<Vec<Option<Port>>>,
+    /// Spine ports: down to each leaf (None where cut).
+    spine_ports: Vec<Vec<Option<Port>>>,
+    /// Precomputed live path candidates per ordered leaf pair.
+    candidates: Vec<Vec<Vec<PathId>>>,
+    failures: Vec<SpineFailure>,
+    lb: Option<Box<dyn FabricLb>>,
+    rng: SimRng,
+    next_pkt_id: u64,
+    pub stats: FabricStats,
+}
+
+impl Fabric {
+    /// Build a fabric from a validated topology. `rng` drives failure
+    /// randomness only (so failure injection never perturbs workload or
+    /// load-balancer random streams).
+    pub fn new(topo: Topology, rng: SimRng) -> Fabric {
+        topo.validate();
+        let q = &topo.queue;
+        let mk = |link: crate::topology::LinkCfg| {
+            Port::new(link, q.ecn_threshold(link.rate_bps), q.buffer(link.rate_bps))
+        };
+        // Host NICs: deep buffer, no marking (marking lives in switches).
+        let host_ports = (0..topo.n_hosts())
+            .map(|_| Port::new(topo.host_link, u64::MAX, 8_000_000))
+            .collect();
+        let leaf_ports = (0..topo.n_leaves)
+            .map(|l| {
+                let mut v: Vec<Option<Port>> =
+                    (0..topo.hosts_per_leaf).map(|_| Some(mk(topo.host_link))).collect();
+                v.extend((0..topo.n_spines).map(|s| topo.up[l][s].map(mk)));
+                v
+            })
+            .collect();
+        let spine_ports = (0..topo.n_spines)
+            .map(|s| {
+                (0..topo.n_leaves)
+                    .map(|l| topo.up[l][s].map(mk))
+                    .collect()
+            })
+            .collect();
+        let candidates = (0..topo.n_leaves)
+            .map(|a| {
+                (0..topo.n_leaves)
+                    .map(|b| {
+                        if a == b {
+                            Vec::new()
+                        } else {
+                            topo.path_candidates(LeafId(a as u16), LeafId(b as u16))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Fabric {
+            failures: vec![SpineFailure::healthy(); topo.n_spines],
+            topo,
+            host_ports,
+            leaf_ports,
+            spine_ports,
+            candidates,
+            lb: None,
+            rng,
+            next_pkt_id: 0,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Install a switch-resident load balancer (CONGA/LetFlow/DRILL).
+    pub fn set_fabric_lb(&mut self, lb: Box<dyn FabricLb>) {
+        self.lb = Some(lb);
+    }
+
+    /// Inject a failure at a spine switch.
+    pub fn set_spine_failure(&mut self, spine: SpineId, f: SpineFailure) {
+        self.failures[spine.0 as usize] = f;
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Live paths from `src_leaf` to `dst_leaf` (empty iff same leaf or
+    /// disconnected).
+    pub fn candidates(&self, src_leaf: LeafId, dst_leaf: LeafId) -> &[PathId] {
+        &self.candidates[src_leaf.0 as usize][dst_leaf.0 as usize]
+    }
+
+    /// Queue occupancy (bytes, both priorities) of a leaf's uplink
+    /// toward a spine; 0 for cut links.
+    pub fn leaf_up_qbytes(&self, leaf: LeafId, spine: SpineId) -> u64 {
+        let idx = self.topo.hosts_per_leaf + spine.0 as usize;
+        self.leaf_ports[leaf.0 as usize][idx]
+            .as_ref()
+            .map_or(0, |p| p.queued_bytes())
+    }
+
+    /// Queue occupancy of a spine's downlink toward a leaf.
+    pub fn spine_down_qbytes(&self, spine: SpineId, leaf: LeafId) -> u64 {
+        self.spine_ports[spine.0 as usize][leaf.0 as usize]
+            .as_ref()
+            .map_or(0, |p| p.queued_bytes())
+    }
+
+    /// Per-port statistics of a leaf uplink.
+    pub fn leaf_up_stats(&self, leaf: LeafId, spine: SpineId) -> Option<crate::port::PortStats> {
+        let idx = self.topo.hosts_per_leaf + spine.0 as usize;
+        self.leaf_ports[leaf.0 as usize][idx].as_ref().map(|p| p.stats)
+    }
+
+    /// Sum of tail drops across every port in the fabric.
+    pub fn total_drops_full(&self) -> u64 {
+        let hp = self.host_ports.iter().map(|p| p.stats.drops_full).sum::<u64>();
+        let lp = self
+            .leaf_ports
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|p| p.stats.drops_full)
+            .sum::<u64>();
+        let sp = self
+            .spine_ports
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|p| p.stats.drops_full)
+            .sum::<u64>();
+        hp + lp + sp
+    }
+
+    /// Sum of CE marks across every port.
+    pub fn total_ecn_marks(&self) -> u64 {
+        let lp = self
+            .leaf_ports
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|p| p.stats.ecn_marks)
+            .sum::<u64>();
+        let sp = self
+            .spine_ports
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|p| p.stats.ecn_marks)
+            .sum::<u64>();
+        lp + sp
+    }
+
+    /// Hand a packet from a host to the fabric. Stamps id and departure
+    /// time, then queues it on the host NIC.
+    pub fn host_send(&mut self, q: &mut EventQueue<Event>, pkt: Packet) {
+        self.host_send_boxed(q, Box::new(pkt));
+    }
+
+    /// Like [`Fabric::host_send`], for callers that already boxed.
+    pub fn host_send_boxed(&mut self, q: &mut EventQueue<Event>, mut pkt: Box<Packet>) {
+        debug_assert!((pkt.src.0 as usize) < self.topo.n_hosts());
+        debug_assert!((pkt.dst.0 as usize) < self.topo.n_hosts());
+        debug_assert_ne!(pkt.src, pkt.dst, "loopback traffic is not modelled");
+        pkt.id = self.next_pkt_id;
+        self.next_pkt_id += 1;
+        pkt.sent_at = q.now();
+        if self.topo.host_leaf(pkt.src) == self.topo.host_leaf(pkt.dst) {
+            pkt.path = PathId::DIRECT;
+        }
+        let host = pkt.src;
+        let node = NodeId::Host(host);
+        let port = &mut self.host_ports[host.0 as usize];
+        if port.enqueue(pkt) == Enqueue::Queued {
+            Self::kick_port(q, node, 0, port);
+        }
+    }
+
+    /// Advance the fabric by one event. Returns the packet delivered to
+    /// a host, if this event completed a delivery.
+    ///
+    /// Panics on `HostTimer`/`Global` events — those belong to the
+    /// runtime layer and must be filtered out before reaching the fabric.
+    pub fn handle(&mut self, q: &mut EventQueue<Event>, ev: Event) -> Option<(HostId, Box<Packet>)> {
+        match ev {
+            Event::TxDone { node, port } => {
+                self.tx_done(q, node, port);
+                None
+            }
+            Event::Arrive { node, pkt } => match node {
+                NodeId::Host(h) => {
+                    debug_assert_eq!(pkt.dst, h, "packet delivered to wrong host");
+                    self.stats.delivered += 1;
+                    Some((h, pkt))
+                }
+                NodeId::Leaf(l) => {
+                    self.forward_leaf(q, l, pkt);
+                    None
+                }
+                NodeId::Spine(s) => {
+                    self.forward_spine(q, s, pkt);
+                    None
+                }
+            },
+            Event::HostTimer { .. } | Event::Global { .. } => {
+                panic!("runtime event leaked into the fabric")
+            }
+        }
+    }
+
+    fn port_mut(&mut self, node: NodeId, idx: usize) -> &mut Port {
+        match node {
+            NodeId::Host(h) => {
+                debug_assert_eq!(idx, 0);
+                &mut self.host_ports[h.0 as usize]
+            }
+            NodeId::Leaf(l) => self.leaf_ports[l.0 as usize][idx]
+                .as_mut()
+                .expect("event on cut leaf port"),
+            NodeId::Spine(s) => self.spine_ports[s.0 as usize][idx]
+                .as_mut()
+                .expect("event on cut spine port"),
+        }
+    }
+
+    /// Where a packet leaving (node, port) arrives.
+    fn peer(&self, node: NodeId, idx: usize) -> NodeId {
+        match node {
+            NodeId::Host(h) => NodeId::Leaf(self.topo.host_leaf(h)),
+            NodeId::Leaf(l) => {
+                if idx < self.topo.hosts_per_leaf {
+                    NodeId::Host(HostId(
+                        (l.0 as usize * self.topo.hosts_per_leaf + idx) as u32,
+                    ))
+                } else {
+                    NodeId::Spine(SpineId((idx - self.topo.hosts_per_leaf) as u16))
+                }
+            }
+            NodeId::Spine(_) => NodeId::Leaf(LeafId(idx as u16)),
+        }
+    }
+
+    fn tx_done(&mut self, q: &mut EventQueue<Event>, node: NodeId, idx: usize) {
+        let peer = self.peer(node, idx);
+        let port = self.port_mut(node, idx);
+        let pkt = port.complete_tx();
+        let delay = port.link.delay;
+        // Start the next packet back-to-back.
+        Self::kick_port(q, node, idx, port);
+        q.schedule_in(delay, Event::Arrive { node: peer, pkt });
+    }
+
+    fn kick_port(q: &mut EventQueue<Event>, node: NodeId, idx: usize, port: &mut Port) {
+        if let Some(t) = port.begin_tx() {
+            q.schedule_in(t, Event::TxDone { node, port: idx });
+        }
+    }
+
+    fn forward_leaf(&mut self, q: &mut EventQueue<Event>, l: LeafId, mut pkt: Box<Packet>) {
+        let dst_leaf = self.topo.host_leaf(pkt.dst);
+        let src_leaf = self.topo.host_leaf(pkt.src);
+        if dst_leaf == l {
+            // Down toward the host (either intra-rack or from a spine).
+            if src_leaf != l {
+                if let Some(lb) = self.lb.as_mut() {
+                    lb.on_dst_leaf(l, &mut pkt, q.now());
+                }
+            }
+            let slot = self.topo.host_slot(pkt.dst);
+            if let Some(lb) = self.lb.as_mut() {
+                lb.on_forward(LinkRef::HostDown { leaf: l }, &mut pkt, q.now());
+            }
+            let node = NodeId::Leaf(l);
+            let port = self.leaf_ports[l.0 as usize][slot].as_mut().unwrap();
+            if port.enqueue(pkt) == Enqueue::Queued {
+                Self::kick_port(q, node, slot, port);
+            }
+            return;
+        }
+        // Uplink required: this must be the source leaf.
+        debug_assert_eq!(src_leaf, l, "transit through a second leaf is impossible");
+        let cands = &self.candidates[l.0 as usize][dst_leaf.0 as usize];
+        if cands.is_empty() {
+            self.stats.drops_disconnected += 1;
+            return;
+        }
+        let path = if let Some(lb) = self.lb.as_mut() {
+            let qbytes: Vec<u64> = cands
+                .iter()
+                .map(|p| {
+                    let idx = self.topo.hosts_per_leaf + p.0 as usize;
+                    self.leaf_ports[l.0 as usize][idx]
+                        .as_ref()
+                        .map_or(0, |port| port.queued_bytes())
+                })
+                .collect();
+            lb.ingress_select(l, dst_leaf, &pkt, cands, &qbytes, q.now(), &mut self.rng)
+        } else if cands.contains(&pkt.path) {
+            pkt.path
+        } else {
+            // Edge scheme stamped a dead/unset path: deterministic hash.
+            self.stats.path_fallbacks += 1;
+            cands[(pkt.flow.0 as usize) % cands.len()]
+        };
+        debug_assert!(cands.contains(&path), "fabric LB chose a dead path");
+        pkt.path = path;
+        pkt.meta.lb_tag = path.0;
+        let spine = path.0;
+        if let Some(lb) = self.lb.as_mut() {
+            lb.on_forward(LinkRef::Up { leaf: l, spine }, &mut pkt, q.now());
+        }
+        let idx = self.topo.hosts_per_leaf + spine as usize;
+        let node = NodeId::Leaf(l);
+        let port = self.leaf_ports[l.0 as usize][idx].as_mut().unwrap();
+        if port.enqueue(pkt) == Enqueue::Queued {
+            Self::kick_port(q, node, idx, port);
+        }
+    }
+
+    fn forward_spine(&mut self, q: &mut EventQueue<Event>, s: SpineId, mut pkt: Box<Packet>) {
+        let f = self.failures[s.0 as usize];
+        if f.random_drop > 0.0 && self.rng.chance(f.random_drop) {
+            self.stats.drops_failure += 1;
+            return;
+        }
+        if let Some(bh) = f.blackhole {
+            let src_leaf = self.topo.host_leaf(pkt.src);
+            let dst_leaf = self.topo.host_leaf(pkt.dst);
+            if bh.matches(pkt.src, pkt.dst, src_leaf, dst_leaf) {
+                self.stats.drops_failure += 1;
+                return;
+            }
+        }
+        let dst_leaf = self.topo.host_leaf(pkt.dst);
+        let idx = dst_leaf.0 as usize;
+        if self.spine_ports[s.0 as usize][idx].is_none() {
+            self.stats.drops_disconnected += 1;
+            return;
+        }
+        if let Some(lb) = self.lb.as_mut() {
+            lb.on_forward(
+                LinkRef::Down {
+                    spine: s.0,
+                    leaf: dst_leaf,
+                },
+                &mut pkt,
+                q.now(),
+            );
+        }
+        let node = NodeId::Spine(s);
+        let port = self.spine_ports[s.0 as usize][idx].as_mut().unwrap();
+        if port.enqueue(pkt) == Enqueue::Queued {
+            Self::kick_port(q, node, idx, port);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use crate::types::FlowId;
+    use hermes_sim::Time;
+
+    fn run_to_completion(
+        fab: &mut Fabric,
+        q: &mut EventQueue<Event>,
+    ) -> Vec<(Time, HostId, Box<Packet>)> {
+        let mut out = Vec::new();
+        while let Some((t, ev)) = q.pop() {
+            if let Some((h, p)) = fab.handle(q, ev) {
+                out.push((t, h, p));
+            }
+        }
+        out
+    }
+
+    fn send_data(fab: &mut Fabric, q: &mut EventQueue<Event>, src: u32, dst: u32, path: PathId) {
+        let mut p = Packet::data(FlowId(1), HostId(src), HostId(dst), 0, 1460, false);
+        p.path = path;
+        fab.host_send(q, p);
+    }
+
+    #[test]
+    fn delivers_inter_rack_packet_with_expected_latency() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        let mut q = EventQueue::new();
+        send_data(&mut fab, &mut q, 0, 6, PathId(0));
+        let out = run_to_completion(&mut fab, &mut q);
+        assert_eq!(out.len(), 1);
+        let (t, h, p) = &out[0];
+        assert_eq!(*h, HostId(6));
+        assert_eq!(p.path, PathId(0));
+        // 4 store-and-forward hops of 1500B at 1G (12us) + 4 × 3us prop.
+        assert_eq!(*t, Time::from_us(4 * 12 + 4 * 3));
+        assert_eq!(fab.stats.delivered, 1);
+    }
+
+    #[test]
+    fn delivers_intra_rack_directly() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        let mut q = EventQueue::new();
+        send_data(&mut fab, &mut q, 0, 1, PathId::UNSET);
+        let out = run_to_completion(&mut fab, &mut q);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].2.path, PathId::DIRECT);
+        // host→leaf→host: 2 hops.
+        assert_eq!(out[0].0, Time::from_us(2 * 12 + 2 * 3));
+    }
+
+    #[test]
+    fn dead_path_falls_back_and_is_counted() {
+        let mut topo = Topology::testbed();
+        topo.cut_link(LeafId(0), SpineId(1));
+        let mut fab = Fabric::new(topo, SimRng::new(0));
+        let mut q = EventQueue::new();
+        send_data(&mut fab, &mut q, 0, 6, PathId(1)); // stamped dead path
+        let out = run_to_completion(&mut fab, &mut q);
+        assert_eq!(out.len(), 1, "packet must be re-hashed onto live path");
+        // Live candidates are {0, 2, 3}; flow 1 hashes to index 1 → s2.
+        assert_eq!(out[0].2.path, PathId(2));
+        assert_eq!(fab.stats.path_fallbacks, 1);
+    }
+
+    #[test]
+    fn random_drop_failure_kills_packets() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(7));
+        fab.set_spine_failure(SpineId(0), SpineFailure::random_drops(1.0));
+        let mut q = EventQueue::new();
+        send_data(&mut fab, &mut q, 0, 6, PathId(0));
+        let out = run_to_completion(&mut fab, &mut q);
+        assert!(out.is_empty());
+        assert_eq!(fab.stats.drops_failure, 1);
+    }
+
+    #[test]
+    fn blackhole_drops_matching_pairs_only() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(7));
+        fab.set_spine_failure(
+            SpineId(0),
+            SpineFailure::blackhole(LeafId(0), LeafId(1), 1.0),
+        );
+        let mut q = EventQueue::new();
+        // Forward direction through failed spine: dropped.
+        send_data(&mut fab, &mut q, 0, 6, PathId(0));
+        // Forward direction through healthy spine: delivered.
+        send_data(&mut fab, &mut q, 0, 7, PathId(1));
+        // Reverse direction through failed spine: delivered (directional).
+        send_data(&mut fab, &mut q, 6, 0, PathId(0));
+        let out = run_to_completion(&mut fab, &mut q);
+        assert_eq!(out.len(), 2);
+        assert_eq!(fab.stats.drops_failure, 1);
+    }
+
+    #[test]
+    fn serialization_orders_back_to_back_packets() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        let mut q = EventQueue::new();
+        for i in 0..3 {
+            let mut p = Packet::data(FlowId(1), HostId(0), HostId(6), i * 1460, 1460, false);
+            p.path = PathId(0);
+            fab.host_send(&mut q, p);
+        }
+        let out = run_to_completion(&mut fab, &mut q);
+        assert_eq!(out.len(), 3);
+        // Pipelined: one extra serialization per additional packet.
+        let base = Time::from_us(4 * 12 + 4 * 3);
+        assert_eq!(out[0].0, base);
+        assert_eq!(out[1].0, base + Time::from_us(12));
+        assert_eq!(out[2].0, base + Time::from_us(24));
+        // In-order delivery on a single path.
+        for (i, (_, _, p)) in out.iter().enumerate() {
+            match p.kind {
+                PacketKind::Data { seq, .. } => assert_eq!(seq, i as u64 * 1460),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn ecn_marked_under_persistent_queue() {
+        // Saturate one uplink: many packets into a 1G leaf port whose
+        // threshold is 30 KB → later packets get marked.
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        let mut q = EventQueue::new();
+        for i in 0..60 {
+            let mut p = Packet::data(FlowId(1), HostId(0), HostId(6), i * 1460, 1460, false);
+            p.path = PathId(0);
+            fab.host_send(&mut q, p);
+        }
+        let out = run_to_completion(&mut fab, &mut q);
+        assert_eq!(out.len(), 60);
+        // Host NIC and leaf uplink have equal rates, so queue builds at
+        // the host NIC (unmarked) — but the burst arrives paced at the
+        // leaf. To see marking we need convergence: two hosts into one
+        // uplink.
+        let marked = out.iter().filter(|(_, _, p)| p.ecn_marked).count();
+        let _ = marked; // may be zero here; real check below.
+
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        let mut q = EventQueue::new();
+        for h in [0u32, 1] {
+            for i in 0..40 {
+                let mut p =
+                    Packet::data(FlowId(h as u64), HostId(h), HostId(6), i * 1460, 1460, false);
+                p.path = PathId(0);
+                fab.host_send(&mut q, p);
+            }
+        }
+        let out = run_to_completion(&mut fab, &mut q);
+        assert_eq!(out.len(), 80);
+        assert!(
+            out.iter().any(|(_, _, p)| p.ecn_marked),
+            "2:1 convergence on a 30KB-threshold port must mark"
+        );
+        assert!(fab.total_ecn_marks() > 0);
+    }
+
+    #[test]
+    fn qbytes_introspection() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        let mut q = EventQueue::new();
+        assert_eq!(fab.leaf_up_qbytes(LeafId(0), SpineId(0)), 0);
+        for h in [0u32, 1, 2] {
+            for i in 0..20 {
+                let mut p =
+                    Packet::data(FlowId(h as u64), HostId(h), HostId(6), i * 1460, 1460, false);
+                p.path = PathId(0);
+                fab.host_send(&mut q, p);
+            }
+        }
+        // Step events until the leaf uplink has queue.
+        let mut saw_queue = false;
+        while let Some((_, ev)) = q.pop() {
+            fab.handle(&mut q, ev);
+            if fab.leaf_up_qbytes(LeafId(0), SpineId(0)) > 0 {
+                saw_queue = true;
+            }
+        }
+        assert!(saw_queue, "3:1 convergence must build uplink queue");
+    }
+}

@@ -1,0 +1,270 @@
+//! The simulated packet.
+
+use hermes_sim::Time;
+
+use crate::types::{FlowId, HostId, PathId, Priority};
+
+/// Standard maximum segment size used by all transports (bytes of payload).
+pub const MSS: u32 = 1460;
+/// Wire size of a full data packet (payload + 40 B of headers).
+pub const HDR: u32 = 40;
+/// Wire size of a pure ACK.
+pub const ACK_SIZE: u32 = 40;
+/// Wire size of a probe packet (§3.1.3: "a probe packet is typically 64 bytes").
+pub const PROBE_SIZE: u32 = 64;
+
+/// What a packet is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// TCP/DCTCP data segment. `seq` is the first payload byte,
+    /// `len` the payload length; `retx` marks retransmissions
+    /// (excluded from RTT sampling, Karn's rule).
+    Data { seq: u64, len: u32, retx: bool },
+    /// Cumulative ACK: `ack` is the next expected byte. `ecn_echo`
+    /// reflects whether the ACKed data packet was CE-marked (per-packet
+    /// echo, DCTCP-style). `echo_ts`/`echo_path` echo the data packet's
+    /// departure timestamp and path for exact RTT and per-path
+    /// attribution at the sender; `echo_retx` marks ACKs triggered by a
+    /// retransmitted segment (no RTT sample — Karn's rule).
+    Ack {
+        ack: u64,
+        ecn_echo: bool,
+        echo_ts: Time,
+        echo_path: PathId,
+        echo_retx: bool,
+    },
+    /// Hermes probe request (low priority, experiences data queueing).
+    ProbeReq,
+    /// Hermes probe response (high priority). `req_ecn` echoes whether
+    /// the request was CE-marked on the forward path; `echo_ts` echoes
+    /// the request's departure time.
+    ProbeResp { req_ecn: bool, echo_ts: Time },
+    /// Unreliable constant-rate traffic (used by the Fig. 2 experiment).
+    Udp,
+}
+
+/// CONGA-style in-band metadata, carried by every packet.
+///
+/// `lb_tag`/`ce` describe the *forward* direction (which uplink the source
+/// leaf chose and the max congestion metric seen along the path so far);
+/// `fb_*` piggyback one feedback entry for the reverse direction.
+/// Schemes that don't use it leave it at `default()`; the fields cost a
+/// few bytes per simulated packet and keep the fabric hooks monomorphic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LbMeta {
+    /// Uplink (spine) chosen at the source leaf.
+    pub lb_tag: u16,
+    /// Max link congestion (DRE output, normalized 0..=1) along the path.
+    pub ce: f32,
+    /// Piggybacked feedback: congestion of `fb_tag` from the packet's
+    /// source leaf toward its destination leaf, valid if `fb_valid`.
+    pub fb_tag: u16,
+    pub fb_ce: f32,
+    pub fb_valid: bool,
+}
+
+/// A packet in flight or queued.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Unique per-simulation packet id (diagnostics only).
+    pub id: u64,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    pub src: HostId,
+    pub dst: HostId,
+    /// Total wire size in bytes (headers included).
+    pub size: u32,
+    pub kind: PacketKind,
+    /// Whether the packet may be CE-marked (data of ECN transports, probes).
+    pub ecn_capable: bool,
+    /// CE mark accumulated at congested queues.
+    pub ecn_marked: bool,
+    /// Explicit route: the spine to cross ([`PathId::DIRECT`] intra-rack).
+    pub path: PathId,
+    pub prio: Priority,
+    /// Departure time from the sending host (set by the fabric on first
+    /// enqueue; used for probe/data RTT echoes).
+    pub sent_at: Time,
+    /// CONGA-style metadata.
+    pub meta: LbMeta,
+}
+
+impl Packet {
+    /// A data segment of `len` payload bytes.
+    pub fn data(flow: FlowId, src: HostId, dst: HostId, seq: u64, len: u32, retx: bool) -> Packet {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            size: len + HDR,
+            kind: PacketKind::Data { seq, len, retx },
+            ecn_capable: true,
+            ecn_marked: false,
+            path: PathId::UNSET,
+            prio: Priority::Low,
+            sent_at: Time::ZERO,
+            meta: LbMeta::default(),
+        }
+    }
+
+    /// A pure cumulative ACK for `ack`, echoing the data packet's mark,
+    /// timestamp and path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ack(
+        flow: FlowId,
+        src: HostId,
+        dst: HostId,
+        ack: u64,
+        ecn_echo: bool,
+        echo_ts: Time,
+        echo_path: PathId,
+        echo_retx: bool,
+    ) -> Packet {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            size: ACK_SIZE,
+            kind: PacketKind::Ack {
+                ack,
+                ecn_echo,
+                echo_ts,
+                echo_path,
+                echo_retx,
+            },
+            ecn_capable: false,
+            ecn_marked: false,
+            path: PathId::UNSET,
+            prio: Priority::High,
+            sent_at: Time::ZERO,
+            meta: LbMeta::default(),
+        }
+    }
+
+    /// A probe request on an explicit path.
+    pub fn probe_req(flow: FlowId, src: HostId, dst: HostId, path: PathId) -> Packet {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            size: PROBE_SIZE,
+            kind: PacketKind::ProbeReq,
+            ecn_capable: true,
+            ecn_marked: false,
+            path,
+            prio: Priority::Low,
+            sent_at: Time::ZERO,
+            meta: LbMeta::default(),
+        }
+    }
+
+    /// The response to a probe request, sent back on the same path.
+    pub fn probe_resp(req: &Packet) -> Packet {
+        Packet {
+            id: 0,
+            flow: req.flow,
+            src: req.dst,
+            dst: req.src,
+            size: PROBE_SIZE,
+            kind: PacketKind::ProbeResp {
+                req_ecn: req.ecn_marked,
+                echo_ts: req.sent_at,
+            },
+            ecn_capable: false,
+            ecn_marked: false,
+            path: req.path,
+            prio: Priority::High,
+            sent_at: Time::ZERO,
+            meta: LbMeta::default(),
+        }
+    }
+
+    /// A UDP datagram of `len` payload bytes on an explicit path.
+    pub fn udp(flow: FlowId, src: HostId, dst: HostId, len: u32, path: PathId) -> Packet {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            size: len + HDR,
+            kind: PacketKind::Udp,
+            ecn_capable: false,
+            ecn_marked: false,
+            path,
+            prio: Priority::Low,
+            sent_at: Time::ZERO,
+            meta: LbMeta::default(),
+        }
+    }
+
+    /// Whether this is a data segment (any transport payload).
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SpineId;
+
+    fn ids() -> (FlowId, HostId, HostId) {
+        (FlowId(1), HostId(0), HostId(9))
+    }
+
+    #[test]
+    fn data_packet_shape() {
+        let (f, s, d) = ids();
+        let p = Packet::data(f, s, d, 1460, 1460, false);
+        assert_eq!(p.size, 1500);
+        assert!(p.ecn_capable && !p.ecn_marked);
+        assert_eq!(p.prio, Priority::Low);
+        assert!(p.is_data());
+    }
+
+    #[test]
+    fn ack_packet_shape() {
+        let (f, s, d) = ids();
+        let p = Packet::ack(f, d, s, 2920, true, Time::from_us(5), PathId::via(SpineId(1)), false);
+        assert_eq!(p.size, ACK_SIZE);
+        assert_eq!(p.prio, Priority::High);
+        assert!(!p.ecn_capable);
+        match p.kind {
+            PacketKind::Ack { ack, ecn_echo, echo_path, .. } => {
+                assert_eq!(ack, 2920);
+                assert!(ecn_echo);
+                assert_eq!(echo_path, PathId::via(SpineId(1)));
+            }
+            _ => panic!("not an ack"),
+        }
+    }
+
+    #[test]
+    fn probe_resp_echoes_request() {
+        let (f, s, d) = ids();
+        let mut req = Packet::probe_req(f, s, d, PathId::via(SpineId(2)));
+        req.ecn_marked = true;
+        req.sent_at = Time::from_us(100);
+        let resp = Packet::probe_resp(&req);
+        assert_eq!(resp.src, d);
+        assert_eq!(resp.dst, s);
+        assert_eq!(resp.path, PathId::via(SpineId(2)));
+        assert_eq!(resp.prio, Priority::High);
+        match resp.kind {
+            PacketKind::ProbeResp { req_ecn, echo_ts } => {
+                assert!(req_ecn);
+                assert_eq!(echo_ts, Time::from_us(100));
+            }
+            _ => panic!("not a probe resp"),
+        }
+    }
+
+    #[test]
+    fn probes_are_64_bytes() {
+        let (f, s, d) = ids();
+        assert_eq!(Packet::probe_req(f, s, d, PathId::UNSET).size, 64);
+    }
+}

@@ -1,0 +1,841 @@
+//! The full-stack simulation: fabric + transports + load balancer +
+//! workload, driven off one deterministic event queue.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+
+/// Flow ids are unique u64s already; hashing them through SipHash on
+/// every packet is pure overhead. A multiplicative mix is enough.
+#[derive(Default)]
+struct FlowIdHasher(u64);
+
+impl Hasher for FlowIdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("flow keys are u64");
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type FlowMap = HashMap<u64, FlowRt, BuildHasherDefault<FlowIdHasher>>;
+
+use hermes_sim::{EventQueue, SimRng, Time};
+use hermes_core::{Hermes, RackSensing};
+use hermes_lb::{CloveEcn, Conga, Drill, Ecmp, FlowBender, LetFlow, PrestoSpray, RoundRobinSpray};
+use hermes_net::{
+    Dre, EdgeLb, Event, Fabric, FlowCtx, FlowId, HostId, LeafId, Packet, PacketKind, PathId,
+    SpineFailure, SpineId,
+};
+use hermes_transport::{RecvAction, Receiver, SendAction, Sender};
+use hermes_workload::{FlowRecord, FlowSpec, VisibilityTracker};
+
+use crate::config::{presto_weights_for, Scheme, SimConfig};
+
+// ---- timer token packing: kind(3) | id(40) | gen(21) ----
+const KIND_RTO: u64 = 0;
+const KIND_HOLD: u64 = 1;
+const TOK_ARRIVAL: u64 = 2;
+const TOK_PROBE: u64 = 3;
+const KIND_SAMPLER: u64 = 4;
+const KIND_UDP: u64 = 5;
+const GEN_MASK: u64 = (1 << 21) - 1;
+
+fn pack(kind: u64, id: u64, gen: u64) -> u64 {
+    debug_assert!(id < (1 << 40));
+    kind | (id << 3) | ((gen & GEN_MASK) << 43)
+}
+
+fn unpack(tok: u64) -> (u64, u64, u64) {
+    (tok & 7, (tok >> 3) & ((1 << 40) - 1), tok >> 43)
+}
+
+/// Flow ids at or above this are probe pseudo-flows.
+const PROBE_FLOW_BASE: u64 = 1 << 60;
+/// Flow ids at or above this (and below probes) are UDP sources.
+const UDP_FLOW_BASE: u64 = 1 << 59;
+
+/// What a queue/progress sampler measures.
+#[derive(Clone, Copy, Debug)]
+pub enum Probe {
+    /// Queued bytes on a leaf→spine uplink.
+    LeafUpQueue(LeafId, SpineId),
+    /// Queued bytes on a spine→leaf downlink.
+    SpineDownQueue(SpineId, LeafId),
+    /// Payload bytes delivered so far to a flow's receiver (TCP or UDP).
+    FlowDelivered(FlowId),
+}
+
+struct SamplerRt {
+    interval: Time,
+    probe: Probe,
+    series: Vec<(Time, u64)>,
+}
+
+struct UdpRt {
+    flow: FlowId,
+    src: HostId,
+    dst: HostId,
+    path: Option<PathId>,
+    len: u32,
+    interval: Time,
+    received: u64,
+}
+
+struct FlowRt {
+    id: FlowId,
+    src: HostId,
+    dst: HostId,
+    src_leaf: LeafId,
+    dst_leaf: LeafId,
+    sender: Sender,
+    receiver: Receiver,
+    current_path: PathId,
+    ack_path: PathId,
+    /// Path to blame for retransmissions of the current loss episode
+    /// (set at RTO time, cleared once new data flows again).
+    blame_path: PathId,
+    /// When the flow last switched paths (reorder-grace bookkeeping).
+    last_path_change: Time,
+    timed_out: bool,
+    bytes_routed: u64,
+    pkts_routed: u64,
+    rto_gen: u64,
+    hold_gen: u64,
+    rate: Dre,
+    rec_idx: usize,
+    sender_done: bool,
+}
+
+/// Aggregate runtime counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    pub events: u64,
+    pub flows_started: usize,
+    pub flows_completed: usize,
+    pub probes_sent: u64,
+    pub probe_responses: u64,
+    /// Mid-flow path changes across all flows (reroute churn).
+    pub path_changes: u64,
+    /// Data packets received out of order (reordering pressure),
+    /// harvested when flows retire.
+    pub ooo_packets: u64,
+}
+
+/// One experiment run.
+pub struct Simulation {
+    cfg: SimConfig,
+    q: EventQueue<Event>,
+    fabric: Fabric,
+    /// Per-host edge LB (None for switch-based schemes).
+    edge: Vec<Option<Box<dyn EdgeLb>>>,
+    /// Rack sensing handles when the scheme is Hermes.
+    hermes_racks: Vec<Rc<RefCell<RackSensing>>>,
+    probe_interval: Option<Time>,
+    rng_lb: SimRng,
+    flows: FlowMap,
+    udps: Vec<UdpRt>,
+    records: Vec<FlowRecord>,
+    pending: std::collections::VecDeque<FlowSpec>,
+    samplers: Vec<SamplerRt>,
+    visibility: VisibilityTracker,
+    probe_seq: u64,
+    /// Retransmissions within this window after a path change are
+    /// treated as reordering, not loss (no failure-detector signal).
+    reorder_grace: Time,
+    pub stats: SimStats,
+}
+
+impl Simulation {
+    pub fn new(cfg: SimConfig) -> Simulation {
+        let root = SimRng::new(cfg.seed);
+        let topo = cfg.topo.clone();
+        let n_hosts = topo.n_hosts();
+        let mut fabric = Fabric::new(topo.clone(), root.split(0xFA11));
+        let mut rng_lb = root.split(0x1B);
+        let mut hermes_racks = Vec::new();
+        let mut probe_interval = None;
+
+        let edge: Vec<Option<Box<dyn EdgeLb>>> = match &cfg.scheme {
+            Scheme::Ecmp => (0..n_hosts)
+                .map(|_| Some(Box::new(Ecmp::new()) as Box<dyn EdgeLb>))
+                .collect(),
+            Scheme::Drb => (0..n_hosts)
+                .map(|_| Some(Box::new(RoundRobinSpray::new()) as Box<dyn EdgeLb>))
+                .collect(),
+            Scheme::Presto { weighted } => (0..n_hosts)
+                .map(|h| {
+                    let lb: Box<dyn EdgeLb> = if *weighted {
+                        let leaf = topo.host_leaf(HostId(h as u32));
+                        Box::new(PrestoSpray::weighted(presto_weights_for(&topo, leaf)))
+                    } else {
+                        Box::new(PrestoSpray::equal())
+                    };
+                    Some(lb)
+                })
+                .collect(),
+            Scheme::FlowBender(fb) => (0..n_hosts)
+                .map(|_| Some(Box::new(FlowBender::new(*fb)) as Box<dyn EdgeLb>))
+                .collect(),
+            Scheme::Clove(cl) => (0..n_hosts)
+                .map(|_| Some(Box::new(CloveEcn::new(*cl)) as Box<dyn EdgeLb>))
+                .collect(),
+            Scheme::Hermes(params) => {
+                if params.enable_probing && params.probe_interval < Time::MAX {
+                    probe_interval = Some(params.probe_interval);
+                }
+                hermes_racks = (0..topo.n_leaves)
+                    .map(|l| RackSensing::shared(&topo, LeafId(l as u16), *params))
+                    .collect();
+                (0..n_hosts)
+                    .map(|h| {
+                        let host = HostId(h as u32);
+                        let leaf = topo.host_leaf(host);
+                        let is_agent = topo.leaf_agent(leaf) == host;
+                        let shared = Rc::clone(&hermes_racks[leaf.0 as usize]);
+                        Some(Box::new(Hermes::new(shared, is_agent)) as Box<dyn EdgeLb>)
+                    })
+                    .collect()
+            }
+            Scheme::LetFlow { flowlet_timeout } => {
+                fabric.set_fabric_lb(Box::new(LetFlow::new(*flowlet_timeout)));
+                (0..n_hosts).map(|_| None).collect()
+            }
+            Scheme::Drill { samples } => {
+                fabric.set_fabric_lb(Box::new(Drill::new(*samples)));
+                (0..n_hosts).map(|_| None).collect()
+            }
+            Scheme::Conga(cc) => {
+                fabric.set_fabric_lb(Box::new(Conga::new(&topo, *cc)));
+                (0..n_hosts).map(|_| None).collect()
+            }
+        };
+
+        let mut q = EventQueue::new();
+        if let Some(iv) = probe_interval {
+            q.schedule(iv, Event::Global { token: TOK_PROBE });
+        }
+        // Decorrelate LB randomness from everything else.
+        let _ = rng_lb.u64();
+
+        let visibility = VisibilityTracker::with_linger(
+            topo.n_leaves,
+            topo.hosts_per_leaf,
+            topo.n_spines.max(1),
+            cfg.visibility_linger,
+        );
+        let reorder_grace = topo.base_rtt() * 3;
+        Simulation {
+            cfg,
+            q,
+            fabric,
+            edge,
+            hermes_racks,
+            probe_interval,
+            rng_lb,
+            flows: FlowMap::default(),
+            udps: Vec::new(),
+            records: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+            samplers: Vec::new(),
+            visibility,
+            probe_seq: 0,
+            reorder_grace,
+            stats: SimStats::default(),
+        }
+    }
+
+    // ---- experiment wiring ----------------------------------------
+
+    /// Inject a switch failure (before or during the run).
+    pub fn set_spine_failure(&mut self, spine: SpineId, f: SpineFailure) {
+        self.fabric.set_spine_failure(spine, f);
+    }
+
+    /// Schedule a TCP flow.
+    pub fn add_flow(&mut self, spec: FlowSpec) {
+        assert!(spec.start >= self.q.now(), "flow arrival in the past");
+        assert!(spec.id.0 < UDP_FLOW_BASE, "flow id collides with pseudo-flows");
+        self.pending.push_back(spec);
+        self.q.schedule(spec.start, Event::Global { token: TOK_ARRIVAL });
+    }
+
+    /// Schedule a whole workload.
+    pub fn add_flows(&mut self, specs: impl IntoIterator<Item = FlowSpec>) {
+        for s in specs {
+            self.add_flow(s);
+        }
+    }
+
+    /// Add a constant-rate UDP source (Fig. 2's competitor). Returns its
+    /// pseudo-flow id. `path = None` lets the fabric LB route it.
+    pub fn add_udp(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        rate_bps: u64,
+        pkt_len: u32,
+        path: Option<PathId>,
+        start: Time,
+    ) -> FlowId {
+        let idx = self.udps.len();
+        let flow = FlowId(UDP_FLOW_BASE + idx as u64);
+        let interval = Time::tx_time((pkt_len + hermes_net::HDR) as u64, rate_bps);
+        self.udps.push(UdpRt {
+            flow,
+            src,
+            dst,
+            path,
+            len: pkt_len,
+            interval,
+            received: 0,
+        });
+        self.q.schedule(
+            start.max(self.q.now()),
+            Event::Global {
+                token: pack(KIND_UDP, idx as u64, 0),
+            },
+        );
+        flow
+    }
+
+    /// Register a periodic sampler; returns its index.
+    pub fn add_sampler(&mut self, interval: Time, probe: Probe) -> usize {
+        let idx = self.samplers.len();
+        self.samplers.push(SamplerRt {
+            interval,
+            probe,
+            series: Vec::new(),
+        });
+        self.q.schedule_in(
+            interval,
+            Event::Global {
+                token: pack(KIND_SAMPLER, idx as u64, 0),
+            },
+        );
+        idx
+    }
+
+    /// A sampler's recorded series.
+    pub fn sampler_series(&self, idx: usize) -> &[(Time, u64)] {
+        &self.samplers[idx].series
+    }
+
+    // ---- accessors -------------------------------------------------
+
+    pub fn now(&self) -> Time {
+        self.q.now()
+    }
+
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    pub fn records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+
+    /// Rack sensing tables (Hermes runs only).
+    pub fn hermes_racks(&self) -> &[Rc<RefCell<RackSensing>>] {
+        &self.hermes_racks
+    }
+
+    /// Table 2 visibility metrics `(switch_pair, host_pair)`.
+    pub fn visibility(&mut self) -> (f64, f64) {
+        let now = self.q.now();
+        (
+            self.visibility.switch_pair_visibility(now),
+            self.visibility.host_pair_visibility(now),
+        )
+    }
+
+    /// Bytes received by a UDP pseudo-flow.
+    pub fn udp_received(&self, flow: FlowId) -> u64 {
+        self.udps[(flow.0 - UDP_FLOW_BASE) as usize].received
+    }
+
+    // ---- run loop --------------------------------------------------
+
+    /// Run until the horizon (absolute simulated time).
+    pub fn run_until(&mut self, horizon: Time) {
+        while let Some(t) = self.q.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (_, ev) = self.q.pop().unwrap();
+            self.dispatch(ev);
+        }
+    }
+
+    /// Run until every scheduled TCP flow completed (receiver-side) or
+    /// the horizon passes, whichever is first.
+    pub fn run_to_completion(&mut self, horizon: Time) {
+        while let Some(t) = self.q.peek_time() {
+            if t > horizon {
+                break;
+            }
+            if self.pending.is_empty()
+                && self.stats.flows_started > 0
+                && self.stats.flows_completed == self.stats.flows_started
+            {
+                break;
+            }
+            let (_, ev) = self.q.pop().unwrap();
+            self.dispatch(ev);
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        self.stats.events += 1;
+        match ev {
+            Event::HostTimer { host: _, token } => self.on_timer(token),
+            Event::Global { token } => self.on_global(token),
+            other => {
+                if let Some((host, pkt)) = self.fabric.handle(&mut self.q, other) {
+                    self.on_deliver(host, pkt);
+                }
+            }
+        }
+    }
+
+    fn on_global(&mut self, token: u64) {
+        match token {
+            TOK_ARRIVAL => {
+                let spec = self.pending.pop_front().expect("arrival without spec");
+                self.start_flow(spec);
+            }
+            TOK_PROBE => {
+                self.send_probes();
+                let iv = self.probe_interval.expect("probe tick without interval");
+                self.q.schedule_in(iv, Event::Global { token: TOK_PROBE });
+            }
+            other => {
+                let (kind, id, _) = unpack(other);
+                match kind {
+                    KIND_SAMPLER => self.on_sampler(id as usize),
+                    KIND_UDP => self.on_udp_tick(id as usize),
+                    _ => unreachable!("bad global token {other}"),
+                }
+            }
+        }
+    }
+
+    fn on_sampler(&mut self, idx: usize) {
+        let now = self.q.now();
+        let value = match self.samplers[idx].probe {
+            Probe::LeafUpQueue(l, s) => self.fabric.leaf_up_qbytes(l, s),
+            Probe::SpineDownQueue(s, l) => self.fabric.spine_down_qbytes(s, l),
+            Probe::FlowDelivered(f) => {
+                if f.0 >= UDP_FLOW_BASE && f.0 < PROBE_FLOW_BASE {
+                    self.udps[(f.0 - UDP_FLOW_BASE) as usize].received
+                } else {
+                    self.flows.get(&f.0).map_or_else(
+                        || {
+                            // Finished flows delivered everything.
+                            self.records
+                                .iter()
+                                .find(|r| r.id == f)
+                                .map_or(0, |r| if r.finish.is_some() { r.size } else { 0 })
+                        },
+                        |fl| fl.receiver.rcv_nxt(),
+                    )
+                }
+            }
+        };
+        self.samplers[idx].series.push((now, value));
+        let iv = self.samplers[idx].interval;
+        self.q.schedule_in(
+            iv,
+            Event::Global {
+                token: pack(KIND_SAMPLER, idx as u64, 0),
+            },
+        );
+    }
+
+    fn on_udp_tick(&mut self, idx: usize) {
+        let u = &self.udps[idx];
+        let (flow, src, dst, len, path, iv) =
+            (u.flow, u.src, u.dst, u.len, u.path, u.interval);
+        let mut pkt = Packet::udp(flow, src, dst, len, path.unwrap_or(PathId::UNSET));
+        if path.is_none() {
+            pkt.path = PathId::UNSET;
+        }
+        self.fabric.host_send(&mut self.q, pkt);
+        self.q.schedule_in(
+            iv,
+            Event::Global {
+                token: pack(KIND_UDP, idx as u64, 0),
+            },
+        );
+    }
+
+    fn start_flow(&mut self, spec: FlowSpec) {
+        let now = self.q.now();
+        let topo = self.fabric.topology();
+        let src_leaf = topo.host_leaf(spec.src);
+        let dst_leaf = topo.host_leaf(spec.dst);
+        let rec_idx = self.records.len();
+        self.records.push(FlowRecord {
+            id: spec.id,
+            src: spec.src,
+            dst: spec.dst,
+            size: spec.size,
+            start: now,
+            finish: None,
+        });
+        self.visibility
+            .flow_started(spec.id, spec.src, spec.dst, src_leaf, dst_leaf, now);
+        let ack_path = if src_leaf != dst_leaf {
+            let rev = self.fabric.candidates(dst_leaf, src_leaf);
+            if rev.is_empty() {
+                PathId::UNSET
+            } else {
+                rev[(spec.id.0 % rev.len() as u64) as usize]
+            }
+        } else {
+            PathId::DIRECT
+        };
+        let hold = self.cfg.effective_reorder_hold();
+        let mut f = FlowRt {
+            id: spec.id,
+            src: spec.src,
+            dst: spec.dst,
+            src_leaf,
+            dst_leaf,
+            sender: Sender::new(self.cfg.transport, spec.size),
+            receiver: Receiver::new(spec.size, hold, self.cfg.transport.dupack_thresh),
+            current_path: PathId::UNSET,
+            ack_path,
+            blame_path: PathId::UNSET,
+            last_path_change: Time::ZERO,
+            timed_out: false,
+            bytes_routed: 0,
+            pkts_routed: 0,
+            rto_gen: 0,
+            hold_gen: 0,
+            rate: Dre::default_horizon(),
+            rec_idx,
+            sender_done: false,
+        };
+        self.stats.flows_started += 1;
+        let mut buf = Vec::new();
+        f.sender.start(now, &mut buf);
+        self.flows.insert(spec.id.0, f);
+        self.process_send_actions(spec.id.0, buf);
+    }
+
+    fn make_ctx(f: &mut FlowRt, now: Time) -> FlowCtx {
+        FlowCtx {
+            flow: f.id,
+            src: f.src,
+            dst: f.dst,
+            src_leaf: f.src_leaf,
+            dst_leaf: f.dst_leaf,
+            bytes_sent: f.bytes_routed,
+            rate_bps: f.rate.rate_bps(now),
+            current_path: f.current_path,
+            is_new: f.pkts_routed == 0,
+            timed_out: f.timed_out,
+            since_change: if f.last_path_change == Time::ZERO {
+                Time::MAX
+            } else {
+                now.saturating_sub(f.last_path_change)
+            },
+        }
+    }
+
+    fn process_send_actions(&mut self, fid: u64, actions: Vec<SendAction>) {
+        let now = self.q.now();
+        for a in actions {
+            match a {
+                SendAction::Tx { seq, len, retx } => {
+                    let Some(f) = self.flows.get_mut(&fid) else {
+                        continue;
+                    };
+                    let inter_rack = f.src_leaf != f.dst_leaf;
+                    // The path the flow was on when the loss (if any)
+                    // happened — retransmissions are evidence against
+                    // *that* path, not whatever path the flow evacuates
+                    // to (otherwise one blackhole would poison every
+                    // path the flow flees across).
+                    let loss_path = f.current_path;
+                    let path = if !inter_rack {
+                        PathId::DIRECT
+                    } else if let Some(lb) = self.edge[f.src.0 as usize].as_mut() {
+                        let ctx = Self::make_ctx(f, now);
+                        let cands = self.fabric.candidates(f.src_leaf, f.dst_leaf);
+                        debug_assert!(!cands.is_empty(), "disconnected racks");
+                        lb.select_path(&ctx, cands, now, &mut self.rng_lb)
+                    } else {
+                        PathId::UNSET // switch-based scheme decides at the leaf
+                    };
+                    f.timed_out = false;
+                    if path != loss_path && loss_path.is_spine() && path.is_spine() {
+                        f.last_path_change = now;
+                        self.stats.path_changes += 1;
+                    }
+                    f.current_path = path;
+                    f.bytes_routed += len as u64;
+                    f.pkts_routed += 1;
+                    f.rate.add(len as u64, now);
+                    if !retx {
+                        // New data: the loss episode (if any) is over.
+                        f.blame_path = PathId::UNSET;
+                    }
+                    if inter_rack {
+                        if let Some(lb) = self.edge[f.src.0 as usize].as_mut() {
+                            let ctx = Self::make_ctx(f, now);
+                            if retx {
+                                // Blame order: an RTO episode blames the
+                                // path it timed out on; a fast retransmit
+                                // shortly after a path change is almost
+                                // surely *reordering*, not loss, and is
+                                // not reported; anything else blames the
+                                // pre-selection path.
+                                let blame = if f.blame_path.is_spine() {
+                                    Some(f.blame_path)
+                                } else if now.saturating_sub(f.last_path_change)
+                                    <= self.reorder_grace
+                                {
+                                    None
+                                } else if loss_path.is_spine() {
+                                    Some(loss_path)
+                                } else {
+                                    Some(path)
+                                };
+                                if let Some(b) = blame {
+                                    lb.on_retransmit(&ctx, b, now);
+                                }
+                            }
+                            lb.on_data_sent(&ctx, path, len as u64, now);
+                        }
+                    }
+                    let mut pkt = Packet::data(f.id, f.src, f.dst, seq, len, retx);
+                    pkt.path = path;
+                    pkt.ecn_capable = self.cfg.transport.ecn;
+                    self.fabric.host_send(&mut self.q, pkt);
+                }
+                SendAction::ArmRto { deadline } => {
+                    if let Some(f) = self.flows.get_mut(&fid) {
+                        f.rto_gen += 1;
+                        self.q.schedule(
+                            deadline.max(now),
+                            Event::HostTimer {
+                                host: f.src,
+                                token: pack(KIND_RTO, fid, f.rto_gen),
+                            },
+                        );
+                    }
+                }
+                SendAction::DisarmRto => {
+                    if let Some(f) = self.flows.get_mut(&fid) {
+                        f.rto_gen += 1;
+                    }
+                }
+                SendAction::FullyAcked => {
+                    if let Some(f) = self.flows.get_mut(&fid) {
+                        f.sender_done = true;
+                        self.stats.ooo_packets += f.receiver.ooo_packets();
+                        if f.src_leaf != f.dst_leaf {
+                            if let Some(lb) = self.edge[f.src.0 as usize].as_mut() {
+                                let ctx = Self::make_ctx(f, now);
+                                lb.on_flow_finished(&ctx, now);
+                            }
+                        }
+                    }
+                    // Retire the flow: its record stays, trailing events
+                    // (stale timers, duplicate ACKs) are ignored.
+                    self.flows.remove(&fid);
+                }
+            }
+        }
+    }
+
+    fn process_recv_actions(&mut self, fid: u64, actions: Vec<RecvAction>) {
+        let now = self.q.now();
+        for a in actions {
+            match a {
+                RecvAction::SendAck {
+                    ack,
+                    ecn_echo,
+                    echo_ts,
+                    echo_path,
+                    echo_retx,
+                } => {
+                    let Some(f) = self.flows.get(&fid) else {
+                        continue;
+                    };
+                    let mut pkt = Packet::ack(
+                        f.id, f.dst, f.src, ack, ecn_echo, echo_ts, echo_path, echo_retx,
+                    );
+                    pkt.path = f.ack_path;
+                    self.fabric.host_send(&mut self.q, pkt);
+                }
+                RecvAction::ArmHold { deadline } => {
+                    if let Some(f) = self.flows.get_mut(&fid) {
+                        f.hold_gen += 1;
+                        self.q.schedule(
+                            deadline.max(now),
+                            Event::HostTimer {
+                                host: f.dst,
+                                token: pack(KIND_HOLD, fid, f.hold_gen),
+                            },
+                        );
+                    }
+                }
+                RecvAction::DisarmHold => {
+                    if let Some(f) = self.flows.get_mut(&fid) {
+                        f.hold_gen += 1;
+                    }
+                }
+                RecvAction::Complete => {
+                    if let Some(f) = self.flows.get(&fid) {
+                        self.records[f.rec_idx].finish = Some(now);
+                    }
+                    self.visibility.flow_finished(FlowId(fid), now);
+                    self.stats.flows_completed += 1;
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64) {
+        let (kind, fid, gen) = unpack(token);
+        let now = self.q.now();
+        match kind {
+            KIND_RTO => {
+                let Some(f) = self.flows.get_mut(&fid) else {
+                    return;
+                };
+                if (f.rto_gen & GEN_MASK) != gen || f.sender_done {
+                    return; // stale timer
+                }
+                f.timed_out = true;
+                if f.current_path.is_spine() {
+                    f.blame_path = f.current_path;
+                }
+                let path = f.current_path;
+                if f.src_leaf != f.dst_leaf {
+                    if let Some(lb) = self.edge[f.src.0 as usize].as_mut() {
+                        let ctx = Self::make_ctx(f, now);
+                        lb.on_timeout(&ctx, path, now);
+                    }
+                }
+                let mut buf = Vec::new();
+                f.sender.on_rto(now, &mut buf);
+                self.process_send_actions(fid, buf);
+            }
+            KIND_HOLD => {
+                let Some(f) = self.flows.get_mut(&fid) else {
+                    return;
+                };
+                if (f.hold_gen & GEN_MASK) != gen {
+                    return;
+                }
+                let mut buf = Vec::new();
+                f.receiver.on_hold_timer(now, &mut buf);
+                self.process_recv_actions(fid, buf);
+            }
+            _ => unreachable!("bad timer token"),
+        }
+    }
+
+    fn on_deliver(&mut self, host: HostId, pkt: Box<Packet>) {
+        let now = self.q.now();
+        match pkt.kind {
+            PacketKind::Data { seq, len, retx } => {
+                let Some(f) = self.flows.get_mut(&pkt.flow.0) else {
+                    return; // flow already fully retired
+                };
+                debug_assert_eq!(f.dst, host);
+                let mut buf = Vec::new();
+                f.receiver.on_data(
+                    seq,
+                    len,
+                    pkt.ecn_marked,
+                    pkt.sent_at,
+                    pkt.path,
+                    retx,
+                    now,
+                    &mut buf,
+                );
+                self.process_recv_actions(pkt.flow.0, buf);
+            }
+            PacketKind::Ack {
+                ack,
+                ecn_echo,
+                echo_ts,
+                echo_path,
+                echo_retx,
+            } => {
+                let Some(f) = self.flows.get_mut(&pkt.flow.0) else {
+                    return;
+                };
+                debug_assert_eq!(f.src, host);
+                let rtt = if echo_retx || echo_ts == Time::MAX {
+                    None
+                } else {
+                    Some(now.saturating_sub(echo_ts))
+                };
+                let delta = ack.saturating_sub(f.sender.snd_una());
+                if f.src_leaf != f.dst_leaf {
+                    if let Some(lb) = self.edge[host.0 as usize].as_mut() {
+                        let ctx = Self::make_ctx(f, now);
+                        lb.on_ack(&ctx, echo_path, rtt, ecn_echo, delta, now);
+                    }
+                }
+                let mut buf = Vec::new();
+                f.sender.on_ack(ack, ecn_echo, rtt, now, &mut buf);
+                self.process_send_actions(pkt.flow.0, buf);
+            }
+            PacketKind::ProbeReq => {
+                // Reflect immediately on the same path, high priority.
+                let resp = Packet::probe_resp(&pkt);
+                self.fabric.host_send(&mut self.q, resp);
+            }
+            PacketKind::ProbeResp { req_ecn, echo_ts } => {
+                self.stats.probe_responses += 1;
+                let rtt = now.saturating_sub(echo_ts);
+                let dst_leaf = self.fabric.topology().host_leaf(pkt.src);
+                if let Some(lb) = self.edge[host.0 as usize].as_mut() {
+                    lb.on_probe_result(dst_leaf, pkt.path, rtt, req_ecn, now);
+                }
+            }
+            PacketKind::Udp => {
+                let idx = (pkt.flow.0 - UDP_FLOW_BASE) as usize;
+                if let Some(u) = self.udps.get_mut(idx) {
+                    u.received += (pkt.size - hermes_net::HDR) as u64;
+                }
+            }
+        }
+    }
+
+    fn send_probes(&mut self) {
+        let now = self.q.now();
+        let topo = self.fabric.topology();
+        let agents: Vec<(HostId, LeafId)> = (0..topo.n_leaves)
+            .map(|l| (topo.leaf_agent(LeafId(l as u16)), LeafId(l as u16)))
+            .collect();
+        for (agent, _leaf) in agents {
+            let Some(lb) = self.edge[agent.0 as usize].as_mut() else {
+                continue;
+            };
+            let plan = lb.probe_plan(now, &mut self.rng_lb);
+            for t in plan {
+                let dst_agent = self.fabric.topology().leaf_agent(t.dst_leaf);
+                let flow = FlowId(PROBE_FLOW_BASE + self.probe_seq);
+                self.probe_seq += 1;
+                let pkt = Packet::probe_req(flow, agent, dst_agent, t.path);
+                self.stats.probes_sent += 1;
+                self.fabric.host_send(&mut self.q, pkt);
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! End-to-end tests of the full stack: every scheme moves real flows
+//! across the simulated fabric under DCTCP.
+
+use hermes_sim::{SimRng, Time};
+use hermes_core::HermesParams;
+use hermes_lb::{CloveCfg, CongaCfg, FlowBenderCfg};
+use hermes_net::{FlowId, HostId, LeafId, PathId, SpineFailure, SpineId, Topology};
+use hermes_runtime::{Probe, Scheme, SimConfig, Simulation};
+use hermes_workload::{FlowGen, FlowSizeDist, FlowSpec};
+
+fn one_flow(size: u64) -> FlowSpec {
+    FlowSpec {
+        id: FlowId(0),
+        src: HostId(0),
+        dst: HostId(6), // other rack on the testbed topology
+        size,
+        start: Time::ZERO,
+    }
+}
+
+fn all_schemes(topo: &Topology) -> Vec<(&'static str, Scheme)> {
+    vec![
+        ("ecmp", Scheme::Ecmp),
+        ("drb", Scheme::Drb),
+        ("presto", Scheme::presto()),
+        ("flowbender", Scheme::FlowBender(FlowBenderCfg::default())),
+        ("clove", Scheme::Clove(CloveCfg::default())),
+        ("letflow", Scheme::LetFlow { flowlet_timeout: Time::from_us(150) }),
+        ("drill", Scheme::Drill { samples: 2 }),
+        ("conga", Scheme::Conga(CongaCfg::default())),
+        ("hermes", Scheme::Hermes(HermesParams::from_topology(topo))),
+    ]
+}
+
+#[test]
+fn single_flow_completes_with_sane_fct() {
+    let topo = Topology::testbed();
+    let mut sim = Simulation::new(SimConfig::new(topo, Scheme::Ecmp));
+    sim.add_flow(one_flow(1_000_000));
+    sim.run_to_completion(Time::from_secs(5));
+    let rec = &sim.records()[0];
+    let fct = rec.finish.expect("flow must finish") - rec.start;
+    // 1 MB at 1 Gbps is at least 8 ms; with slow start well under 100 ms.
+    assert!(fct > Time::from_ms(8), "fct {fct}");
+    assert!(fct < Time::from_ms(100), "fct {fct}");
+    assert_eq!(sim.fabric().stats.path_fallbacks, 0);
+}
+
+#[test]
+fn every_scheme_completes_a_small_workload() {
+    let topo = Topology::testbed();
+    for (name, scheme) in all_schemes(&topo) {
+        let mut gen = FlowGen::new(
+            &topo,
+            FlowSizeDist::web_search(),
+            0.4,
+            None,
+            SimRng::new(7),
+        );
+        let mut sim = Simulation::new(SimConfig::new(topo.clone(), scheme).with_seed(11));
+        sim.add_flows(gen.schedule(60));
+        sim.run_to_completion(Time::from_secs(30));
+        let unfinished = sim.records().iter().filter(|r| r.finish.is_none()).count();
+        assert_eq!(unfinished, 0, "{name}: {unfinished} unfinished flows");
+        assert_eq!(
+            sim.fabric().stats.path_fallbacks,
+            0,
+            "{name}: edge scheme stamped dead paths"
+        );
+        // Byte conservation: every delivered flow got its full size.
+        for r in sim.records() {
+            assert!(r.finish.unwrap() >= r.start);
+        }
+    }
+}
+
+#[test]
+fn same_seed_is_bit_reproducible() {
+    let topo = Topology::testbed();
+    let run = |seed: u64| -> Vec<u64> {
+        let mut gen = FlowGen::new(&topo, FlowSizeDist::web_search(), 0.5, None, SimRng::new(3));
+        let params = HermesParams::from_topology(&topo);
+        let mut sim =
+            Simulation::new(SimConfig::new(topo.clone(), Scheme::Hermes(params)).with_seed(seed));
+        sim.add_flows(gen.schedule(40));
+        sim.run_to_completion(Time::from_secs(30));
+        sim.records()
+            .iter()
+            .map(|r| r.finish.expect("finished").as_ns())
+            .collect()
+    };
+    let a = run(5);
+    let b = run(5);
+    assert_eq!(a, b, "identical seeds must replay identically");
+    let c = run(6);
+    assert_ne!(a, c, "different seeds must differ");
+}
+
+#[test]
+fn hermes_probing_is_active_and_cheap() {
+    let topo = Topology::testbed();
+    let params = HermesParams::from_topology(&topo);
+    let mut sim = Simulation::new(SimConfig::new(topo, Scheme::Hermes(params)));
+    sim.add_flow(one_flow(500_000));
+    sim.run_to_completion(Time::from_secs(5));
+    assert!(sim.stats.probes_sent > 0, "agents must probe");
+    assert!(
+        sim.stats.probe_responses > sim.stats.probes_sent / 2,
+        "most probes must come back ({} of {})",
+        sim.stats.probe_responses,
+        sim.stats.probes_sent
+    );
+}
+
+#[test]
+fn blackhole_strands_ecmp_but_not_hermes() {
+    // 4-rack fabric, blackhole on spine 0 for every rack0→rack1 pair.
+    let topo = Topology::leaf_spine(
+        4,
+        4,
+        4,
+        hermes_net::LinkCfg::new(10_000_000_000, Time::from_us(5)),
+        hermes_net::LinkCfg::new(10_000_000_000, Time::from_us(10)),
+    );
+    let flows: Vec<FlowSpec> = (0..16)
+        .map(|i| FlowSpec {
+            id: FlowId(i),
+            src: HostId((i % 4) as u32),      // rack 0
+            dst: HostId(4 + (i % 4) as u32),  // rack 1
+            size: 200_000,
+            start: Time::from_us(10 * i),
+        })
+        .collect();
+
+    let run = |scheme: Scheme| {
+        let mut sim = Simulation::new(SimConfig::new(topo.clone(), scheme).with_seed(2));
+        sim.set_spine_failure(SpineId(0), SpineFailure::blackhole(LeafId(0), LeafId(1), 1.0));
+        sim.add_flows(flows.clone());
+        sim.run_to_completion(Time::from_secs(3));
+        sim.records().iter().filter(|r| r.finish.is_none()).count()
+    };
+
+    let ecmp_unfinished = run(Scheme::Ecmp);
+    assert!(
+        ecmp_unfinished > 0,
+        "ECMP must strand the flows hashed onto the blackhole"
+    );
+    let hermes_unfinished = run(Scheme::Hermes(HermesParams::from_topology(&topo)));
+    assert_eq!(
+        hermes_unfinished, 0,
+        "Hermes must detect the blackhole after 3 timeouts and finish everything"
+    );
+}
+
+#[test]
+fn udp_source_delivers_at_configured_rate() {
+    let topo = Topology::testbed();
+    let mut sim = Simulation::new(SimConfig::new(topo, Scheme::Ecmp));
+    let udp = sim.add_udp(
+        HostId(0),
+        HostId(6),
+        500_000_000, // 0.5 Gbps on a 1 Gbps fabric
+        1460,
+        Some(PathId(0)),
+        Time::ZERO,
+    );
+    sim.run_until(Time::from_ms(100));
+    let received = sim.udp_received(udp);
+    let expect = 500_000_000.0 / 8.0 * 0.1 * (1460.0 / 1500.0);
+    let got = received as f64;
+    assert!(
+        (got - expect).abs() / expect < 0.05,
+        "udp received {got:.3e}, expected ≈{expect:.3e}"
+    );
+}
+
+#[test]
+fn samplers_record_queue_buildup() {
+    let topo = Topology::testbed();
+    let mut sim = Simulation::new(SimConfig::new(topo, Scheme::Ecmp));
+    // Two UDP sources at 0.9 Gbps each share one 1 Gbps uplink: queue grows.
+    sim.add_udp(HostId(0), HostId(6), 900_000_000, 1460, Some(PathId(1)), Time::ZERO);
+    sim.add_udp(HostId(1), HostId(7), 900_000_000, 1460, Some(PathId(1)), Time::ZERO);
+    let s = sim.add_sampler(Time::from_us(100), Probe::LeafUpQueue(LeafId(0), SpineId(1)));
+    sim.run_until(Time::from_ms(20));
+    let series = sim.sampler_series(s);
+    assert!(series.len() > 100);
+    let max = series.iter().map(|&(_, v)| v).max().unwrap();
+    assert!(max > 30_000, "overloaded uplink must build queue: max {max}");
+}
+
+#[test]
+fn visibility_gap_between_switch_and_host_pairs() {
+    let topo = Topology::testbed();
+    let mut gen = FlowGen::new(&topo, FlowSizeDist::web_search(), 0.6, None, SimRng::new(9));
+    let mut sim = Simulation::new(SimConfig::new(topo, Scheme::Ecmp).with_seed(4));
+    sim.add_flows(gen.schedule(80));
+    sim.run_to_completion(Time::from_secs(30));
+    let (switch, host) = sim.visibility();
+    assert!(switch > 0.0);
+    assert!(
+        switch > 5.0 * host,
+        "Table 2's asymmetry: switch {switch} vs host {host}"
+    );
+}
+
+#[test]
+fn intra_rack_flows_complete_without_spine_paths() {
+    let topo = Topology::testbed();
+    let mut sim = Simulation::new(SimConfig::new(topo, Scheme::Ecmp));
+    sim.add_flow(FlowSpec {
+        id: FlowId(0),
+        src: HostId(0),
+        dst: HostId(1),
+        size: 300_000,
+        start: Time::ZERO,
+    });
+    sim.run_to_completion(Time::from_secs(2));
+    assert!(sim.records()[0].finish.is_some());
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the discrete-event engine invariants.
+
+use hermes_sim::{EventQueue, SimRng, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popped timestamps are nondecreasing for any schedule order.
+    #[test]
+    fn pops_are_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(Time::from_ns(*t), i);
+        }
+        let mut last = Time::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Same-instant events fire in scheduling order no matter how many
+    /// collide.
+    #[test]
+    fn fifo_among_equal_times(groups in proptest::collection::vec((0u64..100, 1usize..20), 1..30)) {
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        let mut n = 0usize;
+        for (t, count) in &groups {
+            for _ in 0..*count {
+                q.schedule(Time::from_us(*t), n);
+                expected.push((*t, n));
+                n += 1;
+            }
+        }
+        expected.sort_by_key(|&(t, seq)| (t, seq));
+        let mut got = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            got.push((t.as_us(), id));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Every scheduled event is popped exactly once.
+    #[test]
+    fn conservation(times in proptest::collection::vec(0u64..10_000, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(Time::from_ns(*t), i);
+        }
+        let mut seen = vec![false; times.len()];
+        while let Some((_, id)) = q.pop() {
+            prop_assert!(!seen[id], "event {} popped twice", id);
+            seen[id] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// tx_time is monotone in bytes and antitone in rate.
+    #[test]
+    fn tx_time_monotonicity(bytes in 1u64..1_000_000, rate in 1u64..100_000_000_000) {
+        let t = Time::tx_time(bytes, rate);
+        prop_assert!(Time::tx_time(bytes + 1, rate) >= t);
+        prop_assert!(Time::tx_time(bytes, rate + 1) <= t);
+        // Exact bound: t >= bits/rate seconds.
+        let lower = (bytes as u128 * 8 * 1_000_000_000 / rate as u128) as u64;
+        prop_assert!(t.as_ns() >= lower);
+        prop_assert!(t.as_ns() <= lower + 1);
+    }
+
+    /// RNG: below() stays in range, exp() is nonnegative and finite.
+    #[test]
+    fn rng_ranges(seed in 0u64..u64::MAX, n in 1usize..1000) {
+        let mut r = SimRng::new(seed);
+        prop_assert!(r.below(n) < n);
+        let e = r.exp(5.0);
+        prop_assert!(e.is_finite() && e >= 0.0);
+    }
+
+    /// Splitting with the same label is stable; distinct labels give
+    /// distinct streams (overwhelmingly).
+    #[test]
+    fn rng_split_stability(seed in 0u64..u64::MAX, a in 0u64..1000, b in 1001u64..2000) {
+        let root = SimRng::new(seed);
+        let mut x = root.split(a);
+        let mut x2 = root.split(a);
+        let mut y = root.split(b);
+        prop_assert_eq!(x.u64(), x2.u64());
+        prop_assert_ne!(x.u64(), y.u64());
+    }
+}

@@ -1,0 +1,245 @@
+//! Flow-size distributions.
+//!
+//! The paper evaluates on the two canonical heavy-tailed datacenter
+//! workloads (§5.1, Fig. 7):
+//!
+//! * **web-search** — from the DCTCP measurement study (Alizadeh et al.,
+//!   SIGCOMM 2010),
+//! * **data-mining** — from VL2 (Greenberg et al., SIGCOMM 2009).
+//!
+//! The CDF control points below are the ones shipped with the flow
+//! generator the paper uses ([8], the HKUST-SING traffic generator).
+//! Sampling inverts the piecewise-linear CDF.
+
+use hermes_sim::SimRng;
+
+/// A flow-size distribution given as a piecewise-linear CDF over bytes.
+#[derive(Clone, Debug)]
+pub struct FlowSizeDist {
+    name: &'static str,
+    /// `(size_bytes, cumulative_probability)`, strictly increasing in
+    /// both coordinates, first probability 0, last probability 1.
+    points: Vec<(f64, f64)>,
+}
+
+/// Web-search CDF control points (bytes, cum. prob.).
+const WEB_SEARCH_POINTS: &[(f64, f64)] = &[
+    (1.0, 0.0),
+    (10_000.0, 0.15),
+    (20_000.0, 0.20),
+    (30_000.0, 0.30),
+    (50_000.0, 0.40),
+    (80_000.0, 0.53),
+    (200_000.0, 0.60),
+    (1_000_000.0, 0.70),
+    (2_000_000.0, 0.80),
+    (5_000_000.0, 0.90),
+    (10_000_000.0, 0.97),
+    (30_000_000.0, 1.00),
+];
+
+/// Data-mining CDF control points (bytes, cum. prob.).
+const DATA_MINING_POINTS: &[(f64, f64)] = &[
+    (1.0, 0.0),
+    (180.0, 0.10),
+    (216.0, 0.20),
+    (560.0, 0.30),
+    (900.0, 0.40),
+    (1_100.0, 0.50),
+    (60_000.0, 0.60),
+    (90_000.0, 0.70),
+    (350_000.0, 0.80),
+    (5_800_000.0, 0.90),
+    (23_000_000.0, 0.95),
+    (100_000_000.0, 0.98),
+    (1_000_000_000.0, 1.00),
+];
+
+impl FlowSizeDist {
+    /// The DCTCP web-search workload. Bursty, many small flows;
+    /// ≈30% of flows below 30 KB carry little of the bytes.
+    pub fn web_search() -> FlowSizeDist {
+        FlowSizeDist::from_points("web-search", WEB_SEARCH_POINTS)
+    }
+
+    /// The VL2 data-mining workload. Extremely skewed: ~95% of bytes in
+    /// the few flows above 35 MB (§5.1).
+    pub fn data_mining() -> FlowSizeDist {
+        FlowSizeDist::from_points("data-mining", DATA_MINING_POINTS)
+    }
+
+    /// A distribution from custom control points (validated).
+    pub fn from_points(name: &'static str, pts: &[(f64, f64)]) -> FlowSizeDist {
+        assert!(pts.len() >= 2, "need at least two CDF points");
+        assert_eq!(pts[0].1, 0.0, "CDF must start at probability 0");
+        assert_eq!(pts[pts.len() - 1].1, 1.0, "CDF must end at probability 1");
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0, "sizes must strictly increase");
+            assert!(w[0].1 <= w[1].1, "probabilities must not decrease");
+        }
+        FlowSizeDist {
+            name,
+            points: pts.to_vec(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Smallest and largest producible sizes.
+    pub fn support(&self) -> (u64, u64) {
+        (
+            self.points[0].0.max(1.0) as u64,
+            self.points[self.points.len() - 1].0 as u64,
+        )
+    }
+
+    /// The distribution mean, integrated exactly over the
+    /// piecewise-linear CDF (uniform within each segment).
+    pub fn mean_bytes(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1) * (w[0].0 + w[1].0) / 2.0)
+            .sum()
+    }
+
+    /// Inverse-CDF at probability `p ∈ [0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        for w in self.points.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            if p <= p1 {
+                if p1 == p0 {
+                    return x1;
+                }
+                return x0 + (x1 - x0) * (p - p0) / (p1 - p0);
+            }
+        }
+        self.points[self.points.len() - 1].0
+    }
+
+    /// CDF value at `size` (for plotting Fig. 7).
+    pub fn cdf(&self, size: f64) -> f64 {
+        if size <= self.points[0].0 {
+            return 0.0;
+        }
+        for w in self.points.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            if size <= x1 {
+                return p0 + (p1 - p0) * (size - x0) / (x1 - x0);
+            }
+        }
+        1.0
+    }
+
+    /// Draw one flow size (at least 1 byte).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        (self.quantile(rng.f64()).round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_are_in_published_ballpark() {
+        // Web-search mean ≈ 1.7 MB; data-mining ≈ 14 MB with these
+        // control points (both heavy-tailed, data-mining far more).
+        let ws = FlowSizeDist::web_search().mean_bytes();
+        let dm = FlowSizeDist::data_mining().mean_bytes();
+        assert!((1.4e6..2.0e6).contains(&ws), "web-search mean {ws:.3e}");
+        assert!((1.0e7..1.8e7).contains(&dm), "data-mining mean {dm:.3e}");
+        assert!(dm > 5.0 * ws, "data-mining must be much heavier");
+    }
+
+    #[test]
+    fn data_mining_tail_matches_paper_claim() {
+        // §5.1: ~95% of bytes belong to ~3.6% of flows larger than 35 MB.
+        let dm = FlowSizeDist::data_mining();
+        let frac_flows_above = 1.0 - dm.cdf(35e6);
+        assert!(
+            (0.02..0.06).contains(&frac_flows_above),
+            "flows >35MB: {frac_flows_above}"
+        );
+        // Bytes above 35 MB / total bytes.
+        let total = dm.mean_bytes();
+        let above: f64 = dm
+            .points
+            .windows(2)
+            .map(|w| {
+                let (x0, p0) = w[0];
+                let (x1, p1) = w[1];
+                if x1 <= 35e6 {
+                    0.0
+                } else if x0 >= 35e6 {
+                    (p1 - p0) * (x0 + x1) / 2.0
+                } else {
+                    // Split the segment at 35 MB.
+                    let pm = p0 + (p1 - p0) * (35e6 - x0) / (x1 - x0);
+                    (p1 - pm) * (35e6 + x1) / 2.0
+                }
+            })
+            .sum();
+        let byte_frac = above / total;
+        assert!(byte_frac > 0.85, "bytes in >35MB flows: {byte_frac}");
+    }
+
+    #[test]
+    fn quantile_cdf_roundtrip() {
+        for dist in [FlowSizeDist::web_search(), FlowSizeDist::data_mining()] {
+            for i in 0..=100 {
+                let p = i as f64 / 100.0;
+                let x = dist.quantile(p);
+                let back = dist.cdf(x);
+                assert!((back - p).abs() < 1e-9, "{}: p={p} x={x} back={back}", dist.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sample_stays_in_support_and_tracks_mean() {
+        let dist = FlowSizeDist::web_search();
+        let (lo, hi) = dist.support();
+        let mut rng = SimRng::new(12);
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let s = dist.sample(&mut rng);
+            assert!(s >= lo && s <= hi);
+            sum += s as f64;
+        }
+        let got = sum / n as f64;
+        let want = dist.mean_bytes();
+        assert!(
+            (got - want).abs() / want < 0.05,
+            "sample mean {got:.3e} vs analytic {want:.3e}"
+        );
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let dist = FlowSizeDist::data_mining();
+        let mut last = 0.0;
+        for i in 0..=1000 {
+            let x = dist.quantile(i as f64 / 1000.0);
+            assert!(x >= last);
+            last = x;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_unsorted_points() {
+        FlowSizeDist::from_points("bad", &[(10.0, 0.0), (5.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at probability 0")]
+    fn rejects_bad_head() {
+        FlowSizeDist::from_points("bad", &[(1.0, 0.5), (5.0, 1.0)]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # hermes-workload — datacenter workloads and metrics
+//!
+//! * [`FlowSizeDist`] — the paper's two evaluation workloads (Fig. 7):
+//!   web-search (DCTCP) and data-mining (VL2), as piecewise-linear CDFs
+//!   with exact mean/quantile computation and seeded sampling.
+//! * [`FlowGen`] — the §5.1 open-loop Poisson generator: flows between
+//!   random hosts under different leaves at a configured offered load.
+//! * [`FlowRecord`] / [`summarize`] — FCT bookkeeping with the paper's
+//!   size bands (<100 KB small, >10 MB large) and unfinished-flow
+//!   accounting for the failure experiments.
+//! * [`VisibilityTracker`] — Table 2's concurrent-flows-per-path
+//!   visibility metric for switch pairs vs. host pairs.
+//! * [`IncastGen`] — the partition–aggregate microburst pattern (§6's
+//!   discussion of bursts Hermes cannot sense within an RTT).
+
+mod dist;
+mod flowgen;
+mod incast;
+mod metrics;
+mod visibility;
+
+pub use dist::FlowSizeDist;
+pub use flowgen::{FlowGen, FlowSpec};
+pub use incast::{query_completion, IncastGen, Query};
+pub use metrics::{summarize, FctSummary, FlowRecord, LARGE_FLOW_BYTES, SMALL_FLOW_BYTES};
+pub use visibility::VisibilityTracker;

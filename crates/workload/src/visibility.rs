@@ -1,0 +1,278 @@
+//! Network-visibility measurement (Table 2).
+//!
+//! The paper quantifies visibility as "the average number of concurrent
+//! flows observed on parallel paths" between an entity pair: a source
+//! ToR can see every flow its rack sends toward a destination rack
+//! (≈ several flows per parallel path), while an end-host pair sees only
+//! its own flows (≈ 0.01 per path). This module tracks both.
+
+use std::collections::HashMap;
+
+use hermes_sim::Time;
+use hermes_net::{FlowId, HostId, LeafId};
+
+/// Tracks concurrent flows per (src leaf, dst leaf) and per (src host,
+/// dst host) pair, and accumulates time-weighted averages.
+///
+/// `linger` models the observation window of a real monitor: a switch
+/// (or host) "observes" a flow until `linger` after its last byte —
+/// the behaviour of flow-table entries with an aging timeout, which is
+/// what CONGA-style leaf switches actually expose. `linger = 0` gives
+/// instantaneous concurrency.
+pub struct VisibilityTracker {
+    n_leaves: usize,
+    n_paths: usize,
+    /// Active flow count per ordered leaf pair (dense, row-major).
+    leaf_pair: Vec<u32>,
+    /// Active flow count per ordered host pair (sparse).
+    host_pair: HashMap<(HostId, HostId), u32>,
+    /// Flow → its pair keys, for removal.
+    flows: HashMap<FlowId, (LeafId, LeafId, HostId, HostId)>,
+    /// Flows whose removal is deferred by the observation window,
+    /// ordered by removal time.
+    lingering: std::collections::BinaryHeap<std::cmp::Reverse<(Time, FlowId)>>,
+    linger: Time,
+    // Time-weighted accumulators.
+    last: Time,
+    acc_leaf_sum: f64,
+    acc_host_sum: f64,
+    acc_time: f64,
+    /// Number of host pairs that ever carried a flow (the denominator
+    /// for "average over pairs" on the host side is all pairs, tracked
+    /// separately).
+    n_host_pairs_total: usize,
+}
+
+impl VisibilityTracker {
+    /// `n_paths` is the number of parallel paths between rack pairs.
+    pub fn new(n_leaves: usize, hosts_per_leaf: usize, n_paths: usize) -> VisibilityTracker {
+        Self::with_linger(n_leaves, hosts_per_leaf, n_paths, Time::ZERO)
+    }
+
+    /// A tracker whose observers keep seeing a flow for `linger` after
+    /// it finishes (flow-table aging).
+    pub fn with_linger(
+        n_leaves: usize,
+        hosts_per_leaf: usize,
+        n_paths: usize,
+        linger: Time,
+    ) -> VisibilityTracker {
+        let n_hosts = n_leaves * hosts_per_leaf;
+        // Ordered host pairs across racks.
+        let n_host_pairs_total = n_hosts * (n_hosts - hosts_per_leaf);
+        VisibilityTracker {
+            n_leaves,
+            n_paths,
+            leaf_pair: vec![0; n_leaves * n_leaves],
+            host_pair: HashMap::new(),
+            flows: HashMap::new(),
+            lingering: std::collections::BinaryHeap::new(),
+            linger,
+            last: Time::ZERO,
+            acc_leaf_sum: 0.0,
+            acc_host_sum: 0.0,
+            acc_time: 0.0,
+            n_host_pairs_total,
+        }
+    }
+
+    fn drop_flow(&mut self, id: FlowId) {
+        if let Some((sl, dl, s, d)) = self.flows.remove(&id) {
+            let cell = &mut self.leaf_pair[sl.0 as usize * self.n_leaves + dl.0 as usize];
+            *cell = cell.saturating_sub(1);
+            if let Some(c) = self.host_pair.get_mut(&(s, d)) {
+                *c -= 1;
+                if *c == 0 {
+                    self.host_pair.remove(&(s, d));
+                }
+            }
+        }
+    }
+
+    fn integrate(&mut self, now: Time) {
+        // Expire lingering flows *at their expiry instants* so the
+        // time-weighted integral stays exact.
+        while let Some(&std::cmp::Reverse((at, id))) = self.lingering.peek() {
+            if at > now {
+                break;
+            }
+            self.lingering.pop();
+            self.integrate_to(at);
+            self.drop_flow(id);
+        }
+        self.integrate_to(now);
+    }
+
+    fn integrate_to(&mut self, now: Time) {
+        let dt = now.saturating_sub(self.last).as_secs_f64();
+        if dt > 0.0 {
+            let leaf_pairs = (self.n_leaves * (self.n_leaves - 1)) as f64;
+            let leaf_active: f64 = self.leaf_pair.iter().map(|&c| c as f64).sum();
+            // Average concurrent flows per leaf pair, then per path.
+            self.acc_leaf_sum += dt * leaf_active / leaf_pairs;
+            let host_active: f64 = self.host_pair.values().map(|&c| c as f64).sum();
+            self.acc_host_sum += dt * host_active / self.n_host_pairs_total as f64;
+            self.acc_time += dt;
+        }
+        self.last = now;
+    }
+
+    /// A flow started.
+    pub fn flow_started(
+        &mut self,
+        id: FlowId,
+        src: HostId,
+        dst: HostId,
+        src_leaf: LeafId,
+        dst_leaf: LeafId,
+        now: Time,
+    ) {
+        self.integrate(now);
+        self.leaf_pair[src_leaf.0 as usize * self.n_leaves + dst_leaf.0 as usize] += 1;
+        *self.host_pair.entry((src, dst)).or_insert(0) += 1;
+        self.flows.insert(id, (src_leaf, dst_leaf, src, dst));
+    }
+
+    /// A flow finished. With a nonzero observation window the flow keeps
+    /// counting until `now + linger`.
+    pub fn flow_finished(&mut self, id: FlowId, now: Time) {
+        self.integrate(now);
+        if !self.flows.contains_key(&id) {
+            return;
+        }
+        if self.linger == Time::ZERO {
+            self.drop_flow(id);
+        } else {
+            self.lingering
+                .push(std::cmp::Reverse((now + self.linger, id)));
+        }
+    }
+
+    /// Time-averaged concurrent flows per parallel path, seen by a
+    /// ToR-to-ToR ("switch") pair — Table 2's first row.
+    pub fn switch_pair_visibility(&mut self, now: Time) -> f64 {
+        self.integrate(now);
+        if self.acc_time == 0.0 {
+            return 0.0;
+        }
+        self.acc_leaf_sum / self.acc_time / self.n_paths as f64
+    }
+
+    /// Time-averaged concurrent flows per parallel path for a
+    /// host-to-host pair — Table 2's second row.
+    pub fn host_pair_visibility(&mut self, now: Time) -> f64 {
+        self.integrate(now);
+        if self.acc_time == 0.0 {
+            return 0.0;
+        }
+        self.acc_host_sum / self.acc_time / self.n_paths as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_counts_per_path() {
+        // 2 leaves, 2 hosts each, 4 paths. Keep 8 flows alive on the
+        // (0→1) pair for 1 ms.
+        let mut v = VisibilityTracker::new(2, 2, 4);
+        for i in 0..8u64 {
+            v.flow_started(
+                FlowId(i),
+                HostId(0),
+                HostId(2),
+                LeafId(0),
+                LeafId(1),
+                Time::ZERO,
+            );
+        }
+        let sw = v.switch_pair_visibility(Time::from_ms(1));
+        // 8 flows on 1 of 2 ordered leaf pairs → avg 4 per pair → 1 per path.
+        assert!((sw - 1.0).abs() < 1e-9, "switch visibility {sw}");
+        // Host pairs: 8 flows all on one of the 2×2+2×2=8 ordered cross
+        // pairs → 1 per pair avg → 0.25 per path.
+        let hp = v.host_pair_visibility(Time::from_ms(1));
+        assert!((hp - 0.25).abs() < 1e-9, "host visibility {hp}");
+    }
+
+    #[test]
+    fn finished_flows_stop_counting() {
+        let mut v = VisibilityTracker::new(2, 2, 4);
+        v.flow_started(
+            FlowId(1),
+            HostId(0),
+            HostId(2),
+            LeafId(0),
+            LeafId(1),
+            Time::ZERO,
+        );
+        v.flow_finished(FlowId(1), Time::from_ms(1));
+        // One more ms with nothing active halves the average.
+        let sw_full = {
+            let mut v2 = VisibilityTracker::new(2, 2, 4);
+            v2.flow_started(
+                FlowId(1),
+                HostId(0),
+                HostId(2),
+                LeafId(0),
+                LeafId(1),
+                Time::ZERO,
+            );
+            v2.switch_pair_visibility(Time::from_ms(2))
+        };
+        let sw_half = v.switch_pair_visibility(Time::from_ms(2));
+        assert!(
+            (sw_half - sw_full / 2.0).abs() < 1e-12,
+            "alive 1 of 2 ms must average half of alive 2 of 2 ms: {sw_half} vs {sw_full}"
+        );
+        assert!(sw_half > 0.0);
+    }
+
+    #[test]
+    fn switch_sees_more_than_host() {
+        // Many flows from distinct host pairs: switch-pair visibility
+        // aggregates them, host-pair visibility stays low — the Table 2
+        // asymmetry.
+        let mut v = VisibilityTracker::new(2, 4, 4);
+        for i in 0..4u64 {
+            v.flow_started(
+                FlowId(i),
+                HostId(i as u32),
+                HostId(4 + i as u32),
+                LeafId(0),
+                LeafId(1),
+                Time::ZERO,
+            );
+        }
+        let sw = v.switch_pair_visibility(Time::from_ms(1));
+        let hp = v.host_pair_visibility(Time::from_ms(1));
+        assert!(sw > 10.0 * hp, "switch {sw} vs host {hp}");
+    }
+
+    #[test]
+    fn linger_extends_observation() {
+        // Flow alive [0, 1ms], linger 1ms → observed for 2 of 4 ms.
+        let mut v = VisibilityTracker::with_linger(2, 2, 4, Time::from_ms(1));
+        v.flow_started(
+            FlowId(1),
+            HostId(0),
+            HostId(2),
+            LeafId(0),
+            LeafId(1),
+            Time::ZERO,
+        );
+        v.flow_finished(FlowId(1), Time::from_ms(1));
+        let sw = v.switch_pair_visibility(Time::from_ms(4));
+        // 1 flow × 2ms / 4ms / 2 pairs / 4 paths = 0.0625.
+        assert!((sw - 0.0625).abs() < 1e-9, "windowed visibility {sw}");
+    }
+
+    #[test]
+    fn unknown_flow_finish_is_ignored() {
+        let mut v = VisibilityTracker::new(2, 2, 4);
+        v.flow_finished(FlowId(99), Time::from_us(1));
+        assert_eq!(v.switch_pair_visibility(Time::from_ms(1)), 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: run Hermes against ECMP on the paper's 8×8 leaf-spine
+//! fabric and print the FCT comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hermes_sim::{SimRng, Time};
+use hermes_core::HermesParams;
+use hermes_net::Topology;
+use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_workload::{summarize, FlowGen, FlowSizeDist};
+
+fn main() {
+    // 1. The fabric: 8 leaves × 8 spines, 128 hosts, 10 Gbps links —
+    //    the paper's large-simulation baseline.
+    let topo = Topology::sim_baseline();
+
+    // 2. A workload: web-search flow sizes, Poisson arrivals at 60%
+    //    offered load, between random hosts under different racks.
+    let make_flows = || {
+        let mut gen = FlowGen::new(
+            &topo,
+            FlowSizeDist::web_search(),
+            0.6,
+            None,
+            SimRng::new(7),
+        );
+        gen.schedule(400)
+    };
+
+    // 3. Two schemes: production ECMP vs. Hermes with the paper's
+    //    Table 4 parameters derived from the topology.
+    for (name, scheme) in [
+        ("ecmp", Scheme::Ecmp),
+        ("hermes", Scheme::Hermes(HermesParams::from_topology(&topo))),
+    ] {
+        let mut sim = Simulation::new(SimConfig::new(topo.clone(), scheme).with_seed(1));
+        sim.add_flows(make_flows());
+        sim.run_to_completion(Time::from_secs(10));
+        let s = summarize(sim.records(), sim.now());
+        println!(
+            "{name:7}  avg FCT {:7.3} ms   small avg {:6.3} ms   small p99 {:7.3} ms   ({} flows, {} unfinished)",
+            s.avg * 1e3,
+            s.avg_small * 1e3,
+            s.p99_small * 1e3,
+            s.n,
+            s.unfinished
+        );
+    }
+    println!("\nSame workload, same seed — only the load balancer differs.");
+}

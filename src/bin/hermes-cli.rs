@@ -1,0 +1,253 @@
+//! `hermes-cli` — run one load-balancing experiment from the command
+//! line and print the FCT summary.
+//!
+//! ```text
+//! USAGE:
+//!   hermes-cli [--topo testbed|baseline|asym] [--scheme NAME]
+//!              [--workload web|dm] [--load F] [--flows N] [--seed N]
+//!              [--drop SPINE:RATE] [--blackhole SPINE:SRC:DST:FRAC]
+//!              [--cut LEAF:SPINE] [--transport dctcp|tcp] [--runs N]
+//!
+//! SCHEMES:
+//!   ecmp drb presto presto-w flowbender clove letflow drill conga hermes
+//! ```
+//!
+//! Examples:
+//! ```sh
+//! cargo run --release --bin hermes-cli -- --scheme hermes --load 0.6
+//! cargo run --release --bin hermes-cli -- --scheme ecmp --topo asym \
+//!     --workload dm --load 0.7 --flows 300
+//! cargo run --release --bin hermes-cli -- --scheme conga \
+//!     --drop 3:0.02 --load 0.5
+//! ```
+
+use hermes_sim::{SimRng, Time};
+use hermes_core::HermesParams;
+use hermes_lb::{CloveCfg, CongaCfg, FlowBenderCfg};
+use hermes_net::{LeafId, SpineFailure, SpineId, Topology};
+use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_transport::TransportCfg;
+use hermes_workload::{summarize, FctSummary, FlowGen, FlowSizeDist};
+
+struct Args {
+    topo: String,
+    scheme: String,
+    workload: String,
+    load: f64,
+    flows: usize,
+    seed: u64,
+    runs: u64,
+    transport: String,
+    drops: Vec<(u16, f64)>,
+    blackholes: Vec<(u16, u16, u16, f64)>,
+    cuts: Vec<(u16, u16)>,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    eprintln!("usage: hermes-cli [--topo testbed|baseline|asym] [--scheme NAME]");
+    eprintln!("                  [--workload web|dm] [--load F] [--flows N] [--seed N]");
+    eprintln!("                  [--drop SPINE:RATE] [--blackhole SPINE:SRC:DST:FRAC]");
+    eprintln!("                  [--cut LEAF:SPINE] [--transport dctcp|tcp] [--runs N]");
+    eprintln!("schemes: ecmp drb presto presto-w flowbender clove letflow drill conga hermes");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        topo: "baseline".into(),
+        scheme: "hermes".into(),
+        workload: "web".into(),
+        load: 0.6,
+        flows: 500,
+        seed: 1,
+        runs: 1,
+        transport: "dctcp".into(),
+        drops: Vec::new(),
+        blackholes: Vec::new(),
+        cuts: Vec::new(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i - 1)
+            .cloned()
+            .unwrap_or_else(|| usage("missing value for flag"))
+    };
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        i += 1;
+        match flag.as_str() {
+            "--topo" => args.topo = next(&mut i),
+            "--scheme" => args.scheme = next(&mut i),
+            "--workload" => args.workload = next(&mut i),
+            "--load" => {
+                args.load = next(&mut i).parse().unwrap_or_else(|_| usage("bad --load"))
+            }
+            "--flows" => {
+                args.flows = next(&mut i).parse().unwrap_or_else(|_| usage("bad --flows"))
+            }
+            "--seed" => args.seed = next(&mut i).parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--runs" => args.runs = next(&mut i).parse().unwrap_or_else(|_| usage("bad --runs")),
+            "--transport" => args.transport = next(&mut i),
+            "--drop" => {
+                let v = next(&mut i);
+                let (s, r) = v.split_once(':').unwrap_or_else(|| usage("bad --drop"));
+                args.drops.push((
+                    s.parse().unwrap_or_else(|_| usage("bad --drop spine")),
+                    r.parse().unwrap_or_else(|_| usage("bad --drop rate")),
+                ));
+            }
+            "--blackhole" => {
+                let v = next(&mut i);
+                let parts: Vec<&str> = v.split(':').collect();
+                if parts.len() != 4 {
+                    usage("bad --blackhole (want SPINE:SRCLEAF:DSTLEAF:FRAC)");
+                }
+                args.blackholes.push((
+                    parts[0].parse().unwrap_or_else(|_| usage("bad spine")),
+                    parts[1].parse().unwrap_or_else(|_| usage("bad src leaf")),
+                    parts[2].parse().unwrap_or_else(|_| usage("bad dst leaf")),
+                    parts[3].parse().unwrap_or_else(|_| usage("bad fraction")),
+                ));
+            }
+            "--cut" => {
+                let v = next(&mut i);
+                let (l, s) = v.split_once(':').unwrap_or_else(|| usage("bad --cut"));
+                args.cuts.push((
+                    l.parse().unwrap_or_else(|_| usage("bad leaf")),
+                    s.parse().unwrap_or_else(|_| usage("bad spine")),
+                ));
+            }
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn build_topo(a: &Args) -> (Topology, Option<u64>) {
+    let mut topo = match a.topo.as_str() {
+        "testbed" => Topology::testbed(),
+        "baseline" => Topology::sim_baseline(),
+        "asym" => {
+            let mut t = Topology::sim_baseline();
+            let mut rng = SimRng::new(0xA5);
+            t.degrade_random_links(0.2, 2_000_000_000, &mut rng);
+            t
+        }
+        other => usage(&format!("unknown topology {other}")),
+    };
+    let healthy = match a.topo.as_str() {
+        "testbed" => Topology::testbed().total_uplink_bps(),
+        _ => Topology::sim_baseline().total_uplink_bps(),
+    };
+    for &(l, s) in &a.cuts {
+        topo.cut_link(LeafId(l), SpineId(s));
+    }
+    (topo, Some(healthy))
+}
+
+fn build_scheme(a: &Args, topo: &Topology) -> Scheme {
+    match a.scheme.as_str() {
+        "ecmp" => Scheme::Ecmp,
+        "drb" => Scheme::Drb,
+        "presto" => Scheme::presto(),
+        "presto-w" => Scheme::presto_weighted(),
+        "flowbender" => Scheme::FlowBender(FlowBenderCfg::default()),
+        "clove" => Scheme::Clove(CloveCfg::default()),
+        "letflow" => Scheme::LetFlow {
+            flowlet_timeout: Time::from_us(150),
+        },
+        "drill" => Scheme::Drill { samples: 2 },
+        "conga" => Scheme::Conga(CongaCfg::default()),
+        "hermes" => {
+            let params = if a.transport == "tcp" {
+                HermesParams::for_tcp(topo)
+            } else if a.topo == "testbed" {
+                HermesParams::paper_testbed(topo)
+            } else {
+                HermesParams::from_topology(topo)
+            };
+            Scheme::Hermes(params)
+        }
+        other => usage(&format!("unknown scheme {other}")),
+    }
+}
+
+fn print_summary(s: &FctSummary) {
+    println!("flows               {}", s.n);
+    println!("unfinished          {} ({:.2}%)", s.unfinished, 100.0 * s.unfinished_frac());
+    println!("avg FCT             {:.3} ms", s.avg * 1e3);
+    println!("p50 / p95 / p99     {:.3} / {:.3} / {:.3} ms", s.p50 * 1e3, s.p95 * 1e3, s.p99 * 1e3);
+    println!("small (<100KB) avg  {:.3} ms   p99 {:.3} ms   (n={})", s.avg_small * 1e3, s.p99_small * 1e3, s.n_small);
+    println!("large (>10MB)  avg  {:.3} ms   (n={})", s.avg_large * 1e3, s.n_large);
+}
+
+fn main() {
+    let a = parse_args();
+    let (topo, capacity) = build_topo(&a);
+    let dist = match a.workload.as_str() {
+        "web" => FlowSizeDist::web_search(),
+        "dm" => FlowSizeDist::data_mining(),
+        other => usage(&format!("unknown workload {other}")),
+    };
+    let transport = match a.transport.as_str() {
+        "dctcp" => TransportCfg::dctcp(),
+        "tcp" => TransportCfg::tcp(),
+        other => usage(&format!("unknown transport {other}")),
+    };
+    println!(
+        "topology={} scheme={} workload={} load={:.2} flows={} seed={} runs={}",
+        a.topo, a.scheme, dist.name(), a.load, a.flows, a.seed, a.runs
+    );
+    let mut sums = Vec::new();
+    for run in 0..a.runs {
+        let seed = a.seed + run;
+        let scheme = build_scheme(&a, &topo);
+        let mut gen = FlowGen::new(
+            &topo,
+            dist.clone(),
+            a.load,
+            capacity,
+            SimRng::new(seed).split(0x6E4),
+        );
+        let specs = gen.schedule(a.flows);
+        let horizon = specs.last().unwrap().start + Time::from_secs(10);
+        let mut sim = Simulation::new(
+            SimConfig::new(topo.clone(), scheme)
+                .with_seed(seed)
+                .with_transport(transport),
+        );
+        for &(s, r) in &a.drops {
+            sim.set_spine_failure(SpineId(s), SpineFailure::random_drops(r));
+        }
+        for &(sp, sl, dl, f) in &a.blackholes {
+            sim.set_spine_failure(
+                SpineId(sp),
+                SpineFailure::blackhole(LeafId(sl), LeafId(dl), f),
+            );
+        }
+        sim.add_flows(specs);
+        sim.run_to_completion(horizon);
+        sums.push(summarize(sim.records(), horizon));
+        if a.runs > 1 {
+            eprintln!("run {run}: avg {:.3} ms", sums.last().unwrap().avg * 1e3);
+        }
+    }
+    // Component-wise mean over runs.
+    let mut avg = sums[0];
+    if sums.len() > 1 {
+        let n = sums.len() as f64;
+        avg.avg = sums.iter().map(|s| s.avg).sum::<f64>() / n;
+        avg.p50 = sums.iter().map(|s| s.p50).sum::<f64>() / n;
+        avg.p95 = sums.iter().map(|s| s.p95).sum::<f64>() / n;
+        avg.p99 = sums.iter().map(|s| s.p99).sum::<f64>() / n;
+        avg.avg_small = sums.iter().map(|s| s.avg_small).sum::<f64>() / n;
+        avg.p99_small = sums.iter().map(|s| s.p99_small).sum::<f64>() / n;
+        avg.avg_large = sums.iter().map(|s| s.avg_large).sum::<f64>() / n;
+        avg.unfinished = sums.iter().map(|s| s.unfinished).sum::<usize>() / sums.len();
+    }
+    print_summary(&avg);
+}
