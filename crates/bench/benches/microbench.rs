@@ -5,13 +5,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use hermes_sim::{EventQueue, SimRng, Time};
 use hermes_core::{Hermes, HermesParams, RackSensing};
 use hermes_lb::{Conga, CongaCfg};
 use hermes_net::{
-    Dre, EdgeLb, FabricLb, FlowCtx, FlowId, HostId, LeafId, Packet, PathId, Topology,
+    Dre, EdgeLb, FabricLb, FlowCtx, FlowId, HostId, LeafId, Packet, PathId, Topology, Uplinks,
 };
 use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_sim::{EventQueue, SimRng, Time};
 use hermes_workload::{FlowGen, FlowSizeDist};
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -27,7 +27,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 acc = acc.wrapping_add(v);
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -41,7 +41,7 @@ fn bench_dre(c: &mut Criterion) {
                 d.add(1500, t);
             }
             black_box(d.rate_bps(t))
-        })
+        });
     });
 }
 
@@ -55,7 +55,7 @@ fn bench_cdf_sampling(c: &mut Criterion) {
                 acc = acc.wrapping_add(dist.sample(&mut rng));
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -84,7 +84,7 @@ fn bench_hermes_select(c: &mut Criterion) {
         b.iter(|| {
             t += Time::from_ns(100);
             black_box(h.select_path(&ctx, &cands, t, &mut rng))
-        })
+        });
     });
 }
 
@@ -101,16 +101,12 @@ fn bench_conga_ingress(c: &mut Criterion) {
             fid += 1;
             t += Time::from_ns(100);
             let pkt = Packet::data(FlowId(fid), HostId(0), HostId(20), 0, 1460, false);
-            black_box(conga.ingress_select(
-                LeafId(0),
-                LeafId(1),
-                &pkt,
-                &cands,
-                &q,
-                t,
-                &mut rng,
-            ))
-        })
+            let uplinks = Uplinks {
+                paths: &cands,
+                qbytes: &q,
+            };
+            black_box(conga.ingress_select(LeafId(0), LeafId(1), &pkt, uplinks, t, &mut rng))
+        });
     });
 }
 
@@ -126,7 +122,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             sim.add_flows(gen.schedule(50));
             sim.run_to_completion(Time::from_secs(20));
             black_box(sim.stats.events)
-        })
+        });
     });
     group.bench_function("testbed_50_flows_hermes", |b| {
         let topo = Topology::testbed();
@@ -134,13 +130,12 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| {
             let mut gen =
                 FlowGen::new(&topo, FlowSizeDist::web_search(), 0.4, None, SimRng::new(7));
-            let mut sim = Simulation::new(
-                SimConfig::new(topo.clone(), Scheme::Hermes(params)).with_seed(1),
-            );
+            let mut sim =
+                Simulation::new(SimConfig::new(topo.clone(), Scheme::Hermes(params)).with_seed(1));
             sim.add_flows(gen.schedule(50));
             sim.run_to_completion(Time::from_secs(20));
             black_box(sim.stats.events)
-        })
+        });
     });
     group.finish();
 }

@@ -12,11 +12,11 @@
 //!
 //! Usage: `cargo run --release -p hermes-bench --bin autotune [web|dm] [load]`
 
-use hermes_sim::Time;
+use hermes_bench::{asym_topology, baseline_capacity, flows, run_point, PointCfg, TextTable};
 use hermes_core::HermesParams;
 use hermes_runtime::Scheme;
+use hermes_sim::Time;
 use hermes_workload::FlowSizeDist;
-use hermes_bench::{asym_topology, baseline_capacity, flows, PointCfg, run_point, TextTable};
 
 /// One tunable dimension: a label, candidate values, and a setter.
 struct Dim {
@@ -69,11 +69,8 @@ fn dims() -> Vec<Dim> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let workload = args.get(1).map(String::as_str).unwrap_or("dm");
-    let load: f64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.7);
+    let workload = args.get(1).map_or("dm", String::as_str);
+    let load: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.7);
     let (dist, base_flows) = match workload {
         "web" => (FlowSizeDist::web_search(), 800),
         _ => (FlowSizeDist::data_mining(), 200),
@@ -96,7 +93,10 @@ fn main() {
 
     let mut best = HermesParams::from_topology(&topo);
     let mut best_fct = evaluate(&best);
-    println!("rules-of-thumb starting point: avg FCT {:.3} ms", best_fct * 1e3);
+    println!(
+        "rules-of-thumb starting point: avg FCT {:.3} ms",
+        best_fct * 1e3
+    );
 
     let dims = dims();
     let mut evals = 1;

@@ -8,13 +8,13 @@
 //! topology-dependent weights — falls off a cliff past 60% load from
 //! congestion mismatch.
 
+use hermes_bench::GridSpec;
 use hermes_core::HermesParams;
 use hermes_lb::CloveCfg;
 use hermes_net::{LeafId, SpineId, Topology};
 use hermes_runtime::Scheme;
 use hermes_sim::Time;
 use hermes_workload::FlowSizeDist;
-use hermes_bench::GridSpec;
 
 fn main() {
     let mut topo = Topology::testbed();

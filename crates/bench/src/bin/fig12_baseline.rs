@@ -6,13 +6,13 @@
 //! than ECMP at high load and up to 4% *better* than CONGA (its timely
 //! rerouting resolves large-flow collisions that never form flowlets).
 
+use hermes_bench::GridSpec;
 use hermes_core::HermesParams;
 use hermes_lb::{CloveCfg, CongaCfg};
 use hermes_net::Topology;
 use hermes_runtime::Scheme;
 use hermes_sim::Time;
 use hermes_workload::FlowSizeDist;
-use hermes_bench::GridSpec;
 
 fn main() {
     let topo = Topology::sim_baseline();
@@ -20,17 +20,26 @@ fn main() {
         (FlowSizeDist::web_search(), 2000, 3),
         (FlowSizeDist::data_mining(), 400, 8),
     ] {
-        GridSpec::new("Figure 12: 8x8 baseline (symmetric) — overall avg FCT", topo.clone(), dist)
-            .scheme("ecmp", Scheme::Ecmp)
-            .scheme("letflow", Scheme::LetFlow { flowlet_timeout: Time::from_us(150) })
-            .scheme("clove-ecn", Scheme::Clove(CloveCfg::default()))
-            .scheme("presto*", Scheme::presto())
-            .scheme("conga", Scheme::Conga(CongaCfg::default()))
-            .scheme("hermes", Scheme::Hermes(HermesParams::from_topology(&topo)))
-            .loads(&[0.5, 0.8])
-            .flows(base)
-            .drain(Time::from_secs(drain_s))
-            .run();
+        GridSpec::new(
+            "Figure 12: 8x8 baseline (symmetric) — overall avg FCT",
+            topo.clone(),
+            dist,
+        )
+        .scheme("ecmp", Scheme::Ecmp)
+        .scheme(
+            "letflow",
+            Scheme::LetFlow {
+                flowlet_timeout: Time::from_us(150),
+            },
+        )
+        .scheme("clove-ecn", Scheme::Clove(CloveCfg::default()))
+        .scheme("presto*", Scheme::presto())
+        .scheme("conga", Scheme::Conga(CongaCfg::default()))
+        .scheme("hermes", Scheme::Hermes(HermesParams::from_topology(&topo)))
+        .loads(&[0.5, 0.8])
+        .flows(base)
+        .drain(Time::from_secs(drain_s))
+        .run();
     }
     println!("(paper: web-search — Hermes ≤55% over ECMP, within 17% of CONGA;");
     println!(" data-mining — Hermes ~29% over ECMP, slightly ahead of CONGA)");

@@ -6,12 +6,12 @@
 //! CLOVE-ECN / LetFlow by 13–20% — the data-mining workload is too
 //! smooth to produce the flowlet gaps those schemes depend on.
 
+use hermes_bench::{asym_topology, baseline_capacity, GridSpec};
 use hermes_core::HermesParams;
 use hermes_lb::{CloveCfg, CongaCfg};
 use hermes_runtime::Scheme;
 use hermes_sim::Time;
 use hermes_workload::FlowSizeDist;
-use hermes_bench::{asym_topology, baseline_capacity, GridSpec};
 
 fn main() {
     let topo = asym_topology();
@@ -22,7 +22,12 @@ fn main() {
     )
     .scheme("hermes", Scheme::Hermes(HermesParams::from_topology(&topo)))
     .scheme("conga", Scheme::Conga(CongaCfg::default()))
-    .scheme("letflow", Scheme::LetFlow { flowlet_timeout: Time::from_us(150) })
+    .scheme(
+        "letflow",
+        Scheme::LetFlow {
+            flowlet_timeout: Time::from_us(150),
+        },
+    )
     .scheme("clove-ecn", Scheme::Clove(CloveCfg::default()))
     .scheme("presto*-weighted", Scheme::presto_weighted())
     .loads(&[0.5, 0.8])

@@ -8,11 +8,11 @@
 //! flips paths vigorously — reordering alone does not explain the loss,
 //! because reordering is masked here.
 
+use hermes_bench::{asym_topology, baseline_capacity, GridSpec};
 use hermes_lb::CongaCfg;
 use hermes_runtime::Scheme;
 use hermes_sim::Time;
 use hermes_workload::FlowSizeDist;
-use hermes_bench::{asym_topology, baseline_capacity, GridSpec};
 
 fn main() {
     let topo = asym_topology();

@@ -11,13 +11,13 @@
 //! LetFlow partially escapes (drops create flowlet gaps) but still
 //! trails Hermes ~1.5×.
 
+use hermes_bench::GridSpec;
 use hermes_core::HermesParams;
 use hermes_lb::{CloveCfg, CongaCfg};
 use hermes_net::{SpineFailure, SpineId, Topology};
 use hermes_runtime::Scheme;
 use hermes_sim::Time;
 use hermes_workload::FlowSizeDist;
-use hermes_bench::GridSpec;
 
 fn main() {
     let topo = Topology::sim_baseline();
@@ -28,7 +28,12 @@ fn main() {
     )
     .scheme("ecmp", Scheme::Ecmp)
     .scheme("presto*", Scheme::presto())
-    .scheme("letflow", Scheme::LetFlow { flowlet_timeout: Time::from_us(150) })
+    .scheme(
+        "letflow",
+        Scheme::LetFlow {
+            flowlet_timeout: Time::from_us(150),
+        },
+    )
     .scheme("clove-ecn", Scheme::Clove(CloveCfg::default()))
     .scheme("conga", Scheme::Conga(CongaCfg::default()))
     .scheme("hermes", Scheme::Hermes(HermesParams::from_topology(&topo)))

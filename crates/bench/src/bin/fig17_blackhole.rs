@@ -10,13 +10,13 @@
 //! flow has path diversity per packet) but all affected flows crawl.
 //! LetFlow is second best yet still >1.6× behind.
 
+use hermes_bench::GridSpec;
 use hermes_core::HermesParams;
 use hermes_lb::{CloveCfg, CongaCfg};
 use hermes_net::{LeafId, SpineFailure, SpineId, Topology};
 use hermes_runtime::Scheme;
 use hermes_sim::Time;
 use hermes_workload::FlowSizeDist;
-use hermes_bench::GridSpec;
 
 fn main() {
     let topo = Topology::sim_baseline();
@@ -31,7 +31,12 @@ fn main() {
     )
     .scheme("ecmp", Scheme::Ecmp)
     .scheme("presto*", Scheme::presto())
-    .scheme("letflow", Scheme::LetFlow { flowlet_timeout: Time::from_us(150) })
+    .scheme(
+        "letflow",
+        Scheme::LetFlow {
+            flowlet_timeout: Time::from_us(150),
+        },
+    )
     .scheme("clove-ecn", Scheme::Clove(CloveCfg::default()))
     .scheme("conga", Scheme::Conga(CongaCfg::default()))
     .scheme("hermes", Scheme::Hermes(HermesParams::from_topology(&topo)))

@@ -6,11 +6,11 @@
 //! overall average FCT; a 500 µs probe interval captures most of the
 //! probing benefit (~11–15%) and 100 µs adds only another 1–3%.
 
+use hermes_bench::{asym_topology, baseline_capacity, GridSpec};
 use hermes_core::HermesParams;
 use hermes_runtime::Scheme;
 use hermes_sim::Time;
 use hermes_workload::FlowSizeDist;
-use hermes_bench::{asym_topology, baseline_capacity, GridSpec};
 
 fn main() {
     let topo = asym_topology();

@@ -8,11 +8,11 @@
 //! (higher thresholds prune excessive reroutings) while the smooth
 //! data-mining workload prefers *aggressive* ones.
 
+use hermes_bench::{asym_topology, baseline_capacity, GridSpec};
 use hermes_core::HermesParams;
 use hermes_runtime::Scheme;
 use hermes_sim::Time;
 use hermes_workload::FlowSizeDist;
-use hermes_bench::{asym_topology, baseline_capacity, GridSpec};
 
 fn main() {
     let topo = asym_topology();

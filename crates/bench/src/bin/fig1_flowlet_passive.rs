@@ -15,13 +15,13 @@
 //! so CONGA's utilization metric steers both onto the other path.
 //! The "ideal" row is computed analytically for the same byte schedule.
 
-use hermes_sim::Time;
+use hermes_bench::TextTable;
 use hermes_core::HermesParams;
 use hermes_lb::CongaCfg;
 use hermes_net::{FlowId, HostId, LinkCfg, Topology};
 use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_sim::Time;
 use hermes_workload::FlowSpec;
-use hermes_bench::TextTable;
 
 const SMALL: u64 = 12_500_000; // A, B: 12.5 MB ≈ 20 ms at a shared 10G path
 const LARGE: u64 = 62_500_000; // C, D: 62.5 MB
@@ -92,7 +92,9 @@ fn main() {
     let ideal = shared_window + (LARGE as f64 - delivered_shared) * 8.0 / 10e9;
     let (conga, conga_runs) = run(&|_t| Scheme::Conga(CongaCfg::default()), seeds);
     let (letflow, lf_runs) = run(
-        &|_t| Scheme::LetFlow { flowlet_timeout: Time::from_us(150) },
+        &|_t| Scheme::LetFlow {
+            flowlet_timeout: Time::from_us(150),
+        },
         seeds,
     );
     let (hermes, hermes_runs) = run(&|t| Scheme::Hermes(HermesParams::from_topology(t)), seeds);

@@ -9,12 +9,12 @@
 //! while the S0→L2 queue oscillates. Hermes keeps A on S1 and delivers
 //! nearly line rate.
 
-use hermes_sim::Time;
+use hermes_bench::TextTable;
 use hermes_core::HermesParams;
 use hermes_net::{FlowId, HostId, LeafId, LinkCfg, PathId, SpineId, Topology};
 use hermes_runtime::{Probe, Scheme, SimConfig, Simulation};
+use hermes_sim::Time;
 use hermes_workload::FlowSpec;
-use hermes_bench::TextTable;
 
 fn topo() -> Topology {
     let mut t = Topology::leaf_spine(
@@ -40,7 +40,14 @@ fn run(scheme: Scheme) -> Outcome {
     let mut sim = Simulation::new(SimConfig::new(t, scheme).with_seed(3));
     // Flow B: UDP 9 Gbps from L0 (host 0) to L2 (host 4); its only live
     // path is S0.
-    sim.add_udp(HostId(0), HostId(4), 9_000_000_000, 1460, Some(PathId(0)), Time::ZERO);
+    sim.add_udp(
+        HostId(0),
+        HostId(4),
+        9_000_000_000,
+        1460,
+        Some(PathId(0)),
+        Time::ZERO,
+    );
     // Flow A: long DCTCP flow from L1 (host 2) to L2 (host 5).
     const SIZE: u64 = 60_000_000;
     sim.add_flow(FlowSpec {
@@ -50,14 +57,13 @@ fn run(scheme: Scheme) -> Outcome {
         size: SIZE,
         start: Time::from_ms(1),
     });
-    let qs = sim.add_sampler(Time::from_us(100), Probe::SpineDownQueue(SpineId(0), LeafId(2)));
+    let qs = sim.add_sampler(
+        Time::from_us(100),
+        Probe::SpineDownQueue(SpineId(0), LeafId(2)),
+    );
     let prog = sim.add_sampler(Time::from_ms(1), Probe::FlowDelivered(FlowId(0)));
     sim.run_until(Time::from_ms(61));
-    let delivered = sim
-        .sampler_series(prog)
-        .last()
-        .map(|&(_, v)| v)
-        .unwrap_or(0);
+    let delivered = sim.sampler_series(prog).last().map_or(0, |&(_, v)| v);
     let goodput = delivered as f64 * 8.0 / 0.060;
     let q: Vec<u64> = sim.sampler_series(qs).iter().map(|&(_, v)| v).collect();
     let q_mean = q.iter().sum::<u64>() as f64 / q.len() as f64 / 1e3;

@@ -9,12 +9,12 @@
 //! ≈5 Gbps of the 11 Gbps aggregate. Hermes simply keeps the flow on the
 //! big path.
 
-use hermes_sim::Time;
+use hermes_bench::TextTable;
 use hermes_core::HermesParams;
 use hermes_net::{FlowId, HostId, LeafId, LinkCfg, SpineId, Topology};
 use hermes_runtime::{Probe, Scheme, SimConfig, Simulation};
+use hermes_sim::Time;
 use hermes_workload::FlowSpec;
-use hermes_bench::TextTable;
 
 fn topo() -> Topology {
     let mut t = Topology::leaf_spine(
@@ -41,10 +41,13 @@ fn run(scheme: Scheme) -> (f64, f64) {
         size: SIZE,
         start: Time::ZERO,
     });
-    let qs = sim.add_sampler(Time::from_us(100), Probe::LeafUpQueue(LeafId(0), SpineId(0)));
+    let qs = sim.add_sampler(
+        Time::from_us(100),
+        Probe::LeafUpQueue(LeafId(0), SpineId(0)),
+    );
     let prog = sim.add_sampler(Time::from_ms(1), Probe::FlowDelivered(FlowId(0)));
     sim.run_until(Time::from_ms(40));
-    let delivered = sim.sampler_series(prog).last().map(|&(_, v)| v).unwrap_or(0);
+    let delivered = sim.sampler_series(prog).last().map_or(0, |&(_, v)| v);
     let goodput = delivered as f64 * 8.0 / 0.040 / 1e9;
     let qmax = sim
         .sampler_series(qs)
@@ -60,11 +63,7 @@ fn main() {
     println!("== Figure 3: weighted spray over 1G/10G heterogeneous paths ==");
     let (p_gbps, p_qmax) = run(Scheme::presto_weighted());
     let (h_gbps, h_qmax) = run(Scheme::Hermes(HermesParams::from_topology(&topo())));
-    let mut tab = TextTable::new(&[
-        "scheme",
-        "flow A goodput (Gbps)",
-        "1G-path queue max (KB)",
-    ]);
+    let mut tab = TextTable::new(&["scheme", "flow A goodput (Gbps)", "1G-path queue max (KB)"]);
     tab.row(vec![
         "Presto* (1:10 weights)".into(),
         format!("{p_gbps:.2}"),

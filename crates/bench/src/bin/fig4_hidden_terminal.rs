@@ -10,12 +10,12 @@
 //! window, spiking the S1→L2 queue (Fig. 4b). Hermes' probing sees B's
 //! path as non-good before each burst starts.
 
-use hermes_sim::Time;
+use hermes_bench::TextTable;
 use hermes_core::HermesParams;
 use hermes_net::{FlowId, HostId, LeafId, LinkCfg, SpineId, Topology};
 use hermes_runtime::{Probe, Scheme, SimConfig, Simulation};
+use hermes_sim::Time;
 use hermes_workload::FlowSpec;
-use hermes_bench::TextTable;
 
 fn topo() -> Topology {
     Topology::leaf_spine(
@@ -60,8 +60,14 @@ fn run(scheme: Scheme) -> Outcome {
             start: Time::from_ms(2 + 13 * i),
         });
     }
-    let q0 = sim.add_sampler(Time::from_us(100), Probe::SpineDownQueue(SpineId(0), LeafId(2)));
-    let q1 = sim.add_sampler(Time::from_us(100), Probe::SpineDownQueue(SpineId(1), LeafId(2)));
+    let q0 = sim.add_sampler(
+        Time::from_us(100),
+        Probe::SpineDownQueue(SpineId(0), LeafId(2)),
+    );
+    let q1 = sim.add_sampler(
+        Time::from_us(100),
+        Probe::SpineDownQueue(SpineId(1), LeafId(2)),
+    );
     sim.run_until(Time::from_ms(250));
     let ecn_k = 100_000u64; // 10G marking threshold
     let spikes_s1 = sim
@@ -79,8 +85,7 @@ fn run(scheme: Scheme) -> Outcome {
     };
     let b_fct = sim.records()[0]
         .finish
-        .map(|f| (f - sim.records()[0].start).as_millis_f64())
-        .unwrap_or(f64::NAN);
+        .map_or(f64::NAN, |f| (f - sim.records()[0].start).as_millis_f64());
     Outcome {
         spikes_s1,
         q_max_kb: [qmax(q0), qmax(q1)],

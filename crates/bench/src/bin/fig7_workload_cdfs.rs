@@ -12,7 +12,10 @@ fn main() {
         println!("\n-- {} --", dist.name());
         let mut t = TextTable::new(&["percentile", "flow size (bytes)"]);
         for p in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0] {
-            t.row(vec![format!("{:.0}%", p * 100.0), format!("{:.0}", dist.quantile(p))]);
+            t.row(vec![
+                format!("{:.0}%", p * 100.0),
+                format!("{:.0}", dist.quantile(p)),
+            ]);
         }
         t.print();
         println!("mean flow size: {:.2} MB", dist.mean_bytes() / 1e6);

@@ -5,13 +5,13 @@
 //! beats CLOVE-ECN by 9–15% at 30–70% load, and tracks Presto* (which is
 //! near-optimal on symmetric fabrics).
 
+use hermes_bench::GridSpec;
 use hermes_core::HermesParams;
 use hermes_lb::CloveCfg;
 use hermes_net::Topology;
 use hermes_runtime::Scheme;
 use hermes_sim::Time;
 use hermes_workload::FlowSizeDist;
-use hermes_bench::GridSpec;
 
 fn main() {
     let topo = Topology::testbed();
@@ -24,15 +24,19 @@ fn main() {
         (FlowSizeDist::web_search(), 350, 5),
         (FlowSizeDist::data_mining(), 140, 20),
     ] {
-        GridSpec::new("Figure 9: testbed symmetric — overall avg FCT", topo.clone(), dist)
-            .scheme("ecmp", Scheme::Ecmp)
-            .scheme("clove-ecn", Scheme::Clove(clove))
-            .scheme("presto*", Scheme::presto())
-            .scheme("hermes", Scheme::Hermes(HermesParams::paper_testbed(&topo)))
-            .loads(&[0.3, 0.5, 0.7, 0.9])
-            .flows(base)
-            .drain(Time::from_secs(drain_s))
-            .run();
+        GridSpec::new(
+            "Figure 9: testbed symmetric — overall avg FCT",
+            topo.clone(),
+            dist,
+        )
+        .scheme("ecmp", Scheme::Ecmp)
+        .scheme("clove-ecn", Scheme::Clove(clove))
+        .scheme("presto*", Scheme::presto())
+        .scheme("hermes", Scheme::Hermes(HermesParams::paper_testbed(&topo)))
+        .loads(&[0.3, 0.5, 0.7, 0.9])
+        .flows(base)
+        .drain(Time::from_secs(drain_s))
+        .run();
     }
     println!("(paper: Hermes 10-38% over ECMP, 9-15% over CLOVE-ECN at 30-70% load,");
     println!(" comparable to Presto* which is near-optimal under symmetry)");

@@ -9,9 +9,9 @@
 //! enough visibility (§2.2.1).
 
 use hermes_bench::{flows, run_point, PointCfg, TextTable};
-use hermes_sim::Time;
 use hermes_net::Topology;
 use hermes_runtime::Scheme;
+use hermes_sim::Time;
 use hermes_workload::FlowSizeDist;
 
 fn main() {

@@ -6,6 +6,7 @@
 //! CONGA (with a 500 µs flowlet timeout — TCP is bursty enough to form
 //! flowlets); under data-mining they are nearly identical.
 
+use hermes_bench::GridSpec;
 use hermes_core::HermesParams;
 use hermes_lb::CongaCfg;
 use hermes_net::Topology;
@@ -13,7 +14,6 @@ use hermes_runtime::Scheme;
 use hermes_sim::Time;
 use hermes_transport::TransportCfg;
 use hermes_workload::FlowSizeDist;
-use hermes_bench::GridSpec;
 
 fn main() {
     let topo = Topology::sim_baseline();
@@ -33,7 +33,10 @@ fn main() {
         )
         .scheme("ecmp", Scheme::Ecmp)
         .scheme("conga-500us", Scheme::Conga(conga))
-        .scheme("hermes-rtt-only", Scheme::Hermes(HermesParams::for_tcp(&topo)))
+        .scheme(
+            "hermes-rtt-only",
+            Scheme::Hermes(HermesParams::for_tcp(&topo)),
+        )
         .loads(&[0.4, 0.6])
         .flows(base)
         .transport(TransportCfg::tcp())

@@ -110,16 +110,12 @@ impl GridSpec {
                 let t0 = std::time::Instant::now();
                 let mut sums = Vec::new();
                 for seed in 0..runs() {
-                    let mut cfg = PointCfg::new(
-                        self.topo.clone(),
-                        scheme.clone(),
-                        self.dist.clone(),
-                        load,
-                    )
-                    .flows(flows(self.base_flows))
-                    .seed(1_000 + seed)
-                    .transport(self.transport)
-                    .drain(self.drain);
+                    let mut cfg =
+                        PointCfg::new(self.topo.clone(), scheme.clone(), self.dist.clone(), load)
+                            .flows(flows(self.base_flows))
+                            .seed(1_000 + seed)
+                            .transport(self.transport)
+                            .drain(self.drain);
                     if let Some(c) = self.capacity {
                         cfg = cfg.capacity(c);
                     }

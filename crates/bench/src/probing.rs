@@ -158,7 +158,10 @@ mod tests {
         assert!(brute.overhead_frac / po2c.overhead_frac > 30.0);
         // "This further reduces the overhead by 100×"
         let agent_gain = po2c.overhead_frac / hermes.overhead_frac;
-        assert!((50.0..200.0).contains(&agent_gain), "agent gain {agent_gain}");
+        assert!(
+            (50.0..200.0).contains(&agent_gain),
+            "agent gain {agent_gain}"
+        );
         // "over 3000× better than the brute-force approach"
         assert!(brute.overhead_frac / hermes.overhead_frac > 3000.0);
     }
@@ -171,7 +174,7 @@ mod tests {
         assert_eq!(rows[1].visibility, 100.0); // brute
         assert_eq!(rows[2].visibility, 3.0); // po2c
         assert_eq!(rows[3].visibility, 3.0); // hermes
-        // "over 300× better visibility than piggybacking"
+                                             // "over 300× better visibility than piggybacking"
         assert!(rows[3].visibility / rows[0].visibility > 300.0);
     }
 }

@@ -1,9 +1,9 @@
 //! Single experiment-point runner: one (topology, scheme, workload,
 //! load, seed) tuple → FCT summary.
 
-use hermes_sim::{SimRng, Time};
 use hermes_net::{SpineFailure, SpineId, Topology};
 use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_sim::{SimRng, Time};
 use hermes_transport::TransportCfg;
 use hermes_workload::{summarize, FctSummary, FlowGen, FlowSizeDist};
 
@@ -112,7 +112,7 @@ pub fn run_point(cfg: &PointCfg) -> PointResult {
         SimRng::new(cfg.seed).split(0x6E4),
     );
     let specs = gen.schedule(cfg.n_flows);
-    let last_arrival = specs.last().map(|s| s.start).unwrap_or(Time::ZERO);
+    let last_arrival = specs.last().map_or(Time::ZERO, |s| s.start);
     let mut sim_cfg = SimConfig::new(cfg.topo.clone(), cfg.scheme.clone())
         .with_seed(cfg.seed)
         .with_transport(cfg.transport)
@@ -177,7 +177,10 @@ mod tests {
         let topo = Topology::testbed();
         let cfg = PointCfg::new(topo, Scheme::Ecmp, FlowSizeDist::web_search(), 0.3)
             .flows(60)
-            .failure(SpineId(0), SpineFailure::blackhole(LeafId(0), LeafId(1), 1.0))
+            .failure(
+                SpineId(0),
+                SpineFailure::blackhole(LeafId(0), LeafId(1), 1.0),
+            )
             .drain(Time::from_ms(500));
         let r = run_point(&cfg);
         assert!(r.fct.unfinished > 0, "blackholed ECMP flows cannot finish");
@@ -185,12 +188,16 @@ mod tests {
 
     #[test]
     fn averaging_is_componentwise() {
-        let mut a = FctSummary::default();
-        a.avg = 1.0;
-        a.p99 = 2.0;
-        let mut b = FctSummary::default();
-        b.avg = 3.0;
-        b.p99 = 6.0;
+        let a = FctSummary {
+            avg: 1.0,
+            p99: 2.0,
+            ..Default::default()
+        };
+        let b = FctSummary {
+            avg: 3.0,
+            p99: 6.0,
+            ..Default::default()
+        };
         let m = avg_summaries(&[a, b]);
         assert_eq!(m.avg, 2.0);
         assert_eq!(m.p99, 4.0);

@@ -9,7 +9,7 @@ pub struct TextTable {
 impl TextTable {
     pub fn new(header: &[&str]) -> TextTable {
         TextTable {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(|&s| String::from(s)).collect(),
             rows: Vec::new(),
         }
     }

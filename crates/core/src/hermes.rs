@@ -21,11 +21,11 @@
 //!   vigorous rerouting that causes congestion mismatch (§2.2.2).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use hermes_sim::{SimRng, Time};
 use hermes_net::{Dre, EdgeLb, FlowCtx, LeafId, PathId, ProbeTarget, Topology};
+use hermes_sim::{SimRng, Time};
 
 use crate::params::HermesParams;
 use crate::state::{PathState, PathType};
@@ -71,7 +71,11 @@ impl RackSensing {
     }
 
     /// Shared handle for all hosts of the rack.
-    pub fn shared(topo: &Topology, my_leaf: LeafId, params: HermesParams) -> Rc<RefCell<RackSensing>> {
+    pub fn shared(
+        topo: &Topology,
+        my_leaf: LeafId,
+        params: HermesParams,
+    ) -> Rc<RefCell<RackSensing>> {
         Rc::new(RefCell::new(RackSensing::new(topo, my_leaf, params)))
     }
 
@@ -113,7 +117,7 @@ pub struct Hermes {
     /// Whether this host is its rack's probe agent.
     is_agent: bool,
     /// Host-local per-path aggregate sending rate `r_p`.
-    r_p: HashMap<(LeafId, PathId), Dre>,
+    r_p: BTreeMap<(LeafId, PathId), Dre>,
 }
 
 impl Hermes {
@@ -121,7 +125,7 @@ impl Hermes {
         Hermes {
             shared,
             is_agent,
-            r_p: HashMap::new(),
+            r_p: BTreeMap::new(),
         }
     }
 
@@ -147,14 +151,9 @@ impl Hermes {
         now: Time,
         rng: &mut SimRng,
     ) -> Option<PathId> {
-        let rates: Vec<(f64, PathId)> = set
-            .iter()
-            .map(|&p| (self.rp_bps(dst, p, now), p))
-            .collect();
-        let min = rates
-            .iter()
-            .map(|&(r, _)| r)
-            .fold(f64::INFINITY, f64::min);
+        let rates: Vec<(f64, PathId)> =
+            set.iter().map(|&p| (self.rp_bps(dst, p, now), p)).collect();
+        let min = rates.iter().map(|&(r, _)| r).fold(f64::INFINITY, f64::min);
         let tied: Vec<PathId> = rates
             .iter()
             .filter(|&&(r, _)| r <= min * 1.001 + 1.0)
@@ -170,11 +169,7 @@ impl Hermes {
 
 /// `cur − cand > Δ` on both RTT and ECN fraction (§3.2; RTT alone in
 /// RTT-only mode).
-fn notably_better(
-    params: &HermesParams,
-    cur: &PathState,
-    cand: &PathState,
-) -> bool {
+fn notably_better(params: &HermesParams, cur: &PathState, cand: &PathState) -> bool {
     let (Some(cur_rtt), Some(cand_rtt)) = (cur.t_rtt(), cand.t_rtt()) else {
         return false;
     };
@@ -204,11 +199,7 @@ impl EdgeLb for Hermes {
         };
         let class_of = |p: PathId| classes.iter().find(|(q, _)| *q == p).map(|(_, t)| *t);
         let cur = ctx.current_path;
-        let cur_class = if cur.is_spine() {
-            class_of(cur)
-        } else {
-            None
-        };
+        let cur_class = if cur.is_spine() { class_of(cur) } else { None };
 
         let of = |t: PathType| -> Vec<PathId> {
             classes
@@ -219,8 +210,10 @@ impl EdgeLb for Hermes {
         };
 
         // Lines 3–12: new flow, post-timeout, or failed path.
-        let needs_placement =
-            ctx.is_new || ctx.timed_out || cur_class.is_none() || cur_class == Some(PathType::Failed);
+        let needs_placement = ctx.is_new
+            || ctx.timed_out
+            || cur_class.is_none()
+            || cur_class == Some(PathType::Failed);
         if needs_placement {
             let good = of(PathType::Good);
             let chosen = if let Some(p) = self.argmin_rp(d, &good, now, rng) {
@@ -239,6 +232,13 @@ impl EdgeLb for Hermes {
                     non_failed[rng.below(non_failed.len())]
                 }
             };
+            // Algorithm 2 line 12: a failed path is eligible only when
+            // every candidate has failed (keep trying *somewhere*).
+            debug_assert!(
+                classes.iter().all(|&(_, c)| c == PathType::Failed)
+                    || class_of(chosen) != Some(PathType::Failed),
+                "Algorithm 2 placed a flow on a failed path despite a live alternative"
+            );
             let mut sh = self.shared.borrow_mut();
             if cur_class == Some(PathType::Failed) {
                 sh.stat_failovers += 1;
@@ -274,6 +274,13 @@ impl EdgeLb for Hermes {
                     }
                 };
                 if let Some(p) = self.argmin_rp(d, &pick, now, rng) {
+                    // Reroute targets come from the good/gray classes
+                    // only — never a failed path.
+                    debug_assert_ne!(
+                        class_of(p),
+                        Some(PathType::Failed),
+                        "cautious reroute chose a failed path"
+                    );
                     self.shared.borrow_mut().stat_reroutes += 1;
                     return p;
                 }
@@ -365,7 +372,10 @@ impl EdgeLb for Hermes {
                     targets.push(best);
                 }
             }
-            plan.extend(targets.into_iter().map(|path| ProbeTarget { dst_leaf: dst, path }));
+            plan.extend(targets.into_iter().map(|path| ProbeTarget {
+                dst_leaf: dst,
+                path,
+            }));
         }
         sh.stat_probes += plan.len() as u64;
         plan
@@ -414,7 +424,14 @@ mod tests {
     }
 
     /// Feed a path signals that classify it as `good`/`congested`.
-    fn feed(sh: &Rc<RefCell<RackSensing>>, dst: LeafId, p: PathId, rtt: Time, ecn: bool, now: Time) {
+    fn feed(
+        sh: &Rc<RefCell<RackSensing>>,
+        dst: LeafId,
+        p: PathId,
+        rtt: Time,
+        ecn: bool,
+        now: Time,
+    ) {
         let mut s = sh.borrow_mut();
         let params = s.params;
         for _ in 0..100 {
@@ -592,7 +609,14 @@ mod tests {
         let (sh, mut h, _params) = setup();
         let mut rng = SimRng::new(1);
         // Give dst leaf 3 a known-best path.
-        feed(&sh, LeafId(3), PathId(6), Time::from_us(70), false, Time::from_ms(1));
+        feed(
+            &sh,
+            LeafId(3),
+            PathId(6),
+            Time::from_us(70),
+            false,
+            Time::from_ms(1),
+        );
         let plan = h.probe_plan(Time::from_ms(1), &mut rng);
         // 7 destination racks; 2 or 3 probes each.
         let per_dst: Vec<usize> = (0..8u16)
@@ -651,7 +675,14 @@ mod tests {
     fn non_spine_signals_are_ignored() {
         let (sh, mut h, _params) = setup();
         let c = ctx_new();
-        h.on_ack(&c, PathId::DIRECT, Some(Time::from_us(50)), true, 1460, Time::from_ms(1));
+        h.on_ack(
+            &c,
+            PathId::DIRECT,
+            Some(Time::from_us(50)),
+            true,
+            1460,
+            Time::from_ms(1),
+        );
         h.on_timeout(&c, PathId::UNSET, Time::from_ms(1));
         h.on_retransmit(&c, PathId::DIRECT, Time::from_ms(1));
         h.on_data_sent(&c, PathId::UNSET, 1460, Time::from_ms(1));

@@ -1,8 +1,8 @@
 //! Hermes parameters (Table 4) and the §3.3 rules of thumb that derive
 //! them from a topology.
 
-use hermes_sim::Time;
 use hermes_net::Topology;
+use hermes_sim::Time;
 
 /// All tunables of Hermes, with the paper's recommended defaults.
 #[derive(Clone, Copy, Debug)]

@@ -246,6 +246,13 @@ impl PathState {
 
     /// Full Algorithm 1: failure rules first, then congestion classes.
     pub fn characterize(&mut self, p: &HermesParams, now: Time) -> PathType {
+        // Algorithm 1's classes are mutually exclusive only if the RTT
+        // band is well-formed: good demands rtt < t_rtt_low, congested
+        // demands rtt > t_rtt_high.
+        debug_assert!(
+            p.t_rtt_low <= p.t_rtt_high,
+            "RTT thresholds inverted: the good and congested classes must be disjoint"
+        );
         if self.check_random_drop_failure() {
             return PathType::Failed;
         }
@@ -288,7 +295,10 @@ mod tests {
         let high_rtt = p.t_rtt_high.as_us() + 50;
         let mid_rtt = (p.t_rtt_low.as_us() + p.t_rtt_high.as_us()) / 2;
         // low ECN + low RTT = good.
-        assert_eq!(fresh(&p, low_rtt, 0.05, now).characterize(&p, now), PathType::Good);
+        assert_eq!(
+            fresh(&p, low_rtt, 0.05, now).characterize(&p, now),
+            PathType::Good
+        );
         // high ECN + high RTT = congested.
         assert_eq!(
             fresh(&p, high_rtt, 0.8, now).characterize(&p, now),
@@ -296,11 +306,20 @@ mod tests {
         );
         // high ECN + low RTT = gray ("not enough ECN samples or all
         // delay at one hop").
-        assert_eq!(fresh(&p, low_rtt, 0.8, now).characterize(&p, now), PathType::Gray);
+        assert_eq!(
+            fresh(&p, low_rtt, 0.8, now).characterize(&p, now),
+            PathType::Gray
+        );
         // low ECN + high RTT = gray ("network stack incurs high RTT").
-        assert_eq!(fresh(&p, high_rtt, 0.05, now).characterize(&p, now), PathType::Gray);
+        assert_eq!(
+            fresh(&p, high_rtt, 0.05, now).characterize(&p, now),
+            PathType::Gray
+        );
         // low ECN + moderate RTT = gray ("moderately loaded").
-        assert_eq!(fresh(&p, mid_rtt, 0.05, now).characterize(&p, now), PathType::Gray);
+        assert_eq!(
+            fresh(&p, mid_rtt, 0.05, now).characterize(&p, now),
+            PathType::Gray
+        );
     }
 
     #[test]
@@ -354,7 +373,7 @@ mod tests {
             }
         }
         // Roll past a window boundary and check.
-        now = now + p.retx_window;
+        now += p.retx_window;
         s.on_sent(&p, now);
         assert_eq!(s.characterize(&p, now), PathType::Failed);
     }
@@ -373,7 +392,7 @@ mod tests {
             }
             s.sample(Some(high), true, &p, now); // congested signals
         }
-        now = now + p.retx_window;
+        now += p.retx_window;
         s.on_sent(&p, now); // rolls the τ window, publishing the fraction
         s.sample(Some(high), true, &p, now); // signals stay fresh while data flows
         assert_eq!(

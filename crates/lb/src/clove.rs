@@ -7,10 +7,10 @@
 //! a path by weighted choice. Visibility is limited to paths the host's
 //! own traffic touches — the limitation Table 2 and §5.3.2 quantify.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use hermes_sim::{SimRng, Time};
 use hermes_net::{EdgeLb, FlowCtx, FlowId, LeafId, PathId};
+use hermes_sim::{SimRng, Time};
 
 use crate::flowlet::FlowletTable;
 
@@ -38,7 +38,7 @@ impl Default for CloveCfg {
 
 /// Per-destination-leaf weight vector.
 struct Weights {
-    w: HashMap<PathId, f64>,
+    w: BTreeMap<PathId, f64>,
 }
 
 impl Weights {
@@ -56,7 +56,10 @@ impl Weights {
 
     /// Weighted random choice among live candidates.
     fn choose(&self, candidates: &[PathId], rng: &mut SimRng) -> PathId {
-        let total: f64 = candidates.iter().map(|p| self.w.get(p).copied().unwrap_or(1.0)).sum();
+        let total: f64 = candidates
+            .iter()
+            .map(|p| self.w.get(p).copied().unwrap_or(1.0))
+            .sum();
         let mut x = rng.f64() * total;
         for &p in candidates {
             let w = self.w.get(&p).copied().unwrap_or(1.0);
@@ -80,7 +83,7 @@ impl Weights {
         let removed = (*cur * beta).min(*cur - min_weight).max(0.0);
         *cur -= removed;
         let share = removed / (n - 1) as f64;
-        for (p, w) in self.w.iter_mut() {
+        for (p, w) in &mut self.w {
             if *p != path {
                 *w += share;
             }
@@ -91,7 +94,7 @@ impl Weights {
 /// CLOVE-ECN.
 pub struct CloveEcn {
     cfg: CloveCfg,
-    weights: HashMap<LeafId, Weights>,
+    weights: BTreeMap<LeafId, Weights>,
     flowlets: FlowletTable<FlowId>,
 }
 
@@ -99,14 +102,17 @@ impl CloveEcn {
     pub fn new(cfg: CloveCfg) -> CloveEcn {
         CloveEcn {
             flowlets: FlowletTable::new(cfg.flowlet_timeout),
-            weights: HashMap::new(),
+            weights: BTreeMap::new(),
             cfg,
         }
     }
 
     /// Current weight of a path (testing/diagnostics).
     pub fn weight(&self, dst_leaf: LeafId, path: PathId) -> Option<f64> {
-        self.weights.get(&dst_leaf).and_then(|w| w.w.get(&path)).copied()
+        self.weights
+            .get(&dst_leaf)
+            .and_then(|w| w.w.get(&path))
+            .copied()
     }
 }
 

@@ -21,8 +21,10 @@
 //! metrics are `f32` rather than 3-bit quantized, and the overlay
 //! encapsulation is the simulator's explicit path tag.
 
+use hermes_net::{
+    Dre, FabricLb, FlowId, HostId, LeafId, LinkRef, Packet, PathId, Topology, Uplinks,
+};
 use hermes_sim::{SimRng, Time};
-use hermes_net::{Dre, FabricLb, FlowId, HostId, LeafId, LinkRef, Packet, PathId, Topology};
 
 use crate::flowlet::FlowletTable;
 
@@ -81,7 +83,11 @@ impl Conga {
     pub fn new(topo: &Topology, cfg: CongaCfg) -> Conga {
         let (nl, ns) = (topo.n_leaves, topo.n_spines);
         let up_rate: Vec<Vec<u64>> = (0..nl)
-            .map(|l| (0..ns).map(|s| topo.up[l][s].map_or(0, |c| c.rate_bps)).collect())
+            .map(|l| {
+                (0..ns)
+                    .map(|s| topo.up[l][s].map_or(0, |c| c.rate_bps))
+                    .collect()
+            })
             .collect();
         Conga {
             n_spines: ns,
@@ -127,11 +133,11 @@ impl FabricLb for Conga {
         leaf: LeafId,
         dst_leaf: LeafId,
         pkt: &Packet,
-        candidates: &[PathId],
-        _uplink_qbytes: &[u64],
+        uplinks: Uplinks<'_>,
         now: Time,
         rng: &mut SimRng,
     ) -> PathId {
+        let candidates = uplinks.paths;
         let key = (pkt.flow, leaf);
         if let Some(p) = self.flowlets.current(key, now) {
             if candidates.contains(&p) {
@@ -241,16 +247,25 @@ mod tests {
         // Saturate uplink 0 of leaf 0 via the DRE.
         for _ in 0..200 {
             let mut p = data(9, 0, 16);
-            c.on_forward(LinkRef::Up { leaf: LeafId(0), spine: 0 }, &mut p, now);
+            c.on_forward(
+                LinkRef::Up {
+                    leaf: LeafId(0),
+                    spine: 0,
+                },
+                &mut p,
+                now,
+            );
         }
-        let mut picks = std::collections::HashSet::new();
+        let mut picks = std::collections::BTreeSet::new();
         for f in 0..50 {
             let p = c.ingress_select(
                 LeafId(0),
                 LeafId(1),
                 &data(f, 0, 16),
-                &cands(8),
-                &[0; 8],
+                Uplinks {
+                    paths: &cands(8),
+                    qbytes: &[0; 8],
+                },
                 now,
                 &mut rng,
             );
@@ -273,7 +288,14 @@ mod tests {
         // 2. A reverse packet (leaf 1 → leaf 0) gets the feedback stamped
         //    at leaf 1's uplink...
         let mut rev = data(2, 16, 0);
-        c.on_forward(LinkRef::Up { leaf: LeafId(1), spine: 5 }, &mut rev, now);
+        c.on_forward(
+            LinkRef::Up {
+                leaf: LeafId(1),
+                spine: 5,
+            },
+            &mut rev,
+            now,
+        );
         assert!(rev.meta.fb_valid);
         assert_eq!(rev.meta.fb_tag, 3);
         // 3. ...and leaf 0 consumes it into its to-leaf table.
@@ -297,7 +319,10 @@ mod tests {
         assert!(c.to_leaf_metric(LeafId(0), LeafId(1), PathId(2), before) > 0.8);
         // Past it: treated as empty — the Example 4 failure mode.
         let after = now + Time::from_ms(10) + Time::from_us(1);
-        assert_eq!(c.to_leaf_metric(LeafId(0), LeafId(1), PathId(2), after), 0.0);
+        assert_eq!(
+            c.to_leaf_metric(LeafId(0), LeafId(1), PathId(2), after),
+            0.0
+        );
     }
 
     #[test]
@@ -308,8 +333,10 @@ mod tests {
             LeafId(0),
             LeafId(1),
             &data(7, 0, 16),
-            &cands(8),
-            &[0; 8],
+            Uplinks {
+                paths: &cands(8),
+                qbytes: &[0; 8],
+            },
             Time::from_us(10),
             &mut rng,
         );
@@ -317,7 +344,10 @@ mod tests {
         for _ in 0..200 {
             let mut p = data(9, 1, 17);
             c.on_forward(
-                LinkRef::Up { leaf: LeafId(0), spine: p0.0 },
+                LinkRef::Up {
+                    leaf: LeafId(0),
+                    spine: p0.0,
+                },
                 &mut p,
                 Time::from_us(20),
             );
@@ -326,8 +356,10 @@ mod tests {
             LeafId(0),
             LeafId(1),
             &data(7, 0, 16),
-            &cands(8),
-            &[0; 8],
+            Uplinks {
+                paths: &cands(8),
+                qbytes: &[0; 8],
+            },
             Time::from_us(30),
             &mut rng,
         );
@@ -337,8 +369,10 @@ mod tests {
             LeafId(0),
             LeafId(1),
             &data(7, 0, 16),
-            &cands(8),
-            &[0; 8],
+            Uplinks {
+                paths: &cands(8),
+                qbytes: &[0; 8],
+            },
             Time::from_us(30 + 151),
             &mut rng,
         );
@@ -353,12 +387,33 @@ mod tests {
         // Load the downlink DRE of spine 2 → leaf 1 heavily.
         for _ in 0..300 {
             let mut q = data(9, 32, 16);
-            c.on_forward(LinkRef::Down { spine: 2, leaf: LeafId(1) }, &mut q, now);
+            c.on_forward(
+                LinkRef::Down {
+                    spine: 2,
+                    leaf: LeafId(1),
+                },
+                &mut q,
+                now,
+            );
         }
         let before = p.meta.ce;
-        c.on_forward(LinkRef::Up { leaf: LeafId(0), spine: 2 }, &mut p, now);
+        c.on_forward(
+            LinkRef::Up {
+                leaf: LeafId(0),
+                spine: 2,
+            },
+            &mut p,
+            now,
+        );
         let after_up = p.meta.ce;
-        c.on_forward(LinkRef::Down { spine: 2, leaf: LeafId(1) }, &mut p, now);
+        c.on_forward(
+            LinkRef::Down {
+                spine: 2,
+                leaf: LeafId(1),
+            },
+            &mut p,
+            now,
+        );
         assert!(p.meta.ce >= after_up && after_up >= before);
         assert!(p.meta.ce > 0.5, "hot downlink must dominate: {}", p.meta.ce);
     }

@@ -8,17 +8,17 @@
 //! vigorously with purely local information, so it suffers congestion
 //! mismatch under asymmetry — which Fig. 13/14 style runs show.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
+use hermes_net::{FabricLb, LeafId, Packet, PathId, Uplinks};
 use hermes_sim::{SimRng, Time};
-use hermes_net::{FabricLb, LeafId, Packet, PathId};
 
 /// DRILL(d, 1): `d` random samples plus one remembered best.
 pub struct Drill {
     /// Random samples per decision.
     samples: usize,
     /// Remembered least-loaded uplink per (leaf, destination leaf).
-    memory: HashMap<(LeafId, LeafId), PathId>,
+    memory: BTreeMap<(LeafId, LeafId), PathId>,
 }
 
 impl Drill {
@@ -26,7 +26,7 @@ impl Drill {
         assert!(samples >= 1);
         Drill {
             samples,
-            memory: HashMap::new(),
+            memory: BTreeMap::new(),
         }
     }
 }
@@ -37,17 +37,20 @@ impl FabricLb for Drill {
         leaf: LeafId,
         dst_leaf: LeafId,
         _pkt: &Packet,
-        candidates: &[PathId],
-        uplink_qbytes: &[u64],
+        uplinks: Uplinks<'_>,
         _now: Time,
         rng: &mut SimRng,
     ) -> PathId {
+        let Uplinks {
+            paths: candidates,
+            qbytes: uplink_qbytes,
+        } = uplinks;
         debug_assert_eq!(candidates.len(), uplink_qbytes.len());
         let key = (leaf, dst_leaf);
         let mut best: Option<(u64, PathId)> = None;
         let consider = |idx: usize, best: &mut Option<(u64, PathId)>| {
             let cand = (uplink_qbytes[idx], candidates[idx]);
-            if best.is_none() || cand.0 < best.unwrap().0 {
+            if best.is_none_or(|b| cand.0 < b.0) {
                 *best = Some(cand);
             }
         };
@@ -85,8 +88,17 @@ mod tests {
         let q = [50_000u64, 60_000, 0, 70_000];
         let mut hits = 0;
         for _ in 0..100 {
-            if lb.ingress_select(LeafId(0), LeafId(1), &pkt(), &CANDS, &q, Time::ZERO, &mut rng)
-                == PathId(2)
+            if lb.ingress_select(
+                LeafId(0),
+                LeafId(1),
+                &pkt(),
+                Uplinks {
+                    paths: &CANDS,
+                    qbytes: &q,
+                },
+                Time::ZERO,
+                &mut rng,
+            ) == PathId(2)
             {
                 hits += 1;
             }
@@ -101,8 +113,28 @@ mod tests {
         let q_a = [0u64, 9_000, 9_000, 9_000];
         let q_b = [9_000u64, 9_000, 9_000, 0];
         for _ in 0..50 {
-            lb.ingress_select(LeafId(0), LeafId(1), &pkt(), &CANDS, &q_a, Time::ZERO, &mut rng);
-            lb.ingress_select(LeafId(2), LeafId(3), &pkt(), &CANDS, &q_b, Time::ZERO, &mut rng);
+            lb.ingress_select(
+                LeafId(0),
+                LeafId(1),
+                &pkt(),
+                Uplinks {
+                    paths: &CANDS,
+                    qbytes: &q_a,
+                },
+                Time::ZERO,
+                &mut rng,
+            );
+            lb.ingress_select(
+                LeafId(2),
+                LeafId(3),
+                &pkt(),
+                Uplinks {
+                    paths: &CANDS,
+                    qbytes: &q_b,
+                },
+                Time::ZERO,
+                &mut rng,
+            );
         }
         assert_eq!(lb.memory[&(LeafId(0), LeafId(1))], PathId(0));
         assert_eq!(lb.memory[&(LeafId(2), LeafId(3))], PathId(3));
@@ -116,8 +148,10 @@ mod tests {
             LeafId(0),
             LeafId(1),
             &pkt(),
-            &[PathId(1)],
-            &[123],
+            Uplinks {
+                paths: &[PathId(1)],
+                qbytes: &[123],
+            },
             Time::ZERO,
             &mut rng,
         );

@@ -5,15 +5,15 @@
 //! makes it collapse under blackholes in Fig. 17: a deterministic subset
 //! of flows is pinned to the failed switch forever.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use hermes_sim::{SimRng, Time};
 use hermes_net::{EdgeLb, FlowCtx, FlowId, PathId};
+use hermes_sim::{SimRng, Time};
 
 /// Per-flow random hashing.
 #[derive(Default)]
 pub struct Ecmp {
-    assigned: HashMap<FlowId, PathId>,
+    assigned: BTreeMap<FlowId, PathId>,
 }
 
 impl Ecmp {

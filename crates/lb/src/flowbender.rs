@@ -8,10 +8,10 @@
 //! random rerouting": timely, but neither congestion-informed in its
 //! *choice* nor cautious, which costs it under high load.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use hermes_sim::{SimRng, Time};
 use hermes_net::{EdgeLb, FlowCtx, FlowId, PathId};
+use hermes_sim::{SimRng, Time};
 
 /// FlowBender parameters (defaults per the original paper).
 #[derive(Clone, Copy, Debug)]
@@ -41,14 +41,14 @@ struct FlowState {
 /// FlowBender.
 pub struct FlowBender {
     cfg: FlowBenderCfg,
-    flows: HashMap<FlowId, FlowState>,
+    flows: BTreeMap<FlowId, FlowState>,
 }
 
 impl FlowBender {
     pub fn new(cfg: FlowBenderCfg) -> FlowBender {
         FlowBender {
             cfg,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
         }
     }
 }

@@ -7,10 +7,10 @@
 //! returns the sticky path (gap below timeout) or reports that a new
 //! flowlet began and stores the caller's fresh choice.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use hermes_sim::Time;
 use hermes_net::PathId;
+use hermes_sim::Time;
 
 /// One table entry.
 #[derive(Clone, Copy, Debug)]
@@ -20,20 +20,20 @@ struct Entry {
 }
 
 /// Flow-keyed flowlet state with periodic garbage collection.
-pub struct FlowletTable<K: std::hash::Hash + Eq + Copy> {
+pub struct FlowletTable<K: Ord + Copy> {
     timeout: Time,
-    entries: HashMap<K, Entry>,
+    entries: BTreeMap<K, Entry>,
     /// Entries idle longer than this are purged during sweeps.
     gc_idle: Time,
     last_gc: Time,
 }
 
-impl<K: std::hash::Hash + Eq + Copy> FlowletTable<K> {
+impl<K: Ord + Copy> FlowletTable<K> {
     pub fn new(timeout: Time) -> FlowletTable<K> {
         assert!(timeout > Time::ZERO);
         FlowletTable {
             timeout,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             gc_idle: timeout * 1000,
             last_gc: Time::ZERO,
         }

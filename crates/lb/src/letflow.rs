@@ -7,8 +7,8 @@
 //! §5.3.2): with steady traffic there are no flowlet gaps, so LetFlow
 //! converges slowly — and it cannot detect failures (§5.3.3).
 
+use hermes_net::{FabricLb, FlowId, LeafId, Packet, PathId, Uplinks};
 use hermes_sim::{SimRng, Time};
-use hermes_net::{FabricLb, FlowId, LeafId, Packet, PathId};
 
 use crate::flowlet::FlowletTable;
 
@@ -32,11 +32,11 @@ impl FabricLb for LetFlow {
         leaf: LeafId,
         _dst_leaf: LeafId,
         pkt: &Packet,
-        candidates: &[PathId],
-        _uplink_qbytes: &[u64],
+        uplinks: Uplinks<'_>,
         now: Time,
         rng: &mut SimRng,
     ) -> PathId {
+        let candidates = uplinks.paths;
         let key = (pkt.flow, leaf);
         if let Some(p) = self.flowlets.current(key, now) {
             if candidates.contains(&p) {
@@ -64,42 +64,29 @@ mod tests {
     fn sticky_within_flowlet_random_across() {
         let mut lb = LetFlow::new(Time::from_us(150));
         let mut rng = SimRng::new(3);
-        let p = lb.ingress_select(
-            LeafId(0),
-            LeafId(1),
-            &pkt(1),
-            &CANDS,
-            &[0; 4],
-            Time::ZERO,
-            &mut rng,
-        );
+        let uplinks = Uplinks {
+            paths: &CANDS,
+            qbytes: &[0; 4],
+        };
+        let p = lb.ingress_select(LeafId(0), LeafId(1), &pkt(1), uplinks, Time::ZERO, &mut rng);
         // Back-to-back packets: same path.
         for i in 1..10 {
             let q = lb.ingress_select(
                 LeafId(0),
                 LeafId(1),
                 &pkt(1),
-                &CANDS,
-                &[0; 4],
+                uplinks,
                 Time::from_us(i * 10),
                 &mut rng,
             );
             assert_eq!(p, q);
         }
         // After long gaps, path choices spread across candidates.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut t = Time::from_ms(1);
         for _ in 0..200 {
             t += Time::from_us(500); // > timeout: every packet a new flowlet
-            seen.insert(lb.ingress_select(
-                LeafId(0),
-                LeafId(1),
-                &pkt(1),
-                &CANDS,
-                &[0; 4],
-                t,
-                &mut rng,
-            ));
+            seen.insert(lb.ingress_select(LeafId(0), LeafId(1), &pkt(1), uplinks, t, &mut rng));
         }
         assert_eq!(seen.len(), 4, "random choice must reach every path");
     }
@@ -110,15 +97,11 @@ mod tests {
         // keeps independent flowlet state.
         let mut lb = LetFlow::new(Time::from_us(150));
         let mut rng = SimRng::new(4);
-        let a = lb.ingress_select(
-            LeafId(0),
-            LeafId(1),
-            &pkt(1),
-            &CANDS,
-            &[0; 4],
-            Time::ZERO,
-            &mut rng,
-        );
+        let uplinks = Uplinks {
+            paths: &CANDS,
+            qbytes: &[0; 4],
+        };
+        let a = lb.ingress_select(LeafId(0), LeafId(1), &pkt(1), uplinks, Time::ZERO, &mut rng);
         // Choose repeatedly at leaf 1 until it diverges — they're
         // independent random draws, so this must happen quickly.
         let mut diverged = false;
@@ -127,8 +110,7 @@ mod tests {
                 LeafId(1),
                 LeafId(0),
                 &pkt(1),
-                &CANDS,
-                &[0; 4],
+                uplinks,
                 Time::from_ms(1 + i),
                 &mut rng,
             );

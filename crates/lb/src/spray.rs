@@ -10,15 +10,15 @@
 //! Both are oblivious to congestion and failures — which is exactly the
 //! behaviour Figs. 2, 3, 16 and 17 exercise.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use hermes_sim::{SimRng, Time};
 use hermes_net::{EdgeLb, FlowCtx, LeafId, PathId};
+use hermes_sim::{SimRng, Time};
 
 /// Per-packet round robin (DRB), one cursor per destination leaf.
 #[derive(Default)]
 pub struct RoundRobinSpray {
-    cursor: HashMap<LeafId, usize>,
+    cursor: BTreeMap<LeafId, usize>,
 }
 
 impl RoundRobinSpray {
@@ -58,7 +58,7 @@ impl Swrr {
     /// Classic smooth WRR: add weights, pick the max, subtract the total.
     fn next(&mut self, candidates: &[PathId]) -> PathId {
         let mut total = 0.0;
-        for (p, w, cur) in self.slots.iter_mut() {
+        for (p, w, cur) in &mut self.slots {
             if candidates.contains(p) {
                 *cur += *w;
                 total += *w;
@@ -82,26 +82,26 @@ impl Swrr {
 /// Presto* — weighted per-packet spray with static weights.
 pub struct PrestoSpray {
     /// Static weights per destination leaf (None = equal weights).
-    weights: HashMap<LeafId, Vec<(PathId, f64)>>,
-    state: HashMap<LeafId, Swrr>,
+    weights: BTreeMap<LeafId, Vec<(PathId, f64)>>,
+    state: BTreeMap<LeafId, Swrr>,
 }
 
 impl PrestoSpray {
     /// Equal weights on every path (the symmetric-topology Presto).
     pub fn equal() -> PrestoSpray {
         PrestoSpray {
-            weights: HashMap::new(),
-            state: HashMap::new(),
+            weights: BTreeMap::new(),
+            state: BTreeMap::new(),
         }
     }
 
     /// Static topology-dependent weights: for each destination leaf, a
     /// weight per path (§5.2: "assign weights for parallel paths
     /// statically to equalize the average load").
-    pub fn weighted(weights: HashMap<LeafId, Vec<(PathId, f64)>>) -> PrestoSpray {
+    pub fn weighted(weights: BTreeMap<LeafId, Vec<(PathId, f64)>>) -> PrestoSpray {
         PrestoSpray {
             weights,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
         }
     }
 }
@@ -117,12 +117,7 @@ impl EdgeLb for PrestoSpray {
         let swrr = self.state.entry(ctx.dst_leaf).or_insert_with(|| {
             match self.weights.get(&ctx.dst_leaf) {
                 Some(w) => Swrr::new(w),
-                None => Swrr::new(
-                    &candidates
-                        .iter()
-                        .map(|&p| (p, 1.0))
-                        .collect::<Vec<_>>(),
-                ),
+                None => Swrr::new(&candidates.iter().map(|&p| (p, 1.0)).collect::<Vec<_>>()),
             }
         });
         swrr.next(candidates)
@@ -188,7 +183,7 @@ mod tests {
     #[test]
     fn presto_weighted_matches_ratio() {
         // Fig. 3's 1:10 capacity split.
-        let mut w = HashMap::new();
+        let mut w = BTreeMap::new();
         w.insert(LeafId(1), vec![(PathId(0), 1.0), (PathId(1), 10.0)]);
         let mut lb = PrestoSpray::weighted(w);
         let mut rng = SimRng::new(0);
@@ -202,7 +197,7 @@ mod tests {
 
     #[test]
     fn weighted_skips_dead_paths() {
-        let mut w = HashMap::new();
+        let mut w = BTreeMap::new();
         w.insert(
             LeafId(1),
             vec![(PathId(0), 1.0), (PathId(1), 1.0), (PathId(2), 1.0)],

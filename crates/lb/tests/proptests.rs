@@ -1,8 +1,13 @@
 //! Property-based tests of the baseline load balancers.
 
+use hermes_lb::{
+    CloveCfg, CloveEcn, Conga, CongaCfg, Drill, Ecmp, FlowletTable, LetFlow, PrestoSpray,
+    RoundRobinSpray,
+};
+use hermes_net::{
+    EdgeLb, FabricLb, FlowCtx, FlowId, HostId, LeafId, Packet, PathId, Topology, Uplinks,
+};
 use hermes_sim::{SimRng, Time};
-use hermes_lb::{CloveCfg, CloveEcn, Conga, CongaCfg, Drill, Ecmp, FlowletTable, LetFlow, PrestoSpray, RoundRobinSpray};
-use hermes_net::{EdgeLb, FabricLb, FlowCtx, FlowId, HostId, LeafId, Packet, PathId, Topology};
 use proptest::prelude::*;
 
 fn ctx(flow: u64, current: PathId, is_new: bool) -> FlowCtx {
@@ -42,7 +47,7 @@ proptest! {
             Box::new(PrestoSpray::equal()),
             Box::new(CloveEcn::new(CloveCfg::default())),
         ];
-        for lb in schemes.iter_mut() {
+        for lb in &mut schemes {
             let mut current = PathId::UNSET;
             for &(flow, t_us) in &calls {
                 let c = ctx(flow, current, current == PathId::UNSET);
@@ -63,7 +68,7 @@ proptest! {
         let mut t: FlowletTable<u64> = FlowletTable::new(Time::from_us(timeout_us));
         let mut sorted = events.clone();
         sorted.sort_by_key(|&(_, at)| at);
-        let mut last_assigned: std::collections::HashMap<u64, (PathId, u64)> = Default::default();
+        let mut last_assigned: std::collections::BTreeMap<u64, (PathId, u64)> = Default::default();
         for (key, at_us) in sorted {
             let now = Time::from_us(at_us);
             match t.current(key, now) {
@@ -120,7 +125,11 @@ proptest! {
             let pkt = Packet::data(FlowId(flow), HostId(0), HostId(20), 0, 1460, false);
             let now = Time::from_us(t_us);
             for lb in [&mut letflow as &mut dyn FabricLb, &mut drill, &mut conga] {
-                let p = lb.ingress_select(LeafId(0), LeafId(1), &pkt, &cs, &q, now, &mut rng);
+                let uplinks = Uplinks {
+                    paths: &cs,
+                    qbytes: &q,
+                };
+                let p = lb.ingress_select(LeafId(0), LeafId(1), &pkt, uplinks, now, &mut rng);
                 prop_assert!(cs.contains(&p));
             }
         }
@@ -139,7 +148,11 @@ proptest! {
         let mut worst_picks = 0;
         for f in 0..50u64 {
             let pkt = Packet::data(FlowId(f), HostId(0), HostId(20), 0, 1460, false);
-            let p = drill.ingress_select(LeafId(0), LeafId(1), &pkt, &cs, &q, Time::ZERO, &mut rng);
+            let uplinks = Uplinks {
+                paths: &cs,
+                qbytes: &q,
+            };
+            let p = drill.ingress_select(LeafId(0), LeafId(1), &pkt, uplinks, Time::ZERO, &mut rng);
             if p == PathId(2) {
                 worst_picks += 1;
             }

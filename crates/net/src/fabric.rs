@@ -4,7 +4,7 @@
 use hermes_sim::{EventQueue, SimRng};
 
 use crate::failure::SpineFailure;
-use crate::lbapi::{FabricLb, LinkRef};
+use crate::lbapi::{FabricLb, LinkRef, Uplinks};
 use crate::packet::Packet;
 use crate::port::{Enqueue, Port};
 use crate::topology::Topology;
@@ -57,6 +57,13 @@ pub struct Fabric {
     lb: Option<Box<dyn FabricLb>>,
     rng: SimRng,
     next_pkt_id: u64,
+    /// Packets currently propagating on links (scheduled `Arrive`
+    /// events). Together with the port census this gives an accounting
+    /// of in-flight packets that is independent of the drop/delivery
+    /// counters — see [`Fabric::conservation_report`].
+    on_wire: u64,
+    #[cfg(feature = "audit")]
+    ledger: crate::audit::Ledger,
     pub stats: FabricStats,
 }
 
@@ -68,7 +75,11 @@ impl Fabric {
         topo.validate();
         let q = &topo.queue;
         let mk = |link: crate::topology::LinkCfg| {
-            Port::new(link, q.ecn_threshold(link.rate_bps), q.buffer(link.rate_bps))
+            Port::new(
+                link,
+                q.ecn_threshold(link.rate_bps),
+                q.buffer(link.rate_bps),
+            )
         };
         // Host NICs: deep buffer, no marking (marking lives in switches).
         let host_ports = (0..topo.n_hosts())
@@ -76,18 +87,15 @@ impl Fabric {
             .collect();
         let leaf_ports = (0..topo.n_leaves)
             .map(|l| {
-                let mut v: Vec<Option<Port>> =
-                    (0..topo.hosts_per_leaf).map(|_| Some(mk(topo.host_link))).collect();
+                let mut v: Vec<Option<Port>> = (0..topo.hosts_per_leaf)
+                    .map(|_| Some(mk(topo.host_link)))
+                    .collect();
                 v.extend((0..topo.n_spines).map(|s| topo.up[l][s].map(mk)));
                 v
             })
             .collect();
         let spine_ports = (0..topo.n_spines)
-            .map(|s| {
-                (0..topo.n_leaves)
-                    .map(|l| topo.up[l][s].map(mk))
-                    .collect()
-            })
+            .map(|s| (0..topo.n_leaves).map(|l| topo.up[l][s].map(mk)).collect())
             .collect();
         let candidates = (0..topo.n_leaves)
             .map(|a| {
@@ -112,6 +120,9 @@ impl Fabric {
             lb: None,
             rng,
             next_pkt_id: 0,
+            on_wire: 0,
+            #[cfg(feature = "audit")]
+            ledger: crate::audit::Ledger::default(),
             stats: FabricStats::default(),
         }
     }
@@ -142,25 +153,31 @@ impl Fabric {
         let idx = self.topo.hosts_per_leaf + spine.0 as usize;
         self.leaf_ports[leaf.0 as usize][idx]
             .as_ref()
-            .map_or(0, |p| p.queued_bytes())
+            .map_or(0, Port::queued_bytes)
     }
 
     /// Queue occupancy of a spine's downlink toward a leaf.
     pub fn spine_down_qbytes(&self, spine: SpineId, leaf: LeafId) -> u64 {
         self.spine_ports[spine.0 as usize][leaf.0 as usize]
             .as_ref()
-            .map_or(0, |p| p.queued_bytes())
+            .map_or(0, Port::queued_bytes)
     }
 
     /// Per-port statistics of a leaf uplink.
     pub fn leaf_up_stats(&self, leaf: LeafId, spine: SpineId) -> Option<crate::port::PortStats> {
         let idx = self.topo.hosts_per_leaf + spine.0 as usize;
-        self.leaf_ports[leaf.0 as usize][idx].as_ref().map(|p| p.stats)
+        self.leaf_ports[leaf.0 as usize][idx]
+            .as_ref()
+            .map(|p| p.stats)
     }
 
     /// Sum of tail drops across every port in the fabric.
     pub fn total_drops_full(&self) -> u64 {
-        let hp = self.host_ports.iter().map(|p| p.stats.drops_full).sum::<u64>();
+        let hp = self
+            .host_ports
+            .iter()
+            .map(|p| p.stats.drops_full)
+            .sum::<u64>();
         let lp = self
             .leaf_ports
             .iter()
@@ -197,6 +214,53 @@ impl Fabric {
         lp + sp
     }
 
+    /// Physical census: packets sitting in a port queue or currently
+    /// serializing, across every port in the fabric. Together with the
+    /// link-propagation count this is the fabric's half of the
+    /// conservation cross-check — it is computed from the ports
+    /// themselves, independently of the injected/retired counters.
+    pub fn held_packets(&self) -> u64 {
+        let count = |p: &Port| p.queued_pkts() as u64 + u64::from(p.busy());
+        let hp = self.host_ports.iter().map(count).sum::<u64>();
+        let lp = self
+            .leaf_ports
+            .iter()
+            .flatten()
+            .flatten()
+            .map(count)
+            .sum::<u64>();
+        let sp = self
+            .spine_ports
+            .iter()
+            .flatten()
+            .flatten()
+            .map(count)
+            .sum::<u64>();
+        hp + lp + sp
+    }
+
+    /// Snapshot the packet-conservation accounting. The report balances
+    /// (`injected == delivered + dropped + in_flight`) at *every*
+    /// instant, not just at quiescence; an imbalance means a packet was
+    /// leaked, double-counted, or destroyed without being recorded.
+    pub fn conservation_report(&self) -> crate::audit::ConservationReport {
+        crate::audit::ConservationReport {
+            injected: self.next_pkt_id,
+            delivered: self.stats.delivered,
+            drops_failure: self.stats.drops_failure,
+            drops_disconnected: self.stats.drops_disconnected,
+            drops_full: self.total_drops_full(),
+            in_flight: self.held_packets() + self.on_wire,
+        }
+    }
+
+    /// Exact count of packet ids currently inside the fabric, from the
+    /// per-packet ledger. Only available with the `audit` feature.
+    #[cfg(feature = "audit")]
+    pub fn ledger_outstanding(&self) -> u64 {
+        self.ledger.outstanding()
+    }
+
     /// Hand a packet from a host to the fabric. Stamps id and departure
     /// time, then queues it on the host NIC.
     pub fn host_send(&mut self, q: &mut EventQueue<Event>, pkt: Packet) {
@@ -216,9 +280,18 @@ impl Fabric {
         }
         let host = pkt.src;
         let node = NodeId::Host(host);
+        #[cfg(feature = "audit")]
+        let pid = {
+            self.ledger.injected(pkt.id);
+            pkt.id
+        };
         let port = &mut self.host_ports[host.0 as usize];
-        if port.enqueue(pkt) == Enqueue::Queued {
-            Self::kick_port(q, node, 0, port);
+        match port.enqueue(pkt) {
+            Enqueue::Queued => Self::kick_port(q, node, 0, port),
+            Enqueue::Dropped => {
+                #[cfg(feature = "audit")]
+                self.ledger.retired(pid);
+            }
         }
     }
 
@@ -227,27 +300,37 @@ impl Fabric {
     ///
     /// Panics on `HostTimer`/`Global` events — those belong to the
     /// runtime layer and must be filtered out before reaching the fabric.
-    pub fn handle(&mut self, q: &mut EventQueue<Event>, ev: Event) -> Option<(HostId, Box<Packet>)> {
+    pub fn handle(
+        &mut self,
+        q: &mut EventQueue<Event>,
+        ev: Event,
+    ) -> Option<(HostId, Box<Packet>)> {
         match ev {
             Event::TxDone { node, port } => {
                 self.tx_done(q, node, port);
                 None
             }
-            Event::Arrive { node, pkt } => match node {
-                NodeId::Host(h) => {
-                    debug_assert_eq!(pkt.dst, h, "packet delivered to wrong host");
-                    self.stats.delivered += 1;
-                    Some((h, pkt))
+            Event::Arrive { node, pkt } => {
+                self.on_wire -= 1;
+                match node {
+                    NodeId::Host(h) => {
+                        debug_assert_eq!(pkt.dst, h, "packet delivered to wrong host");
+                        debug_assert!(pkt.sent_at <= q.now(), "delivery before departure");
+                        #[cfg(feature = "audit")]
+                        self.ledger.retired(pkt.id);
+                        self.stats.delivered += 1;
+                        Some((h, pkt))
+                    }
+                    NodeId::Leaf(l) => {
+                        self.forward_leaf(q, l, pkt);
+                        None
+                    }
+                    NodeId::Spine(s) => {
+                        self.forward_spine(q, s, pkt);
+                        None
+                    }
                 }
-                NodeId::Leaf(l) => {
-                    self.forward_leaf(q, l, pkt);
-                    None
-                }
-                NodeId::Spine(s) => {
-                    self.forward_spine(q, s, pkt);
-                    None
-                }
-            },
+            }
             Event::HostTimer { .. } | Event::Global { .. } => {
                 panic!("runtime event leaked into the fabric")
             }
@@ -293,6 +376,7 @@ impl Fabric {
         let delay = port.link.delay;
         // Start the next packet back-to-back.
         Self::kick_port(q, node, idx, port);
+        self.on_wire += 1;
         q.schedule_in(delay, Event::Arrive { node: peer, pkt });
     }
 
@@ -317,9 +401,17 @@ impl Fabric {
                 lb.on_forward(LinkRef::HostDown { leaf: l }, &mut pkt, q.now());
             }
             let node = NodeId::Leaf(l);
-            let port = self.leaf_ports[l.0 as usize][slot].as_mut().unwrap();
-            if port.enqueue(pkt) == Enqueue::Queued {
-                Self::kick_port(q, node, slot, port);
+            #[cfg(feature = "audit")]
+            let pid = pkt.id;
+            let port = self.leaf_ports[l.0 as usize][slot]
+                .as_mut()
+                .expect("host-facing leaf ports are never cut");
+            match port.enqueue(pkt) {
+                Enqueue::Queued => Self::kick_port(q, node, slot, port),
+                Enqueue::Dropped => {
+                    #[cfg(feature = "audit")]
+                    self.ledger.retired(pid);
+                }
             }
             return;
         }
@@ -328,6 +420,8 @@ impl Fabric {
         let cands = &self.candidates[l.0 as usize][dst_leaf.0 as usize];
         if cands.is_empty() {
             self.stats.drops_disconnected += 1;
+            #[cfg(feature = "audit")]
+            self.ledger.retired(pkt.id);
             return;
         }
         let path = if let Some(lb) = self.lb.as_mut() {
@@ -337,10 +431,14 @@ impl Fabric {
                     let idx = self.topo.hosts_per_leaf + p.0 as usize;
                     self.leaf_ports[l.0 as usize][idx]
                         .as_ref()
-                        .map_or(0, |port| port.queued_bytes())
+                        .map_or(0, Port::queued_bytes)
                 })
                 .collect();
-            lb.ingress_select(l, dst_leaf, &pkt, cands, &qbytes, q.now(), &mut self.rng)
+            let uplinks = Uplinks {
+                paths: cands,
+                qbytes: &qbytes,
+            };
+            lb.ingress_select(l, dst_leaf, &pkt, uplinks, q.now(), &mut self.rng)
         } else if cands.contains(&pkt.path) {
             pkt.path
         } else {
@@ -357,9 +455,17 @@ impl Fabric {
         }
         let idx = self.topo.hosts_per_leaf + spine as usize;
         let node = NodeId::Leaf(l);
-        let port = self.leaf_ports[l.0 as usize][idx].as_mut().unwrap();
-        if port.enqueue(pkt) == Enqueue::Queued {
-            Self::kick_port(q, node, idx, port);
+        #[cfg(feature = "audit")]
+        let pid = pkt.id;
+        let port = self.leaf_ports[l.0 as usize][idx]
+            .as_mut()
+            .expect("candidate paths only cross live uplinks");
+        match port.enqueue(pkt) {
+            Enqueue::Queued => Self::kick_port(q, node, idx, port),
+            Enqueue::Dropped => {
+                #[cfg(feature = "audit")]
+                self.ledger.retired(pid);
+            }
         }
     }
 
@@ -367,6 +473,8 @@ impl Fabric {
         let f = self.failures[s.0 as usize];
         if f.random_drop > 0.0 && self.rng.chance(f.random_drop) {
             self.stats.drops_failure += 1;
+            #[cfg(feature = "audit")]
+            self.ledger.retired(pkt.id);
             return;
         }
         if let Some(bh) = f.blackhole {
@@ -374,6 +482,8 @@ impl Fabric {
             let dst_leaf = self.topo.host_leaf(pkt.dst);
             if bh.matches(pkt.src, pkt.dst, src_leaf, dst_leaf) {
                 self.stats.drops_failure += 1;
+                #[cfg(feature = "audit")]
+                self.ledger.retired(pkt.id);
                 return;
             }
         }
@@ -381,6 +491,8 @@ impl Fabric {
         let idx = dst_leaf.0 as usize;
         if self.spine_ports[s.0 as usize][idx].is_none() {
             self.stats.drops_disconnected += 1;
+            #[cfg(feature = "audit")]
+            self.ledger.retired(pkt.id);
             return;
         }
         if let Some(lb) = self.lb.as_mut() {
@@ -394,9 +506,17 @@ impl Fabric {
             );
         }
         let node = NodeId::Spine(s);
-        let port = self.spine_ports[s.0 as usize][idx].as_mut().unwrap();
-        if port.enqueue(pkt) == Enqueue::Queued {
-            Self::kick_port(q, node, idx, port);
+        #[cfg(feature = "audit")]
+        let pid = pkt.id;
+        let port = self.spine_ports[s.0 as usize][idx]
+            .as_mut()
+            .expect("downlink existence checked above");
+        match port.enqueue(pkt) {
+            Enqueue::Queued => Self::kick_port(q, node, idx, port),
+            Enqueue::Dropped => {
+                #[cfg(feature = "audit")]
+                self.ledger.retired(pid);
+            }
         }
     }
 }
@@ -547,8 +667,14 @@ mod tests {
         let mut q = EventQueue::new();
         for h in [0u32, 1] {
             for i in 0..40 {
-                let mut p =
-                    Packet::data(FlowId(h as u64), HostId(h), HostId(6), i * 1460, 1460, false);
+                let mut p = Packet::data(
+                    FlowId(h as u64),
+                    HostId(h),
+                    HostId(6),
+                    i * 1460,
+                    1460,
+                    false,
+                );
                 p.path = PathId(0);
                 fab.host_send(&mut q, p);
             }
@@ -569,8 +695,14 @@ mod tests {
         assert_eq!(fab.leaf_up_qbytes(LeafId(0), SpineId(0)), 0);
         for h in [0u32, 1, 2] {
             for i in 0..20 {
-                let mut p =
-                    Packet::data(FlowId(h as u64), HostId(h), HostId(6), i * 1460, 1460, false);
+                let mut p = Packet::data(
+                    FlowId(h as u64),
+                    HostId(h),
+                    HostId(6),
+                    i * 1460,
+                    1460,
+                    false,
+                );
                 p.path = PathId(0);
                 fab.host_send(&mut q, p);
             }

@@ -132,21 +132,27 @@ pub enum LinkRef {
     HostDown { leaf: LeafId },
 }
 
+/// The candidate uplinks at a source leaf, paired with their current
+/// queue occupancies: `qbytes[i]` is the queued byte count of the
+/// uplink toward `paths[i]` (for DRILL-style local decisions).
+#[derive(Clone, Copy, Debug)]
+pub struct Uplinks<'a> {
+    pub paths: &'a [PathId],
+    pub qbytes: &'a [u64],
+}
+
 /// A switch-resident load balancer (one object holds the state of every
 /// switch — the simulator is single-threaded, so "distributed" state is
 /// simply indexed by switch id).
 pub trait FabricLb {
-    /// At the source leaf: choose the uplink for an inter-rack packet.
-    ///
-    /// `uplink_qbytes[i]` is the current queue occupancy of the uplink
-    /// toward `candidates[i]` (for DRILL-style local decisions).
+    /// At the source leaf: choose the uplink for an inter-rack packet
+    /// from the live candidates in `uplinks`.
     fn ingress_select(
         &mut self,
         leaf: LeafId,
         dst_leaf: LeafId,
         pkt: &Packet,
-        candidates: &[PathId],
-        uplink_qbytes: &[u64],
+        uplinks: Uplinks<'_>,
         now: Time,
         rng: &mut SimRng,
     ) -> PathId;

@@ -18,6 +18,7 @@
 //! between hosts and reports deliveries; `hermes-transport` implements
 //! DCTCP on top, and `hermes-runtime` wires the two together.
 
+pub mod audit;
 mod fabric;
 mod failure;
 mod lbapi;
@@ -27,10 +28,11 @@ mod rate;
 mod topology;
 mod types;
 
+pub use audit::{ConservationReport, FnvDigest};
 pub use fabric::{Event, Fabric, FabricStats};
 pub use failure::{Blackhole, SpineFailure};
-pub use lbapi::{EdgeLb, FabricLb, FlowCtx, LinkRef, PinnedPath, ProbeTarget};
-pub use packet::{LbMeta, Packet, PacketKind, ACK_SIZE, HDR, MSS, PROBE_SIZE};
+pub use lbapi::{EdgeLb, FabricLb, FlowCtx, LinkRef, PinnedPath, ProbeTarget, Uplinks};
+pub use packet::{AckInfo, LbMeta, Packet, PacketKind, ACK_SIZE, HDR, MSS, PROBE_SIZE};
 pub use port::{Enqueue, Port, PortStats};
 pub use rate::Dre;
 pub use topology::{LinkCfg, QueueCfg, Topology};

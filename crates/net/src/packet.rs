@@ -63,6 +63,26 @@ pub struct LbMeta {
     pub fb_valid: bool,
 }
 
+/// The payload of a cumulative ACK (mirrors [`PacketKind::Ack`]).
+///
+/// Bundled into one value so [`Packet::ack`] and the transport's ACK
+/// plumbing pass a single coherent record instead of five loose
+/// positional fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AckInfo {
+    /// Next expected byte (cumulative).
+    pub ack: u64,
+    /// Whether the ACKed data packet carried a CE mark.
+    pub ecn_echo: bool,
+    /// Departure timestamp echoed from the data packet ([`Time::MAX`]
+    /// when no RTT sample should be taken).
+    pub echo_ts: Time,
+    /// Path the data packet travelled (sender-side attribution).
+    pub echo_path: PathId,
+    /// Whether the ACK was triggered by a retransmission (Karn's rule).
+    pub echo_retx: bool,
+}
+
 /// A packet in flight or queued.
 #[derive(Clone, Debug)]
 pub struct Packet {
@@ -108,19 +128,9 @@ impl Packet {
         }
     }
 
-    /// A pure cumulative ACK for `ack`, echoing the data packet's mark,
-    /// timestamp and path.
-    #[allow(clippy::too_many_arguments)]
-    pub fn ack(
-        flow: FlowId,
-        src: HostId,
-        dst: HostId,
-        ack: u64,
-        ecn_echo: bool,
-        echo_ts: Time,
-        echo_path: PathId,
-        echo_retx: bool,
-    ) -> Packet {
+    /// A pure cumulative ACK, echoing the data packet's mark, timestamp
+    /// and path.
+    pub fn ack(flow: FlowId, src: HostId, dst: HostId, info: AckInfo) -> Packet {
         Packet {
             id: 0,
             flow,
@@ -128,11 +138,11 @@ impl Packet {
             dst,
             size: ACK_SIZE,
             kind: PacketKind::Ack {
-                ack,
-                ecn_echo,
-                echo_ts,
-                echo_path,
-                echo_retx,
+                ack: info.ack,
+                ecn_echo: info.ecn_echo,
+                echo_ts: info.echo_ts,
+                echo_path: info.echo_path,
+                echo_retx: info.echo_retx,
             },
             ecn_capable: false,
             ecn_marked: false,
@@ -228,12 +238,28 @@ mod tests {
     #[test]
     fn ack_packet_shape() {
         let (f, s, d) = ids();
-        let p = Packet::ack(f, d, s, 2920, true, Time::from_us(5), PathId::via(SpineId(1)), false);
+        let p = Packet::ack(
+            f,
+            d,
+            s,
+            AckInfo {
+                ack: 2920,
+                ecn_echo: true,
+                echo_ts: Time::from_us(5),
+                echo_path: PathId::via(SpineId(1)),
+                echo_retx: false,
+            },
+        );
         assert_eq!(p.size, ACK_SIZE);
         assert_eq!(p.prio, Priority::High);
         assert!(!p.ecn_capable);
         match p.kind {
-            PacketKind::Ack { ack, ecn_echo, echo_path, .. } => {
+            PacketKind::Ack {
+                ack,
+                ecn_echo,
+                echo_path,
+                ..
+            } => {
                 assert_eq!(ack, 2920);
                 assert!(ecn_echo);
                 assert_eq!(echo_path, PathId::via(SpineId(1)));

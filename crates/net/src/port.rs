@@ -165,7 +165,18 @@ mod tests {
     }
 
     fn ack() -> Box<Packet> {
-        Box::new(Packet::ack(FlowId(1), HostId(1), HostId(0), 0, false, Time::ZERO, PathId::DIRECT, false))
+        Box::new(Packet::ack(
+            FlowId(1),
+            HostId(1),
+            HostId(0),
+            crate::packet::AckInfo {
+                ack: 0,
+                ecn_echo: false,
+                echo_ts: Time::ZERO,
+                echo_path: PathId::DIRECT,
+                echo_retx: false,
+            },
+        ))
     }
 
     #[test]
@@ -214,7 +225,10 @@ mod tests {
         assert!(!a.ecn_marked, "first packet queued below threshold");
         p.begin_tx();
         let b = p.complete_tx();
-        assert!(!b.ecn_marked, "second packet exactly at 3000 > 3000 is false");
+        assert!(
+            !b.ecn_marked,
+            "second packet exactly at 3000 > 3000 is false"
+        );
         p.begin_tx();
         let c = p.complete_tx();
         assert!(c.ecn_marked, "third packet queued above threshold");
@@ -224,7 +238,13 @@ mod tests {
     #[test]
     fn non_ecn_capable_never_marked() {
         let mut p = Port::new(link(), 0, 1_000_000);
-        let mut u = Box::new(Packet::udp(FlowId(2), HostId(0), HostId(1), 1460, PathId(0)));
+        let mut u = Box::new(Packet::udp(
+            FlowId(2),
+            HostId(0),
+            HostId(1),
+            1460,
+            PathId(0),
+        ));
         u.ecn_capable = false;
         p.enqueue(u);
         p.begin_tx();

@@ -265,12 +265,7 @@ impl Topology {
     /// Aggregate capacity of all live leaf uplinks (the fabric's
     /// bisection-ish capacity against which offered load is defined).
     pub fn total_uplink_bps(&self) -> u64 {
-        self.up
-            .iter()
-            .flatten()
-            .flatten()
-            .map(|l| l.rate_bps)
-            .sum()
+        self.up.iter().flatten().flatten().map(|l| l.rate_bps).sum()
     }
 
     /// Sanity-check invariants; panics on inconsistency. Called by the
@@ -288,7 +283,7 @@ impl Topology {
         if self.n_leaves > 1 {
             for (i, row) in self.up.iter().enumerate() {
                 assert!(
-                    row.iter().any(|l| l.is_some()),
+                    row.iter().any(Option::is_some),
                     "leaf {i} has no live uplinks"
                 );
             }
@@ -349,13 +344,12 @@ mod tests {
         let mut t = Topology::sim_baseline();
         let mut rng = SimRng::new(1);
         t.degrade_random_links(0.2, 2_000_000_000, &mut rng);
-        let degraded = t
-            .up
-            .iter()
-            .flatten()
-            .flatten()
-            .filter(|l| l.rate_bps == 2_000_000_000)
-            .count();
+        let degraded =
+            t.up.iter()
+                .flatten()
+                .flatten()
+                .filter(|l| l.rate_bps == 2_000_000_000)
+                .count();
         assert_eq!(degraded, (64.0_f64 * 0.2).round() as usize);
         t.validate();
     }

@@ -1,10 +1,8 @@
 //! Property-based tests of the fabric: conservation, delivery, and
 //! determinism under arbitrary traffic.
 
+use hermes_net::{Enqueue, Event, Fabric, FlowId, HostId, LinkCfg, Packet, PathId, Port, Topology};
 use hermes_sim::{EventQueue, SimRng, Time};
-use hermes_net::{
-    Enqueue, Event, Fabric, FlowId, HostId, LinkCfg, Packet, PathId, Port, Topology,
-};
 use proptest::prelude::*;
 
 fn run_all(fab: &mut Fabric, q: &mut EventQueue<Event>) -> Vec<(HostId, Box<Packet>)> {

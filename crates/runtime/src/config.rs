@@ -1,11 +1,11 @@
 //! Experiment configuration: which scheme, which transport, which knobs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use hermes_sim::Time;
 use hermes_core::HermesParams;
 use hermes_lb::{CloveCfg, CongaCfg, FlowBenderCfg};
 use hermes_net::{LeafId, PathId, Topology};
+use hermes_sim::Time;
 use hermes_transport::TransportCfg;
 
 /// The load-balancing scheme under test.
@@ -56,7 +56,10 @@ impl Scheme {
     /// Whether the receiver should mask reordering (packet-spraying
     /// schemes need it; Presto* is defined with it).
     pub fn wants_reorder_mask(&self) -> bool {
-        matches!(self, Scheme::Presto { .. } | Scheme::Drb | Scheme::Drill { .. })
+        matches!(
+            self,
+            Scheme::Presto { .. } | Scheme::Drb | Scheme::Drill { .. }
+        )
     }
 }
 
@@ -65,8 +68,8 @@ impl Scheme {
 pub fn presto_weights_for(
     topo: &Topology,
     src_leaf: LeafId,
-) -> HashMap<LeafId, Vec<(PathId, f64)>> {
-    let mut out = HashMap::new();
+) -> BTreeMap<LeafId, Vec<(PathId, f64)>> {
+    let mut out = BTreeMap::new();
     for d in 0..topo.n_leaves {
         if d == src_leaf.0 as usize {
             continue;
@@ -76,8 +79,12 @@ pub fn presto_weights_for(
             .path_candidates(src_leaf, dst)
             .into_iter()
             .map(|p| {
-                let up = topo.up[src_leaf.0 as usize][p.0 as usize].unwrap().rate_bps;
-                let down = topo.up[d][p.0 as usize].unwrap().rate_bps;
+                let up = topo.up[src_leaf.0 as usize][p.0 as usize]
+                    .expect("candidate path has an uplink")
+                    .rate_bps;
+                let down = topo.up[d][p.0 as usize]
+                    .expect("candidate path has a downlink")
+                    .rate_bps;
                 (p, up.min(down) as f64)
             })
             .collect();
@@ -163,7 +170,10 @@ mod tests {
     fn edge_vs_fabric_classification() {
         assert!(Scheme::Ecmp.is_edge());
         assert!(Scheme::presto().is_edge());
-        assert!(!Scheme::LetFlow { flowlet_timeout: Time::from_us(150) }.is_edge());
+        assert!(!Scheme::LetFlow {
+            flowlet_timeout: Time::from_us(150)
+        }
+        .is_edge());
         assert!(!Scheme::Conga(CongaCfg::default()).is_edge());
         let topo = Topology::sim_baseline();
         assert!(Scheme::Hermes(HermesParams::from_topology(&topo)).is_edge());

@@ -14,7 +14,9 @@
 //! Every bench binary and integration test builds on this crate.
 
 mod config;
+pub mod selfcheck;
 mod sim;
 
 pub use config::{presto_weights_for, Scheme, SimConfig, DEFAULT_REORDER_HOLD};
+pub use selfcheck::{assert_deterministic, fingerprint, RunFingerprint};
 pub use sim::{Probe, SimStats, Simulation};

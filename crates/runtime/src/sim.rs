@@ -2,39 +2,23 @@
 //! workload, driven off one deterministic event queue.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
-/// Flow ids are unique u64s already; hashing them through SipHash on
-/// every packet is pure overhead. A multiplicative mix is enough.
-#[derive(Default)]
-struct FlowIdHasher(u64);
+/// Flow table keyed by raw flow id. An ordered map so that any future
+/// whole-table iteration is deterministic by construction; point
+/// lookups on the hot path are O(log n) over a few thousand live flows,
+/// which is noise next to the per-packet event machinery.
+type FlowMap = BTreeMap<u64, FlowRt>;
 
-impl Hasher for FlowIdHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, _bytes: &[u8]) {
-        unreachable!("flow keys are u64");
-    }
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-}
-
-type FlowMap = HashMap<u64, FlowRt, BuildHasherDefault<FlowIdHasher>>;
-
-use hermes_sim::{EventQueue, SimRng, Time};
 use hermes_core::{Hermes, RackSensing};
 use hermes_lb::{CloveEcn, Conga, Drill, Ecmp, FlowBender, LetFlow, PrestoSpray, RoundRobinSpray};
 use hermes_net::{
-    Dre, EdgeLb, Event, Fabric, FlowCtx, FlowId, HostId, LeafId, Packet, PacketKind, PathId,
-    SpineFailure, SpineId,
+    AckInfo, Dre, EdgeLb, Event, Fabric, FlowCtx, FlowId, HostId, LeafId, Packet, PacketKind,
+    PathId, SpineFailure, SpineId,
 };
-use hermes_transport::{RecvAction, Receiver, SendAction, Sender};
+use hermes_sim::{EventQueue, SimRng, Time};
+use hermes_transport::{Receiver, RecvAction, SegmentIn, SendAction, Sender};
 use hermes_workload::{FlowRecord, FlowSpec, VisibilityTracker};
 
 use crate::config::{presto_weights_for, Scheme, SimConfig};
@@ -150,6 +134,10 @@ pub struct Simulation {
     /// Retransmissions within this window after a path change are
     /// treated as reordering, not loss (no failure-detector signal).
     reorder_grace: Time,
+    /// Rolling fingerprint of every dispatched event: two same-seed runs
+    /// must agree on this at every point, so comparing final digests is a
+    /// whole-run determinism check.
+    digest: hermes_net::audit::FnvDigest,
     pub stats: SimStats,
 }
 
@@ -248,6 +236,7 @@ impl Simulation {
             visibility,
             probe_seq: 0,
             reorder_grace,
+            digest: hermes_net::audit::FnvDigest::new(),
             stats: SimStats::default(),
         }
     }
@@ -262,9 +251,13 @@ impl Simulation {
     /// Schedule a TCP flow.
     pub fn add_flow(&mut self, spec: FlowSpec) {
         assert!(spec.start >= self.q.now(), "flow arrival in the past");
-        assert!(spec.id.0 < UDP_FLOW_BASE, "flow id collides with pseudo-flows");
+        assert!(
+            spec.id.0 < UDP_FLOW_BASE,
+            "flow id collides with pseudo-flows"
+        );
         self.pending.push_back(spec);
-        self.q.schedule(spec.start, Event::Global { token: TOK_ARRIVAL });
+        self.q
+            .schedule(spec.start, Event::Global { token: TOK_ARRIVAL });
     }
 
     /// Schedule a whole workload.
@@ -361,6 +354,18 @@ impl Simulation {
         self.udps[(flow.0 - UDP_FLOW_BASE) as usize].received
     }
 
+    /// Fingerprint of the event trace dispatched so far. Equal seeds and
+    /// workloads must yield equal digests — see
+    /// [`crate::selfcheck::assert_deterministic`].
+    pub fn trace_digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    /// Packet-conservation snapshot of the underlying fabric.
+    pub fn conservation(&self) -> hermes_net::ConservationReport {
+        self.fabric.conservation_report()
+    }
+
     // ---- run loop --------------------------------------------------
 
     /// Run until the horizon (absolute simulated time).
@@ -369,7 +374,7 @@ impl Simulation {
             if t > horizon {
                 break;
             }
-            let (_, ev) = self.q.pop().unwrap();
+            let (_, ev) = self.q.pop().expect("peeked event vanished");
             self.dispatch(ev);
         }
     }
@@ -387,12 +392,14 @@ impl Simulation {
             {
                 break;
             }
-            let (_, ev) = self.q.pop().unwrap();
+            let (_, ev) = self.q.pop().expect("peeked event vanished");
             self.dispatch(ev);
         }
     }
 
     fn dispatch(&mut self, ev: Event) {
+        // `now` has already advanced to the event's timestamp.
+        hermes_net::audit::digest_event(&mut self.digest, self.q.now(), &ev);
         self.stats.events += 1;
         match ev {
             Event::HostTimer { host: _, token } => self.on_timer(token),
@@ -439,10 +446,13 @@ impl Simulation {
                     self.flows.get(&f.0).map_or_else(
                         || {
                             // Finished flows delivered everything.
-                            self.records
-                                .iter()
-                                .find(|r| r.id == f)
-                                .map_or(0, |r| if r.finish.is_some() { r.size } else { 0 })
+                            self.records.iter().find(|r| r.id == f).map_or(0, |r| {
+                                if r.finish.is_some() {
+                                    r.size
+                                } else {
+                                    0
+                                }
+                            })
                         },
                         |fl| fl.receiver.rcv_nxt(),
                     )
@@ -461,8 +471,7 @@ impl Simulation {
 
     fn on_udp_tick(&mut self, idx: usize) {
         let u = &self.udps[idx];
-        let (flow, src, dst, len, path, iv) =
-            (u.flow, u.src, u.dst, u.len, u.path, u.interval);
+        let (flow, src, dst, len, path, iv) = (u.flow, u.src, u.dst, u.len, u.path, u.interval);
         let mut pkt = Packet::udp(flow, src, dst, len, path.unwrap_or(PathId::UNSET));
         if path.is_none() {
             pkt.path = PathId::UNSET;
@@ -672,9 +681,14 @@ impl Simulation {
                     let Some(f) = self.flows.get(&fid) else {
                         continue;
                     };
-                    let mut pkt = Packet::ack(
-                        f.id, f.dst, f.src, ack, ecn_echo, echo_ts, echo_path, echo_retx,
-                    );
+                    let info = AckInfo {
+                        ack,
+                        ecn_echo,
+                        echo_ts,
+                        echo_path,
+                        echo_retx,
+                    };
+                    let mut pkt = Packet::ack(f.id, f.dst, f.src, info);
                     pkt.path = f.ack_path;
                     self.fabric.host_send(&mut self.q, pkt);
                 }
@@ -757,12 +771,14 @@ impl Simulation {
                 debug_assert_eq!(f.dst, host);
                 let mut buf = Vec::new();
                 f.receiver.on_data(
-                    seq,
-                    len,
-                    pkt.ecn_marked,
-                    pkt.sent_at,
-                    pkt.path,
-                    retx,
+                    SegmentIn {
+                        seq,
+                        len,
+                        ecn: pkt.ecn_marked,
+                        sent_at: pkt.sent_at,
+                        path: pkt.path,
+                        retx,
+                    },
                     now,
                     &mut buf,
                 );

@@ -1,11 +1,11 @@
 //! End-to-end tests of the full stack: every scheme moves real flows
 //! across the simulated fabric under DCTCP.
 
-use hermes_sim::{SimRng, Time};
 use hermes_core::HermesParams;
 use hermes_lb::{CloveCfg, CongaCfg, FlowBenderCfg};
 use hermes_net::{FlowId, HostId, LeafId, PathId, SpineFailure, SpineId, Topology};
 use hermes_runtime::{Probe, Scheme, SimConfig, Simulation};
+use hermes_sim::{SimRng, Time};
 use hermes_workload::{FlowGen, FlowSizeDist, FlowSpec};
 
 fn one_flow(size: u64) -> FlowSpec {
@@ -25,7 +25,12 @@ fn all_schemes(topo: &Topology) -> Vec<(&'static str, Scheme)> {
         ("presto", Scheme::presto()),
         ("flowbender", Scheme::FlowBender(FlowBenderCfg::default())),
         ("clove", Scheme::Clove(CloveCfg::default())),
-        ("letflow", Scheme::LetFlow { flowlet_timeout: Time::from_us(150) }),
+        (
+            "letflow",
+            Scheme::LetFlow {
+                flowlet_timeout: Time::from_us(150),
+            },
+        ),
         ("drill", Scheme::Drill { samples: 2 }),
         ("conga", Scheme::Conga(CongaCfg::default())),
         ("hermes", Scheme::Hermes(HermesParams::from_topology(topo))),
@@ -50,13 +55,7 @@ fn single_flow_completes_with_sane_fct() {
 fn every_scheme_completes_a_small_workload() {
     let topo = Topology::testbed();
     for (name, scheme) in all_schemes(&topo) {
-        let mut gen = FlowGen::new(
-            &topo,
-            FlowSizeDist::web_search(),
-            0.4,
-            None,
-            SimRng::new(7),
-        );
+        let mut gen = FlowGen::new(&topo, FlowSizeDist::web_search(), 0.4, None, SimRng::new(7));
         let mut sim = Simulation::new(SimConfig::new(topo.clone(), scheme).with_seed(11));
         sim.add_flows(gen.schedule(60));
         sim.run_to_completion(Time::from_secs(30));
@@ -125,8 +124,8 @@ fn blackhole_strands_ecmp_but_not_hermes() {
     let flows: Vec<FlowSpec> = (0..16)
         .map(|i| FlowSpec {
             id: FlowId(i),
-            src: HostId((i % 4) as u32),      // rack 0
-            dst: HostId(4 + (i % 4) as u32),  // rack 1
+            src: HostId((i % 4) as u32),     // rack 0
+            dst: HostId(4 + (i % 4) as u32), // rack 1
             size: 200_000,
             start: Time::from_us(10 * i),
         })
@@ -134,7 +133,10 @@ fn blackhole_strands_ecmp_but_not_hermes() {
 
     let run = |scheme: Scheme| {
         let mut sim = Simulation::new(SimConfig::new(topo.clone(), scheme).with_seed(2));
-        sim.set_spine_failure(SpineId(0), SpineFailure::blackhole(LeafId(0), LeafId(1), 1.0));
+        sim.set_spine_failure(
+            SpineId(0),
+            SpineFailure::blackhole(LeafId(0), LeafId(1), 1.0),
+        );
         sim.add_flows(flows.clone());
         sim.run_to_completion(Time::from_secs(3));
         sim.records().iter().filter(|r| r.finish.is_none()).count()
@@ -179,14 +181,34 @@ fn samplers_record_queue_buildup() {
     let topo = Topology::testbed();
     let mut sim = Simulation::new(SimConfig::new(topo, Scheme::Ecmp));
     // Two UDP sources at 0.9 Gbps each share one 1 Gbps uplink: queue grows.
-    sim.add_udp(HostId(0), HostId(6), 900_000_000, 1460, Some(PathId(1)), Time::ZERO);
-    sim.add_udp(HostId(1), HostId(7), 900_000_000, 1460, Some(PathId(1)), Time::ZERO);
-    let s = sim.add_sampler(Time::from_us(100), Probe::LeafUpQueue(LeafId(0), SpineId(1)));
+    sim.add_udp(
+        HostId(0),
+        HostId(6),
+        900_000_000,
+        1460,
+        Some(PathId(1)),
+        Time::ZERO,
+    );
+    sim.add_udp(
+        HostId(1),
+        HostId(7),
+        900_000_000,
+        1460,
+        Some(PathId(1)),
+        Time::ZERO,
+    );
+    let s = sim.add_sampler(
+        Time::from_us(100),
+        Probe::LeafUpQueue(LeafId(0), SpineId(1)),
+    );
     sim.run_until(Time::from_ms(20));
     let series = sim.sampler_series(s);
     assert!(series.len() > 100);
     let max = series.iter().map(|&(_, v)| v).max().unwrap();
-    assert!(max > 30_000, "overloaded uplink must build queue: max {max}");
+    assert!(
+        max > 30_000,
+        "overloaded uplink must build queue: max {max}"
+    );
 }
 
 #[test]

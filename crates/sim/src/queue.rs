@@ -73,7 +73,11 @@ impl<E> EventQueue<E> {
     /// (events cannot fire in the past); debug builds assert, release
     /// builds clamp to `now` to stay safe.
     pub fn schedule(&mut self, at: Time, payload: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         self.heap.push(Entry {
             at,

@@ -225,7 +225,10 @@ mod tests {
 
     #[test]
     fn saturating_sub_clamps() {
-        assert_eq!(Time::from_us(1).saturating_sub(Time::from_us(2)), Time::ZERO);
+        assert_eq!(
+            Time::from_us(1).saturating_sub(Time::from_us(2)),
+            Time::ZERO
+        );
         assert_eq!(
             Time::from_us(5).saturating_sub(Time::from_us(2)),
             Time::from_us(3)

@@ -87,4 +87,58 @@ proptest! {
         prop_assert_eq!(x.u64(), x2.u64());
         prop_assert_ne!(x.u64(), y.u64());
     }
+
+    /// Time addition saturates instead of wrapping: for any operands the
+    /// sum is well-defined, commutative, and monotone.
+    #[test]
+    fn time_add_saturates(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (Time::from_ns(a), Time::from_ns(b));
+        let sum = ta + tb;
+        prop_assert_eq!(sum, tb + ta);
+        prop_assert!(sum >= ta && sum >= tb, "addition must be monotone");
+        prop_assert_eq!(sum.as_ns(), a.saturating_add(b));
+        prop_assert_eq!(ta + Time::ZERO, ta);
+    }
+
+    /// Saturating subtraction never underflows and inverts addition
+    /// whenever the sum did not saturate.
+    #[test]
+    fn time_sub_saturates(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (Time::from_ns(a), Time::from_ns(b));
+        let diff = ta.saturating_sub(tb);
+        prop_assert_eq!(diff.as_ns(), a.saturating_sub(b));
+        if a >= b {
+            prop_assert_eq!(diff + tb, ta, "sub must invert add when no clamp");
+            prop_assert_eq!(ta - tb, diff, "Sub and saturating_sub agree when legal");
+        } else {
+            prop_assert_eq!(diff, Time::ZERO);
+        }
+    }
+
+    /// Scalar multiplication saturates at the representable maximum and
+    /// is exact below it.
+    #[test]
+    fn time_mul_saturates(ns in any::<u64>(), k in 0u64..10_000) {
+        let t = Time::from_ns(ns) * k;
+        prop_assert_eq!(t.as_ns(), ns.saturating_mul(k));
+        // ×0 and ×1 identities (through black_box so the erasing-op and
+        // identity-op lints do not fold the multiplication away).
+        let zero = std::hint::black_box(0u64);
+        let one = std::hint::black_box(1u64);
+        prop_assert_eq!(Time::from_ns(ns) * zero, Time::ZERO);
+        prop_assert_eq!(Time::from_ns(ns) * one, Time::from_ns(ns));
+    }
+
+    /// Float scaling clamps to [ZERO, MAX] for any finite factor,
+    /// including negatives, and roundtrips through from_secs_f64.
+    #[test]
+    fn time_mul_f64_clamps(us in 0u64..1_000_000_000, f in -1e12f64..1e12) {
+        let t = Time::from_us(us).mul_f64(f);
+        prop_assert!(t >= Time::ZERO);
+        if f <= 0.0 {
+            prop_assert_eq!(t, Time::ZERO, "negative scaling clamps to zero");
+        }
+        let neg = Time::from_secs_f64(-(us as f64));
+        prop_assert_eq!(neg, Time::ZERO, "negative seconds clamp to zero");
+    }
 }

@@ -27,5 +27,5 @@ mod receiver;
 mod sender;
 
 pub use config::TransportCfg;
-pub use receiver::{RecvAction, Receiver};
+pub use receiver::{Receiver, RecvAction, SegmentIn};
 pub use sender::{SendAction, Sender, SenderStats};

@@ -7,8 +7,8 @@
 
 use std::collections::BTreeMap;
 
-use hermes_sim::Time;
 use hermes_net::PathId;
+use hermes_sim::Time;
 
 /// An instruction from the receiver to the runtime.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +29,24 @@ pub enum RecvAction {
     DisarmHold,
     /// Every payload byte has arrived — the flow-completion instant.
     Complete,
+}
+
+/// A data segment as the receiver sees it, with the per-packet wire
+/// metadata ([`Receiver::on_data`] echoes it back through ACKs).
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentIn {
+    /// First payload byte of the segment.
+    pub seq: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Whether the packet arrived CE-marked.
+    pub ecn: bool,
+    /// Departure time stamped by the sending host.
+    pub sent_at: Time,
+    /// Path the segment travelled.
+    pub path: PathId,
+    /// Whether the segment is a retransmission.
+    pub retx: bool,
 }
 
 /// One flow's receiver.
@@ -85,20 +103,17 @@ impl Receiver {
         self.ooo.iter().map(|(s, e)| e - s).sum()
     }
 
-    /// A data segment `[seq, seq+len)` arrived.
-    #[allow(clippy::too_many_arguments)]
-    pub fn on_data(
-        &mut self,
-        seq: u64,
-        len: u32,
-        ecn: bool,
-        sent_at: Time,
-        path: PathId,
-        retx: bool,
-        now: Time,
-        out: &mut Vec<RecvAction>,
-    ) {
-        let end = seq + len as u64;
+    /// A data segment arrived.
+    pub fn on_data(&mut self, seg: SegmentIn, now: Time, out: &mut Vec<RecvAction>) {
+        let SegmentIn {
+            seq,
+            len,
+            ecn,
+            sent_at,
+            path,
+            retx,
+        } = seg;
+        let end = seq + u64::from(len);
         let advanced;
         if seq <= self.rcv_nxt {
             // In-order (or overlapping duplicate): advance and drain any
@@ -179,7 +194,9 @@ impl Receiver {
                 echo_retx: true, // no RTT sample from synthetic dupacks
             });
         }
-        let hold = self.reorder_hold.expect("hold timer without reorder buffer");
+        let hold = self
+            .reorder_hold
+            .expect("hold timer without reorder buffer");
         out.push(RecvAction::ArmHold {
             deadline: now + hold,
         });
@@ -206,13 +223,12 @@ impl Receiver {
                 self.ooo.remove(&s);
             }
         }
-        let succs: Vec<u64> = self
-            .ooo
-            .range(start..=end)
-            .map(|(&s, _)| s)
-            .collect();
+        let succs: Vec<u64> = self.ooo.range(start..=end).map(|(&s, _)| s).collect();
         for s in succs {
-            let e = self.ooo.remove(&s).unwrap();
+            let e = self
+                .ooo
+                .remove(&s)
+                .expect("key collected from this map just above");
             end = end.max(e);
         }
         self.ooo.insert(start, end);
@@ -231,12 +247,14 @@ mod tests {
 
     fn on_pkt(r: &mut Receiver, seq: u64, len: u64, out: &mut Vec<RecvAction>) {
         r.on_data(
-            seq,
-            len as u32,
-            false,
-            Time::from_us(1),
-            PathId(0),
-            false,
+            SegmentIn {
+                seq,
+                len: len as u32,
+                ecn: false,
+                sent_at: Time::from_us(1),
+                path: PathId(0),
+                retx: false,
+            },
             Time::from_us(10),
             out,
         );
@@ -347,9 +365,7 @@ mod tests {
             }
         }
         // Re-armed for the repair.
-        assert!(out
-            .iter()
-            .any(|a| matches!(a, RecvAction::ArmHold { .. })));
+        assert!(out.iter().any(|a| matches!(a, RecvAction::ArmHold { .. })));
     }
 
     #[test]
@@ -376,12 +392,14 @@ mod tests {
         let mut r = recv(2 * MSS);
         let mut out = Vec::new();
         r.on_data(
-            0,
-            MSS as u32,
-            true,
-            Time::from_us(42),
-            PathId(3),
-            true,
+            SegmentIn {
+                seq: 0,
+                len: MSS as u32,
+                ecn: true,
+                sent_at: Time::from_us(42),
+                path: PathId(3),
+                retx: true,
+            },
             Time::from_us(99),
             &mut out,
         );

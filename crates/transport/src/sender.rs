@@ -235,8 +235,8 @@ impl Sender {
                         retx: true,
                     });
                 }
-                self.cwnd = (self.cwnd - delta as f64 + self.cfg.mss as f64)
-                    .max(self.cfg.mss as f64);
+                self.cwnd =
+                    (self.cwnd - delta as f64 + self.cfg.mss as f64).max(self.cfg.mss as f64);
             }
             Some(_) => {
                 // Recovery complete. If it completed within a fraction
@@ -246,16 +246,16 @@ impl Sender {
                 // the window reduction (as Linux does on DSACK/Eifel
                 // detection) and raise the dupACK threshold.
                 let spurious = self.episode_retx <= 1
-                    && self
-                        .srtt
-                        .is_some_and(|rtt| now.saturating_sub(self.recovery_start)
-                            < rtt.mul_f64(0.75));
+                    && self.srtt.is_some_and(|rtt| {
+                        now.saturating_sub(self.recovery_start) < rtt.mul_f64(0.75)
+                    });
                 self.recover = None;
                 self.dup_acks = 0;
                 if spurious {
                     self.cwnd = self.prior_cwnd.max(self.cfg.mss as f64);
                     self.ssthresh = self.prior_ssthresh;
-                    self.dyn_dupthresh = (self.dyn_dupthresh + 2).min(16.max(self.cfg.dupack_thresh));
+                    self.dyn_dupthresh =
+                        (self.dyn_dupthresh + 2).min(16.max(self.cfg.dupack_thresh));
                     self.stats.spurious_retx += 1;
                 } else {
                     self.cwnd = self.ssthresh.max(self.cfg.mss as f64);
@@ -387,14 +387,16 @@ impl Sender {
             }
             Some(srtt) => {
                 // Jacobson/Karels, RFC 6298 coefficients.
-                let err = if sample > srtt { sample - srtt } else { srtt - sample };
-                self.rttvar = Time::from_ns(
-                    (self.rttvar.as_ns() * 3 + err.as_ns()) / 4,
-                );
+                let err = if sample > srtt {
+                    sample - srtt
+                } else {
+                    srtt - sample
+                };
+                self.rttvar = Time::from_ns((self.rttvar.as_ns() * 3 + err.as_ns()) / 4);
                 self.srtt = Some(Time::from_ns((srtt.as_ns() * 7 + sample.as_ns()) / 8));
             }
         }
-        let srtt = self.srtt.unwrap();
+        let srtt = self.srtt.expect("both arms above set srtt");
         self.rto = (srtt + self.rttvar * 4).clamp(self.cfg.min_rto, self.cfg.max_rto);
     }
 
@@ -482,7 +484,13 @@ mod tests {
         // ACK the whole initial window, one ACK per segment.
         for i in 1..=10u64 {
             out.clear();
-            s.on_ack(i * MSS, false, Some(Time::from_us(60)), Time::from_us(60), &mut out);
+            s.on_ack(
+                i * MSS,
+                false,
+                Some(Time::from_us(60)),
+                Time::from_us(60),
+                &mut out,
+            );
         }
         assert_eq!(s.cwnd(), w0 * 2, "slow start doubles after one window");
     }
@@ -595,7 +603,11 @@ mod tests {
             out.clear();
             s.on_ack(ack, true, None, Time::from_us(60), &mut out);
         }
-        assert!(s.alpha() > 0.5, "alpha {} must converge toward 1", s.alpha());
+        assert!(
+            s.alpha() > 0.5,
+            "alpha {} must converge toward 1",
+            s.alpha()
+        );
         assert!(
             s.cwnd() < w0 / 2,
             "persistently marked flow must shrink: {} vs {w0}",
@@ -649,7 +661,13 @@ mod tests {
         let mut out = Vec::new();
         s.start(Time::ZERO, &mut out);
         out.clear();
-        s.on_ack(3000, false, Some(Time::from_us(50)), Time::from_us(50), &mut out);
+        s.on_ack(
+            3000,
+            false,
+            Some(Time::from_us(50)),
+            Time::from_us(50),
+            &mut out,
+        );
         assert!(s.finished());
         assert!(out.contains(&SendAction::DisarmRto));
         assert!(out.contains(&SendAction::FullyAcked));
@@ -667,7 +685,13 @@ mod tests {
         s.start(Time::ZERO, &mut out);
         for i in 1..=100u64 {
             out.clear();
-            s.on_ack(i * MSS, false, Some(Time::from_us(100)), Time::from_us(100), &mut out);
+            s.on_ack(
+                i * MSS,
+                false,
+                Some(Time::from_us(100)),
+                Time::from_us(100),
+                &mut out,
+            );
         }
         let srtt = s.srtt().unwrap();
         assert!((srtt.as_us() as i64 - 100).abs() <= 2, "srtt {srtt}");

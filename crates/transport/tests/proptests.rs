@@ -2,9 +2,9 @@
 //! invariants under arbitrary ACK/loss interleavings, and sender ↔
 //! receiver convergence over a lossy in-order channel.
 
-use hermes_sim::Time;
 use hermes_net::PathId;
-use hermes_transport::{RecvAction, Receiver, SendAction, Sender, TransportCfg};
+use hermes_sim::Time;
+use hermes_transport::{Receiver, RecvAction, SegmentIn, SendAction, Sender, TransportCfg};
 use proptest::prelude::*;
 
 /// Drive a sender and receiver over a channel that drops data segments
@@ -43,7 +43,18 @@ fn converge(size: u64, drop_bits: u64) -> (bool, bool) {
                 continue;
             }
             progressed = true;
-            rcv.on_data(seq, len, false, now, PathId(0), retx, now, &mut recv_actions);
+            rcv.on_data(
+                SegmentIn {
+                    seq,
+                    len,
+                    ecn: false,
+                    sent_at: now,
+                    path: PathId(0),
+                    retx,
+                },
+                now,
+                &mut recv_actions,
+            );
         }
         for ra in recv_actions.drain(..) {
             if let RecvAction::SendAck { ack, ecn_echo, .. } = ra {
@@ -134,7 +145,18 @@ proptest! {
             let seq = seg * 1460;
             let len = (size - seq).min(1460) as u32;
             out.clear();
-            r.on_data(seq, len, false, Time::ZERO, PathId(0), false, Time::from_us(1), &mut out);
+            r.on_data(
+                SegmentIn {
+                    seq,
+                    len,
+                    ecn: false,
+                    sent_at: Time::ZERO,
+                    path: PathId(0),
+                    retx: false,
+                },
+                Time::from_us(1),
+                &mut out,
+            );
             highest_end = highest_end.max(seq + len as u64);
             for a in &out {
                 if let RecvAction::SendAck { ack, .. } = a {

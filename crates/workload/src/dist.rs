@@ -195,7 +195,11 @@ mod tests {
                 let p = i as f64 / 100.0;
                 let x = dist.quantile(p);
                 let back = dist.cdf(x);
-                assert!((back - p).abs() < 1e-9, "{}: p={p} x={x} back={back}", dist.name());
+                assert!(
+                    (back - p).abs() < 1e-9,
+                    "{}: p={p} x={x} back={back}",
+                    dist.name()
+                );
             }
         }
     }

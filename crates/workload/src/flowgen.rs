@@ -3,8 +3,8 @@
 //! leaf switches according to Poisson processes with varying traffic
 //! loads", using the flow generator of [8].
 
-use hermes_sim::{SimRng, Time};
 use hermes_net::{FlowId, HostId, Topology};
+use hermes_sim::{SimRng, Time};
 
 use crate::dist::FlowSizeDist;
 
@@ -165,13 +165,7 @@ mod tests {
         let mut degraded = topo.clone();
         let mut rng = SimRng::new(3);
         degraded.degrade_random_links(0.2, 2_000_000_000, &mut rng);
-        let g1 = FlowGen::new(
-            &topo,
-            FlowSizeDist::web_search(),
-            0.5,
-            None,
-            SimRng::new(1),
-        );
+        let g1 = FlowGen::new(&topo, FlowSizeDist::web_search(), 0.5, None, SimRng::new(1));
         let g2 = FlowGen::new(
             &degraded,
             FlowSizeDist::web_search(),

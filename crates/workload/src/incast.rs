@@ -9,8 +9,8 @@
 //! so the metric is query completion time (QCT), dominated by the
 //! slowest flow.
 
-use hermes_sim::{SimRng, Time};
 use hermes_net::{FlowId, HostId, Topology};
+use hermes_sim::{SimRng, Time};
 
 use crate::flowgen::FlowSpec;
 use crate::metrics::FlowRecord;

@@ -3,8 +3,8 @@
 //! 99th percentile, large flows (> 10 MB) average, plus the
 //! unfinished-flow fraction that drives the Fig. 17 blackhole numbers.
 
-use hermes_sim::Time;
 use hermes_net::{FlowId, HostId};
+use hermes_sim::Time;
 
 /// Small-flow band upper bound (paper: "<100KB").
 pub const SMALL_FLOW_BYTES: u64 = 100_000;
@@ -102,9 +102,9 @@ pub fn summarize(records: &[FlowRecord], horizon: Time) -> FctSummary {
         }
     }
     let mut sorted = all.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let mut small_sorted = small.clone();
-    small_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    small_sorted.sort_by(f64::total_cmp);
     FctSummary {
         n: records.len(),
         unfinished,
@@ -166,8 +166,7 @@ mod tests {
 
     #[test]
     fn percentiles_on_known_data() {
-        let records: Vec<FlowRecord> =
-            (1..=100).map(|i| rec(1_000, 0, Some(i * 10))).collect();
+        let records: Vec<FlowRecord> = (1..=100).map(|i| rec(1_000, 0, Some(i * 10))).collect();
         let s = summarize(&records, Time::from_secs(1));
         assert!((s.p50 - 510e-6).abs() < 20e-6, "p50 {}", s.p50);
         assert!((s.p99 - 990e-6).abs() < 20e-6, "p99 {}", s.p99);

@@ -6,10 +6,10 @@
 //! (≈ several flows per parallel path), while an end-host pair sees only
 //! its own flows (≈ 0.01 per path). This module tracks both.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use hermes_sim::Time;
 use hermes_net::{FlowId, HostId, LeafId};
+use hermes_sim::Time;
 
 /// Tracks concurrent flows per (src leaf, dst leaf) and per (src host,
 /// dst host) pair, and accumulates time-weighted averages.
@@ -25,9 +25,9 @@ pub struct VisibilityTracker {
     /// Active flow count per ordered leaf pair (dense, row-major).
     leaf_pair: Vec<u32>,
     /// Active flow count per ordered host pair (sparse).
-    host_pair: HashMap<(HostId, HostId), u32>,
+    host_pair: BTreeMap<(HostId, HostId), u32>,
     /// Flow → its pair keys, for removal.
-    flows: HashMap<FlowId, (LeafId, LeafId, HostId, HostId)>,
+    flows: BTreeMap<FlowId, (LeafId, LeafId, HostId, HostId)>,
     /// Flows whose removal is deferred by the observation window,
     /// ordered by removal time.
     lingering: std::collections::BinaryHeap<std::cmp::Reverse<(Time, FlowId)>>,
@@ -64,8 +64,8 @@ impl VisibilityTracker {
             n_leaves,
             n_paths,
             leaf_pair: vec![0; n_leaves * n_leaves],
-            host_pair: HashMap::new(),
-            flows: HashMap::new(),
+            host_pair: BTreeMap::new(),
+            flows: BTreeMap::new(),
             lingering: std::collections::BinaryHeap::new(),
             linger,
             last: Time::ZERO,

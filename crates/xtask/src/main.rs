@@ -1,0 +1,628 @@
+//! Workspace lint pass: the determinism rules no off-the-shelf linter
+//! knows. Run as `cargo run -p xtask -- lint`.
+//!
+//! The simulator's core promise is that a (config, seed) pair fully
+//! determines every packet of a run. That promise dies quietly: one
+//! `Instant::now()` in a code path, one iteration over a `HashMap`, one
+//! stray `thread_rng()`, and runs stop reproducing without any test
+//! necessarily failing. This binary scans the workspace sources for
+//! exactly those patterns:
+//!
+//! * **wall-clock** — `std::time` / `Instant::now` / `SystemTime`
+//!   anywhere in the simulation crates (`sim`, `net`, `transport`,
+//!   `core`, `lb`, `runtime`, `workload`). Only `hermes-bench` may time
+//!   real execution; simulated time is `hermes_sim::Time`.
+//! * **hash-order** — `HashMap` / `HashSet` in the simulation crates.
+//!   Their iteration order is randomized per process, so any map that
+//!   feeds the event queue or the RNG must be a `BTreeMap`/`Vec`.
+//! * **stray-rng** — `thread_rng`, `rand::random`, `from_entropy`,
+//!   `OsRng` anywhere. All randomness must flow from `SimRng` so the
+//!   master seed reaches every consumer.
+//! * **lib-unwrap** — `.unwrap()` in library code (crate `src/`
+//!   excluding `src/bin/` and `#[cfg(test)]` regions). Library code
+//!   must use `expect` with an invariant message, or handle the `None`.
+//!
+//! The scanner masks comments, string literals, and `#[cfg(test)]`
+//! blocks before matching, so a rule name in a doc comment or an
+//! `.unwrap()` inside a unit test never trips it. Exit status is
+//! non-zero iff violations are found; `--self-test` runs the embedded
+//! fixtures through the same engine.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose behavior must be a pure function of (config, seed).
+const SIM_CRATES: &[&str] = &[
+    "sim",
+    "net",
+    "transport",
+    "core",
+    "lb",
+    "runtime",
+    "workload",
+];
+
+/// Crate directories the scanner skips entirely: vendored stand-ins for
+/// third-party crates (not our code) and this tool itself.
+const SKIP_CRATES: &[&str] = &["proptest", "criterion", "xtask"];
+
+/// What part of a crate a file belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    /// `src/` excluding `src/bin/` — code other crates can link.
+    Lib,
+    /// `src/bin/` or `src/main.rs` — executable entry points.
+    Bin,
+    /// `tests/`, `examples/`, `benches/` — never shipped.
+    TestOrExample,
+}
+
+/// Where a source file sits in the workspace.
+#[derive(Clone, Debug)]
+struct FileClass {
+    /// Crate directory name (`"sim"`, `"bench"`, …); `"root"` for the
+    /// top-level `hermes-repro` package.
+    krate: String,
+    kind: Kind,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Rule {
+    name: &'static str,
+    tokens: &'static [&'static str],
+    why: &'static str,
+    applies: fn(&FileClass) -> bool,
+}
+
+fn is_sim_crate(c: &FileClass) -> bool {
+    SIM_CRATES.contains(&c.krate.as_str())
+}
+
+fn everywhere(_: &FileClass) -> bool {
+    true
+}
+
+fn lib_code(c: &FileClass) -> bool {
+    c.kind == Kind::Lib
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "wall-clock",
+        tokens: &["std::time", "Instant::now", "SystemTime"],
+        why: "simulation crates must use hermes_sim::Time; only hermes-bench times real execution",
+        applies: is_sim_crate,
+    },
+    Rule {
+        name: "hash-order",
+        tokens: &["HashMap", "HashSet"],
+        why: "hash iteration order is per-process random; use BTreeMap/BTreeSet/Vec so event and \
+              RNG order is reproducible",
+        applies: is_sim_crate,
+    },
+    Rule {
+        name: "stray-rng",
+        tokens: &["thread_rng", "rand::random", "from_entropy", "OsRng"],
+        why: "all randomness must derive from SimRng so the master seed determines every draw",
+        applies: everywhere,
+    },
+    Rule {
+        name: "lib-unwrap",
+        tokens: &[".unwrap()"],
+        why: "library code must expect() with an invariant message or handle the None/Err",
+        applies: lib_code,
+    },
+];
+
+struct Violation {
+    path: PathBuf,
+    line: usize,
+    rule: &'static str,
+    text: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            if args.iter().any(|a| a == "--self-test") {
+                return self_test();
+            }
+            let root = workspace_root();
+            lint(&root)
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--self-test]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn lint(root: &Path) -> ExitCode {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let Some(class) = classify(rel) else { continue };
+        if SKIP_CRATES.contains(&class.krate.as_str()) {
+            continue;
+        }
+        let Ok(source) = fs::read_to_string(path) else {
+            eprintln!("xtask: unreadable file {}", path.display());
+            continue;
+        };
+        scanned += 1;
+        scan_source(&source, &class, rel, &mut violations);
+    }
+    if violations.is_empty() {
+        println!("xtask lint: {scanned} files clean");
+        return ExitCode::SUCCESS;
+    }
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    for v in &violations {
+        println!("{}:{}: [{}] {}", v.path.display(), v.line, v.rule, v.text);
+    }
+    println!(
+        "\nxtask lint: {} violation(s) in {scanned} files",
+        violations.len()
+    );
+    let mut named: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    named.sort_unstable();
+    named.dedup();
+    for rule in RULES.iter().filter(|r| named.contains(&r.name)) {
+        println!("  [{}] {}", rule.name, rule.why);
+    }
+    ExitCode::FAILURE
+}
+
+/// Recursively gather `.rs` files, in sorted order for stable output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&p, out);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Map a workspace-relative path to its crate and kind. Returns `None`
+/// for files outside any crate layout we recognize.
+fn classify(rel: &Path) -> Option<FileClass> {
+    let parts: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    let (krate, rest) = match parts.as_slice() {
+        ["crates", name, rest @ ..] => ((*name).to_string(), rest),
+        rest => ("root".to_string(), rest),
+    };
+    let kind = match rest {
+        ["src", "bin", ..] | ["src", "main.rs"] => Kind::Bin,
+        ["src", ..] => Kind::Lib,
+        ["tests", ..] | ["examples", ..] | ["benches", ..] => Kind::TestOrExample,
+        _ => return None,
+    };
+    Some(FileClass { krate, kind })
+}
+
+/// Run every applicable rule over one masked source file.
+fn scan_source(source: &str, class: &FileClass, rel: &Path, out: &mut Vec<Violation>) {
+    let active: Vec<&Rule> = RULES.iter().filter(|r| (r.applies)(class)).collect();
+    if active.is_empty() {
+        return;
+    }
+    let masked = mask_cfg_test(&mask_comments_and_strings(source));
+    let originals: Vec<&str> = source.lines().collect();
+    for (i, line) in masked.lines().enumerate() {
+        for rule in &active {
+            if rule.tokens.iter().any(|t| line.contains(t)) {
+                out.push(Violation {
+                    path: rel.to_path_buf(),
+                    line: i + 1,
+                    rule: rule.name,
+                    text: originals.get(i).map_or("", |l| l.trim()).to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Replace comments and string/char literal contents with spaces,
+/// preserving newlines so line numbers survive. Handles nested block
+/// comments, escapes, raw strings (`r"…"`, `r#"…"#`, byte variants),
+/// and distinguishes char literals from lifetimes.
+fn mask_comments_and_strings(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"…", r#"…"#, br"…", …
+        if c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')) {
+            let quote_search = if c == 'b' { i + 2 } else { i + 1 };
+            let mut j = quote_search;
+            while b.get(j) == Some(&'#') {
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') {
+                let hashes = j - quote_search;
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+                while i < b.len() {
+                    if b[i] == '"' {
+                        let mut h = 0;
+                        while h < hashes && b.get(i + 1 + h) == Some(&'#') {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary string literal (covers b"…" via the 'b' falling
+        // through to here on the next iteration's '"').
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if b.get(i + 1) == Some(&'\\') {
+                // Escaped char literal: blank through the closing quote.
+                out.push(' ');
+                i += 1;
+                while i < b.len() && b[i] != '\'' {
+                    out.push_str("  ");
+                    i += 2;
+                }
+                if i < b.len() {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            if b.get(i + 2) == Some(&'\'') && b.get(i + 1).is_some_and(|&ch| ch != '\'') {
+                out.push_str("   ");
+                i += 3;
+                continue;
+            }
+            // A lifetime: keep the tick, it can't contain rule tokens.
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Blank out `#[cfg(test)] … { … }` regions (attribute through the
+/// matching close brace). Must run on already comment/string-masked
+/// text so braces inside literals don't confuse the depth count.
+fn mask_cfg_test(masked: &str) -> String {
+    let b: Vec<char> = masked.chars().collect();
+    let mut out = b.clone();
+    let pat: Vec<char> = "#[cfg(test)]".chars().collect();
+    let mut i = 0;
+    while i + pat.len() <= b.len() {
+        if b[i..i + pat.len()] != pat[..] {
+            i += 1;
+            continue;
+        }
+        // Find the gated item's opening brace (skipping further
+        // attributes and the item header); a `;` first means a
+        // braceless item — nothing more to mask.
+        let mut j = i + pat.len();
+        while j < b.len() && b[j] != '{' && b[j] != ';' {
+            j += 1;
+        }
+        if j >= b.len() || b[j] == ';' {
+            i = j;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut k = j;
+        while k < b.len() {
+            match b[k] {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let end = k.min(b.len().saturating_sub(1));
+        for cell in out.iter_mut().take(end + 1).skip(i) {
+            if *cell != '\n' {
+                *cell = ' ';
+            }
+        }
+        i = end + 1;
+    }
+    out.into_iter().collect()
+}
+
+// ---- self-test fixtures -------------------------------------------
+
+/// (rule expected to fire, fixture source). Each fixture is scanned as
+/// library code of a simulation crate, where every rule applies.
+const BAD_FIXTURES: &[(&str, &str)] = &[
+    (
+        "wall-clock",
+        "fn f() { let _t = std::time::Instant::now(); }\n",
+    ),
+    ("wall-clock", "fn f() { let _t = SystemTime::now(); }\n"),
+    (
+        "hash-order",
+        "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> u32 { m.len() as u32 }\n",
+    ),
+    ("stray-rng", "fn f() -> u64 { rand::random() }\n"),
+    ("stray-rng", "fn f() { let mut _r = thread_rng(); }\n"),
+    ("lib-unwrap", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n"),
+];
+
+/// Sources that must NOT fire: the forbidden tokens appear only in
+/// comments, strings, or `#[cfg(test)]` regions.
+const CLEAN_FIXTURES: &[&str] = &[
+    "// std::time::Instant::now() is banned here\nfn f() {}\n",
+    "fn f() -> &'static str { \"HashMap iteration order\" }\n",
+    "/* thread_rng() would break determinism */\nfn f() {}\n",
+    "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n",
+    "fn lifetime<'a>(x: &'a u64) -> &'a u64 { x }\n",
+];
+
+fn self_test() -> ExitCode {
+    let class = FileClass {
+        krate: "sim".to_string(),
+        kind: Kind::Lib,
+    };
+    let mut failures = 0;
+    for (rule, src) in BAD_FIXTURES {
+        let mut v = Vec::new();
+        scan_source(src, &class, Path::new("fixture.rs"), &mut v);
+        if !v.iter().any(|x| x.rule == *rule) {
+            eprintln!("self-test FAILED: [{rule}] not detected in fixture:\n{src}");
+            failures += 1;
+        }
+    }
+    for src in CLEAN_FIXTURES {
+        let mut v = Vec::new();
+        scan_source(src, &class, Path::new("fixture.rs"), &mut v);
+        if let Some(x) = v.first() {
+            eprintln!(
+                "self-test FAILED: false positive [{}] in clean fixture:\n{src}",
+                x.rule
+            );
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!(
+            "xtask self-test: {} bad + {} clean fixtures OK",
+            BAD_FIXTURES.len(),
+            CLEAN_FIXTURES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_as(krate: &str, kind: Kind, src: &str) -> Vec<&'static str> {
+        let class = FileClass {
+            krate: krate.to_string(),
+            kind,
+        };
+        let mut v = Vec::new();
+        scan_source(src, &class, Path::new("t.rs"), &mut v);
+        v.into_iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn bad_fixtures_all_fire() {
+        for (rule, src) in BAD_FIXTURES {
+            assert!(
+                scan_as("sim", Kind::Lib, src).contains(rule),
+                "fixture for [{rule}] not flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_fixtures_stay_clean() {
+        for src in CLEAN_FIXTURES {
+            assert!(
+                scan_as("sim", Kind::Lib, src).is_empty(),
+                "false positive on:\n{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_may_use_wall_clock() {
+        let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+        assert!(scan_as("bench", Kind::Lib, src).is_empty());
+        assert!(scan_as("runtime", Kind::Lib, src).contains(&"wall-clock"));
+    }
+
+    #[test]
+    fn unwrap_allowed_in_bins_and_tests() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(scan_as("sim", Kind::Bin, src).is_empty());
+        assert!(scan_as("sim", Kind::TestOrExample, src).is_empty());
+        assert!(scan_as("sim", Kind::Lib, src).contains(&"lib-unwrap"));
+    }
+
+    #[test]
+    fn stray_rng_applies_everywhere() {
+        let src = "fn f() { let _ = thread_rng(); }\n";
+        assert!(scan_as("bench", Kind::TestOrExample, src).contains(&"stray-rng"));
+    }
+
+    #[test]
+    fn masking_keeps_line_numbers() {
+        let src = "fn a() {}\n/* multi\nline */ let x = std::time::Instant::now();\n";
+        let class = FileClass {
+            krate: "sim".to_string(),
+            kind: Kind::Lib,
+        };
+        let mut v = Vec::new();
+        scan_source(src, &class, Path::new("t.rs"), &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let src = "fn f() -> &'static str { r#\"HashMap \"quoted\" inside\"# }\n";
+        assert!(scan_as("sim", Kind::Lib, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_masking_is_brace_matched() {
+        let src = "fn live() { let _m: HashMap<u8, u8> = HashMap::new(); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn inner() { Some(1).unwrap(); }\n}\n\
+                   fn also_live(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let rules = scan_as("sim", Kind::Lib, src);
+        assert!(
+            rules.contains(&"hash-order"),
+            "code before the test mod must scan"
+        );
+        assert!(
+            rules.contains(&"lib-unwrap"),
+            "code after the test mod must scan"
+        );
+        assert_eq!(
+            rules.iter().filter(|r| **r == "lib-unwrap").count(),
+            1,
+            "the unwrap inside #[cfg(test)] must not count"
+        );
+    }
+
+    #[test]
+    fn classify_maps_workspace_layout() {
+        let c = classify(Path::new("crates/net/src/fabric.rs")).expect("classifies");
+        assert_eq!(c.krate, "net");
+        assert_eq!(c.kind, Kind::Lib);
+        let c = classify(Path::new("crates/bench/src/bin/fig9.rs")).expect("classifies");
+        assert_eq!(c.kind, Kind::Bin);
+        let c = classify(Path::new("src/bin/hermes-cli.rs")).expect("classifies");
+        assert_eq!(c.krate, "root");
+        assert_eq!(c.kind, Kind::Bin);
+        let c = classify(Path::new("tests/scenarios.rs")).expect("classifies");
+        assert_eq!(c.kind, Kind::TestOrExample);
+        assert!(classify(Path::new("README.md")).is_none());
+    }
+
+    #[test]
+    fn whole_workspace_is_clean() {
+        // The real tree must pass its own lint: run the full scan
+        // in-process and demand zero violations.
+        let root = workspace_root();
+        let mut files = Vec::new();
+        collect_rs_files(&root, &mut files);
+        assert!(!files.is_empty(), "workspace sources not found");
+        let mut violations = Vec::new();
+        for path in &files {
+            let rel = path.strip_prefix(&root).unwrap_or(path);
+            let Some(class) = classify(rel) else { continue };
+            if SKIP_CRATES.contains(&class.krate.as_str()) {
+                continue;
+            }
+            let source = fs::read_to_string(path).expect("readable source");
+            scan_source(&source, &class, rel, &mut violations);
+        }
+        let report: Vec<String> = violations
+            .iter()
+            .map(|v| format!("{}:{}: [{}] {}", v.path.display(), v.line, v.rule, v.text))
+            .collect();
+        assert!(
+            violations.is_empty(),
+            "lint violations:\n{}",
+            report.join("\n")
+        );
+    }
+}

@@ -7,11 +7,11 @@
 //! cargo run --release --example asymmetry
 //! ```
 
-use hermes_sim::{SimRng, Time};
 use hermes_core::HermesParams;
 use hermes_lb::CongaCfg;
 use hermes_net::Topology;
 use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_sim::{SimRng, Time};
 use hermes_workload::{summarize, FlowGen, FlowSizeDist};
 
 fn main() {

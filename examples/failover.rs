@@ -6,10 +6,10 @@
 //! cargo run --release --example failover
 //! ```
 
-use hermes_sim::{SimRng, Time};
 use hermes_core::HermesParams;
 use hermes_net::{LeafId, SpineFailure, SpineId, Topology};
 use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_sim::{SimRng, Time};
 use hermes_workload::{FlowGen, FlowSizeDist};
 
 fn main() {

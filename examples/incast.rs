@@ -12,10 +12,10 @@
 //! cargo run --release --example incast
 //! ```
 
-use hermes_sim::{SimRng, Time};
 use hermes_core::HermesParams;
 use hermes_net::Topology;
 use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_sim::{SimRng, Time};
 use hermes_workload::{query_completion, IncastGen};
 
 fn main() {

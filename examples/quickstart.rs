@@ -5,10 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hermes_sim::{SimRng, Time};
 use hermes_core::HermesParams;
 use hermes_net::Topology;
 use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_sim::{SimRng, Time};
 use hermes_workload::{summarize, FlowGen, FlowSizeDist};
 
 fn main() {
@@ -19,13 +19,7 @@ fn main() {
     // 2. A workload: web-search flow sizes, Poisson arrivals at 60%
     //    offered load, between random hosts under different racks.
     let make_flows = || {
-        let mut gen = FlowGen::new(
-            &topo,
-            FlowSizeDist::web_search(),
-            0.6,
-            None,
-            SimRng::new(7),
-        );
+        let mut gen = FlowGen::new(&topo, FlowSizeDist::web_search(), 0.6, None, SimRng::new(7));
         gen.schedule(400)
     };
 

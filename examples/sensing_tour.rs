@@ -6,9 +6,9 @@
 //! cargo run --example sensing_tour
 //! ```
 
-use hermes_sim::Time;
-use hermes_core::{HermesParams, PathState, PathType};
+use hermes_core::{HermesParams, PathState};
 use hermes_net::Topology;
+use hermes_sim::Time;
 
 fn show(label: &str, st: &mut PathState, p: &HermesParams, now: Time) {
     println!(
@@ -84,7 +84,12 @@ fn main() {
     let after = t + p.retx_window;
     lossy.on_sent(&p, after);
     lossy.sample(Some(p.t_rtt_low - Time::from_us(15)), false, &p, after);
-    show("3% retransmits on an UNcongested path", &mut lossy, &p, after);
+    show(
+        "3% retransmits on an UNcongested path",
+        &mut lossy,
+        &p,
+        after,
+    );
 
     println!("\nFailure classes are sticky; everything else re-evaluates per packet.");
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerate every EXPERIMENTS.md table: build the bench binaries once,
+# run each, and collect one log per figure under bench_results/.
+#
+# Per-point wall time is reported by the binaries themselves
+# (std::time::Instant in crates/bench/src/grid.rs), so no external
+# `time` wrapper is needed, and both stdout (tables) and stderr
+# (per-point progress) land in the same .txt — no stray .err files.
+#
+# Usage:
+#   scripts/run_benches.sh [outdir]        # default: bench_results
+#   HERMES_SCALE=4 HERMES_RUNS=3 scripts/run_benches.sh
+#
+# Offline note: the build environment vendors all dependencies in-tree;
+# add --offline to the cargo invocations if the registry is unreachable.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir=${1:-bench_results}
+mkdir -p "$outdir"
+
+cargo build --release -p hermes-bench
+
+for src in crates/bench/src/bin/*.rs; do
+    bin=$(basename "$src" .rs)
+    case "$bin" in
+        autotune) continue ;; # interactive parameter search, not a figure
+    esac
+    echo "== $bin =="
+    if ! cargo run --release -q -p hermes-bench --bin "$bin" \
+            >"$outdir/$bin.txt" 2>&1; then
+        echo "FAILED: $bin (see $outdir/$bin.txt)" >&2
+        exit 1
+    fi
+    tail -n 3 "$outdir/$bin.txt"
+done
+
+echo "done: results in $outdir/"

@@ -21,11 +21,11 @@
 //!     --drop 3:0.02 --load 0.5
 //! ```
 
-use hermes_sim::{SimRng, Time};
 use hermes_core::HermesParams;
 use hermes_lb::{CloveCfg, CongaCfg, FlowBenderCfg};
 use hermes_net::{LeafId, SpineFailure, SpineId, Topology};
 use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_sim::{SimRng, Time};
 use hermes_transport::TransportCfg;
 use hermes_workload::{summarize, FctSummary, FlowGen, FlowSizeDist};
 
@@ -69,7 +69,7 @@ fn parse_args() -> Args {
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let mut next = |i: &mut usize| -> String {
+    let next = |i: &mut usize| -> String {
         *i += 1;
         argv.get(*i - 1)
             .cloned()
@@ -82,11 +82,11 @@ fn parse_args() -> Args {
             "--topo" => args.topo = next(&mut i),
             "--scheme" => args.scheme = next(&mut i),
             "--workload" => args.workload = next(&mut i),
-            "--load" => {
-                args.load = next(&mut i).parse().unwrap_or_else(|_| usage("bad --load"))
-            }
+            "--load" => args.load = next(&mut i).parse().unwrap_or_else(|_| usage("bad --load")),
             "--flows" => {
-                args.flows = next(&mut i).parse().unwrap_or_else(|_| usage("bad --flows"))
+                args.flows = next(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --flows"));
             }
             "--seed" => args.seed = next(&mut i).parse().unwrap_or_else(|_| usage("bad --seed")),
             "--runs" => args.runs = next(&mut i).parse().unwrap_or_else(|_| usage("bad --runs")),
@@ -178,11 +178,29 @@ fn build_scheme(a: &Args, topo: &Topology) -> Scheme {
 
 fn print_summary(s: &FctSummary) {
     println!("flows               {}", s.n);
-    println!("unfinished          {} ({:.2}%)", s.unfinished, 100.0 * s.unfinished_frac());
+    println!(
+        "unfinished          {} ({:.2}%)",
+        s.unfinished,
+        100.0 * s.unfinished_frac()
+    );
     println!("avg FCT             {:.3} ms", s.avg * 1e3);
-    println!("p50 / p95 / p99     {:.3} / {:.3} / {:.3} ms", s.p50 * 1e3, s.p95 * 1e3, s.p99 * 1e3);
-    println!("small (<100KB) avg  {:.3} ms   p99 {:.3} ms   (n={})", s.avg_small * 1e3, s.p99_small * 1e3, s.n_small);
-    println!("large (>10MB)  avg  {:.3} ms   (n={})", s.avg_large * 1e3, s.n_large);
+    println!(
+        "p50 / p95 / p99     {:.3} / {:.3} / {:.3} ms",
+        s.p50 * 1e3,
+        s.p95 * 1e3,
+        s.p99 * 1e3
+    );
+    println!(
+        "small (<100KB) avg  {:.3} ms   p99 {:.3} ms   (n={})",
+        s.avg_small * 1e3,
+        s.p99_small * 1e3,
+        s.n_small
+    );
+    println!(
+        "large (>10MB)  avg  {:.3} ms   (n={})",
+        s.avg_large * 1e3,
+        s.n_large
+    );
 }
 
 fn main() {
@@ -200,7 +218,13 @@ fn main() {
     };
     println!(
         "topology={} scheme={} workload={} load={:.2} flows={} seed={} runs={}",
-        a.topo, a.scheme, dist.name(), a.load, a.flows, a.seed, a.runs
+        a.topo,
+        a.scheme,
+        dist.name(),
+        a.load,
+        a.flows,
+        a.seed,
+        a.runs
     );
     let mut sums = Vec::new();
     for run in 0..a.runs {

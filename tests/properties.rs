@@ -1,11 +1,11 @@
 //! Property-based tests over the whole pipeline: random topologies and
 //! workloads must uphold the simulator's global invariants.
 
-use hermes_sim::{SimRng, Time};
 use hermes_core::HermesParams;
 use hermes_lb::CongaCfg;
 use hermes_net::{LinkCfg, Topology};
 use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_sim::{SimRng, Time};
 use hermes_workload::{FlowGen, FlowSizeDist};
 use proptest::prelude::*;
 

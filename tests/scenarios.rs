@@ -1,11 +1,11 @@
 //! Cross-crate scenario tests: the paper's qualitative claims, each
 //! checked end-to-end on small configurations.
 
-use hermes_sim::{SimRng, Time};
 use hermes_core::HermesParams;
 use hermes_lb::CongaCfg;
 use hermes_net::{LeafId, LinkCfg, SpineFailure, SpineId, Topology};
 use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_sim::{SimRng, Time};
 use hermes_workload::{summarize, FlowGen, FlowSizeDist};
 
 /// Run a workload and return (avg FCT seconds, unfinished count).
@@ -89,10 +89,10 @@ fn blackhole_hermes_finishes_everything_ecmp_does_not() {
         LinkCfg::new(10_000_000_000, Time::from_us(10)),
     );
     // Every pair on every rack combination through spine 0 is eaten.
-    let failure = Some((
+    let failure = (
         SpineId(0),
         SpineFailure::blackhole(LeafId(0), LeafId(1), 1.0),
-    ));
+    );
     let horizon = Time::from_secs(15);
     // Only rack0→rack1 traffic so exposure is guaranteed.
     let mk_flows = || {
@@ -112,7 +112,7 @@ fn blackhole_hermes_finishes_everything_ecmp_does_not() {
     };
     let run_bh = |scheme: Scheme| {
         let mut sim = Simulation::new(SimConfig::new(topo.clone(), scheme).with_seed(2));
-        sim.set_spine_failure(failure.unwrap().0, failure.unwrap().1);
+        sim.set_spine_failure(failure.0, failure.1);
         sim.add_flows(mk_flows());
         sim.run_to_completion(horizon);
         sim.records().iter().filter(|r| r.finish.is_none()).count()
@@ -140,7 +140,15 @@ fn asymmetry_congestion_awareness_beats_oblivious_spray() {
     topo.degrade_link(LeafId(0), SpineId(0), 1_000_000_000);
     topo.degrade_link(LeafId(1), SpineId(0), 1_000_000_000);
     let horizon = Time::from_secs(20);
-    let (spray, _) = run(&topo, Scheme::presto(), 0.5, 120, Some(healthy), None, horizon);
+    let (spray, _) = run(
+        &topo,
+        Scheme::presto(),
+        0.5,
+        120,
+        Some(healthy),
+        None,
+        horizon,
+    );
     let (hermes, _) = run(
         &topo,
         Scheme::Hermes(HermesParams::from_topology(&topo)),
@@ -172,7 +180,8 @@ fn hermes_reroute_counters_move_under_congestion() {
         SimRng::new(4),
     );
     let params = HermesParams::from_topology(&topo);
-    let mut sim = Simulation::new(SimConfig::new(topo.clone(), Scheme::Hermes(params)).with_seed(3));
+    let mut sim =
+        Simulation::new(SimConfig::new(topo.clone(), Scheme::Hermes(params)).with_seed(3));
     sim.add_flows(gen.schedule(120));
     sim.run_to_completion(Time::from_secs(30));
     let (reroutes, initial, probes): (u64, u64, u64) = sim
@@ -195,10 +204,19 @@ fn hermes_reroute_counters_move_under_congestion() {
 fn full_pipeline_determinism() {
     let topo = Topology::testbed();
     let go = || {
-        let mut gen = FlowGen::new(&topo, FlowSizeDist::data_mining(), 0.4, None, SimRng::new(8));
+        let mut gen = FlowGen::new(
+            &topo,
+            FlowSizeDist::data_mining(),
+            0.4,
+            None,
+            SimRng::new(8),
+        );
         let mut sim = Simulation::new(
-            SimConfig::new(topo.clone(), Scheme::Hermes(HermesParams::paper_testbed(&topo)))
-                .with_seed(21),
+            SimConfig::new(
+                topo.clone(),
+                Scheme::Hermes(HermesParams::paper_testbed(&topo)),
+            )
+            .with_seed(21),
         );
         sim.add_flows(gen.schedule(40));
         sim.run_to_completion(Time::from_secs(60));
@@ -206,7 +224,7 @@ fn full_pipeline_determinism() {
             sim.stats.events,
             sim.records()
                 .iter()
-                .map(|r| r.finish.map(|f| f.as_ns()))
+                .map(|r| r.finish.map(hermes_sim::Time::as_ns))
                 .collect::<Vec<_>>(),
         )
     };
