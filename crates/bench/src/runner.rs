@@ -1,7 +1,7 @@
 //! Single experiment-point runner: one (topology, scheme, workload,
 //! load, seed) tuple → FCT summary.
 
-use hermes_net::{SpineFailure, SpineId, Topology};
+use hermes_net::{FaultPlan, SpineFailure, SpineId, Topology};
 use hermes_runtime::{Scheme, SimConfig, Simulation};
 use hermes_sim::{SimRng, Time};
 use hermes_transport::TransportCfg;
@@ -25,6 +25,9 @@ pub struct PointCfg {
     /// Explicit reorder-mask override (None = scheme default).
     pub reorder_mask: Option<Option<Time>>,
     pub failures: Vec<(SpineId, SpineFailure)>,
+    /// Time-triggered fault schedule (onset *and* clearance) replayed
+    /// through the event queue — the transient-failure experiments.
+    pub fault_plan: Option<FaultPlan>,
     /// Extra simulated time after the last arrival before declaring
     /// remaining flows unfinished.
     pub drain: Time,
@@ -45,6 +48,7 @@ impl PointCfg {
             transport: TransportCfg::dctcp(),
             reorder_mask: None,
             failures: Vec::new(),
+            fault_plan: None,
             drain: Time::from_secs(3),
             visibility_linger: Time::ZERO,
         }
@@ -72,6 +76,11 @@ impl PointCfg {
 
     pub fn failure(mut self, s: SpineId, f: SpineFailure) -> PointCfg {
         self.failures.push((s, f));
+        self
+    }
+
+    pub fn fault(mut self, plan: FaultPlan) -> PointCfg {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -123,6 +132,9 @@ pub fn run_point(cfg: &PointCfg) -> PointResult {
     let mut sim = Simulation::new(sim_cfg);
     for (s, f) in &cfg.failures {
         sim.set_spine_failure(*s, *f);
+    }
+    if let Some(plan) = &cfg.fault_plan {
+        sim.set_fault_plan(plan);
     }
     sim.add_flows(specs);
     let horizon = last_arrival + cfg.drain;

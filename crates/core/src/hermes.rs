@@ -44,6 +44,12 @@ pub struct RackSensing {
     pub stat_initial: u64,
     pub stat_failovers: u64,
     pub stat_probes: u64,
+    /// Paths re-admitted from probation.
+    pub stat_recoveries: u64,
+    /// When this rack first declared any path failed (time-to-detect).
+    pub first_failure_at: Option<Time>,
+    /// When this rack first re-admitted a path (time-to-readmit).
+    pub first_recovery_at: Option<Time>,
 }
 
 impl RackSensing {
@@ -67,6 +73,9 @@ impl RackSensing {
             stat_initial: 0,
             stat_failovers: 0,
             stat_probes: 0,
+            stat_recoveries: 0,
+            first_failure_at: None,
+            first_recovery_at: None,
         }
     }
 
@@ -92,7 +101,25 @@ impl RackSensing {
     /// Characterize one path now.
     pub fn characterize(&mut self, dst: LeafId, path: PathId, now: Time) -> PathType {
         let p = self.params;
-        self.st(dst, path).characterize(&p, now)
+        let was_failed = self.st(dst, path).failed();
+        let t = self.st(dst, path).characterize(&p, now);
+        if !was_failed && t == PathType::Failed {
+            // The random-drop rule fires lazily inside characterize, so
+            // detection is noted here as well as in the timeout hook.
+            self.note_failure(now);
+        }
+        t
+    }
+
+    /// Record that some path was just declared failed.
+    fn note_failure(&mut self, now: Time) {
+        self.first_failure_at.get_or_insert(now);
+    }
+
+    /// Record that some path was just re-admitted from probation.
+    fn note_recovery(&mut self, now: Time) {
+        self.stat_recoveries += 1;
+        self.first_recovery_at.get_or_insert(now);
     }
 
     /// The freshest-best path toward `dst` by RTT (probe memory).
@@ -305,16 +332,20 @@ impl EdgeLb for Hermes {
         }
         let mut sh = self.shared.borrow_mut();
         let p = sh.params;
-        sh.st(ctx.dst_leaf, path).sample(rtt, ecn, &p, now);
+        if sh.st(ctx.dst_leaf, path).sample(rtt, ecn, &p, now) {
+            sh.note_recovery(now);
+        }
     }
 
-    fn on_timeout(&mut self, ctx: &FlowCtx, path: PathId, _now: Time) {
+    fn on_timeout(&mut self, ctx: &FlowCtx, path: PathId, now: Time) {
         if !path.is_spine() {
             return;
         }
         let mut sh = self.shared.borrow_mut();
         let p = sh.params;
-        sh.st(ctx.dst_leaf, path).on_timeout(&p);
+        if sh.st(ctx.dst_leaf, path).on_timeout(&p, now) {
+            sh.note_failure(now);
+        }
     }
 
     fn on_retransmit(&mut self, ctx: &FlowCtx, path: PathId, now: Time) {
@@ -341,7 +372,7 @@ impl EdgeLb for Hermes {
             .add(bytes, now);
     }
 
-    fn probe_plan(&mut self, _now: Time, rng: &mut SimRng) -> Vec<ProbeTarget> {
+    fn probe_plan(&mut self, now: Time, rng: &mut SimRng) -> Vec<ProbeTarget> {
         if !self.is_agent {
             return Vec::new();
         }
@@ -350,14 +381,15 @@ impl EdgeLb for Hermes {
             return Vec::new();
         }
         let my = sh.my_leaf;
-        let choices = sh.params.probe_choices;
+        let params = sh.params;
+        let choices = params.probe_choices;
         let mut plan = Vec::new();
         for d in 0..sh.candidates.len() {
             let dst = LeafId(d as u16);
             if dst == my {
                 continue;
             }
-            let cands = &sh.candidates[d];
+            let cands = sh.candidates[d].clone();
             if cands.is_empty() {
                 continue;
             }
@@ -370,6 +402,15 @@ impl EdgeLb for Hermes {
             if let Some(best) = sh.best_path(dst) {
                 if !targets.contains(&best) {
                     targets.push(best);
+                }
+            }
+            // Recovery sensing: every path in probation is probed each
+            // tick — probes are the only traffic allowed to test it, so
+            // re-admission latency is bounded by
+            // recovery_probe_count × probe_interval.
+            for &p in &cands {
+                if sh.st(dst, p).in_probation(&params, now) && !targets.contains(&p) {
+                    targets.push(p);
                 }
             }
             plan.extend(targets.into_iter().map(|path| ProbeTarget {
@@ -387,7 +428,19 @@ impl EdgeLb for Hermes {
         }
         let mut sh = self.shared.borrow_mut();
         let p = sh.params;
-        sh.st(dst_leaf, path).sample(Some(rtt), ecn, &p, now);
+        if sh.st(dst_leaf, path).sample(Some(rtt), ecn, &p, now) {
+            sh.note_recovery(now);
+        }
+    }
+
+    fn on_probe_timeout(&mut self, dst_leaf: LeafId, path: PathId, now: Time) {
+        if !path.is_spine() {
+            return;
+        }
+        self.shared
+            .borrow_mut()
+            .st(dst_leaf, path)
+            .on_probe_lost(now);
     }
 }
 
@@ -582,6 +635,64 @@ mod tests {
             let mut r = SimRng::new(seed);
             assert_ne!(h.select_path(&ctx_new(), &cands(), now, &mut r), PathId(2));
         }
+    }
+
+    #[test]
+    fn failed_path_recovers_through_probation_probing() {
+        let (sh, mut h, params) = setup();
+        let mut rng = SimRng::new(1);
+        let t0 = Time::from_ms(1);
+        let c0 = ctx_new();
+        for _ in 0..3 {
+            h.on_timeout(&c0, PathId(2), t0);
+        }
+        assert_eq!(sh.borrow().first_failure_at, Some(t0));
+        // Quiet period passes with no evidence → the probe plan must
+        // target the probation path toward dst leaf 1.
+        let t1 = t0 + params.failure_quiet_period;
+        let plan = h.probe_plan(t1, &mut rng);
+        assert!(
+            plan.iter()
+                .any(|t| t.dst_leaf == LeafId(1) && t.path == PathId(2)),
+            "probation path must be probed: {plan:?}"
+        );
+        // Enough successful probes re-admit it.
+        for k in 0..params.recovery_probe_count {
+            h.on_probe_result(
+                LeafId(1),
+                PathId(2),
+                Time::from_us(60),
+                false,
+                t1 + params.probe_interval * u64::from(k),
+            );
+        }
+        let s = sh.borrow();
+        assert_eq!(s.stat_recoveries, 1);
+        assert!(s.first_recovery_at.is_some());
+        assert!(!s.path_state(LeafId(1), PathId(2)).failed());
+    }
+
+    #[test]
+    fn still_dead_path_is_never_readmitted() {
+        let (sh, mut h, params) = setup();
+        let mut rng = SimRng::new(1);
+        let t0 = Time::from_ms(1);
+        let c0 = ctx_new();
+        for _ in 0..3 {
+            h.on_timeout(&c0, PathId(2), t0);
+        }
+        // Cycle: quiet period → probation → probe lost → failed again.
+        let mut t = t0;
+        for _ in 0..5 {
+            t += params.failure_quiet_period;
+            let _ = h.probe_plan(t, &mut rng);
+            h.on_probe_timeout(LeafId(1), PathId(2), t);
+            assert!(
+                sh.borrow().path_state(LeafId(1), PathId(2)).failed(),
+                "a path whose probes keep dying must stay failed"
+            );
+        }
+        assert_eq!(sh.borrow().stat_recoveries, 0);
     }
 
     #[test]

@@ -52,6 +52,19 @@ pub struct HermesParams {
     /// persistent "notably better" gaps between busy paths and flows
     /// chase them dozens of times per second (set to ~50 base RTTs).
     pub reroute_cooldown: Time,
+    // --- Failure recovery (transient faults) ---
+    /// Quiet period after the last failure evidence before a Failed path
+    /// enters probation. Sized to several blackhole-detection times
+    /// (3 × min RTO) so a still-dead path re-fails from its own probe
+    /// losses before ever being trusted — "timely yet cautious" applied
+    /// to recovery.
+    pub failure_quiet_period: Time,
+    /// Consecutive successful probes a path in probation must return
+    /// before it is re-admitted for data.
+    pub recovery_probe_count: u32,
+    /// Disable recovery entirely: failed paths stay failed for the run
+    /// (the pre-recovery behaviour, useful for ablations).
+    pub enable_recovery: bool,
     // --- Sensing estimator details ---
     /// EWMA gain for the per-path ECN fraction.
     pub ecn_ewma: f64,
@@ -90,6 +103,9 @@ impl HermesParams {
             size_threshold: 600_000,
             rate_threshold_bps: 0.30 * topo.host_link.rate_bps as f64,
             reroute_cooldown: base * 50,
+            failure_quiet_period: Time::from_ms(25),
+            recovery_probe_count: 3,
+            enable_recovery: true,
             ecn_ewma: 1.0 / 16.0,
             rtt_ewma: 0.25,
             stale_horizon: Time::from_ms(5),

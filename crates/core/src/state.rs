@@ -13,9 +13,25 @@
 //!
 //! plus the failure rules of §3.1.2: ≥3 timeouts with nothing ACKed
 //! (blackhole), or a high retransmission fraction on a path that is not
-//! congested (silent random drops). Failure is sticky: a failed switch
-//! does not heal within an experiment, and Hermes stops sending data
-//! (hence stops sampling) once it evades the path.
+//! congested (silent random drops).
+//!
+//! Failure is sticky *within a quiet period*, then ages into recovery
+//! ("timely yet cautious" applied to the un-failing direction):
+//!
+//! ```text
+//! Ok ──(blackhole/random-drop rule)──▶ Failed
+//! Failed ──(no failure evidence for failure_quiet_period)──▶ Probation
+//! Probation ──(recovery_probe_count successful probes)──▶ Ok
+//! Probation ──(timeout / retransmit / lost probe)──▶ Failed
+//! ```
+//!
+//! `Failed` and `Probation` both read as [`PathType::Failed`] to data
+//! placement: a path in probation carries probes only, and every piece
+//! of failure evidence (timeouts, retransmissions, unanswered probes)
+//! refreshes the quiet-period clock, so a path that is still broken
+//! keeps re-failing off its own probe losses and is never re-admitted.
+//! Setting `enable_recovery = false` restores the old terminally-sticky
+//! behaviour for ablations.
 
 use hermes_sim::Time;
 
@@ -28,6 +44,17 @@ pub enum PathType {
     Gray,
     Congested,
     Failed,
+}
+
+/// The failure/recovery phase of a path (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FailPhase {
+    /// No failure suspected; the path may carry data.
+    Ok,
+    /// Failure rule fired; no data, waiting out the quiet period.
+    Failed,
+    /// Quiet period elapsed; probes (not data) decide re-admission.
+    Probation,
 }
 
 /// Sensing state of one path toward one destination rack (Table 3).
@@ -62,8 +89,13 @@ pub struct PathState {
     /// predicate (the rule fires on the second, filtering one-off
     /// incast bursts).
     bad_windows: u32,
-    /// Sticky failure flag.
-    failed: bool,
+    /// Failure/recovery phase.
+    phase: FailPhase,
+    /// Time of the most recent failure evidence (timeout, retransmit,
+    /// or lost probe) while not Ok — the quiet-period clock.
+    last_fail_evidence: Time,
+    /// Consecutive successful probes while in probation.
+    probation_ok: u32,
 }
 
 impl Default for PathState {
@@ -83,7 +115,9 @@ impl Default for PathState {
             retx_fraction_valid: false,
             last_win_congested: false,
             bad_windows: 0,
-            failed: false,
+            phase: FailPhase::Ok,
+            last_fail_evidence: Time::ZERO,
+            probation_ok: 0,
         }
     }
 }
@@ -99,9 +133,48 @@ impl PathState {
         self.t_rtt
     }
 
-    /// Whether the sticky failure flag is set.
+    /// Whether the path is barred from carrying data (Failed *or* in
+    /// probation — probation paths carry probes only).
     pub fn failed(&self) -> bool {
-        self.failed
+        self.phase != FailPhase::Ok
+    }
+
+    /// Whether the path is in probation, aging it out of Failed first if
+    /// the quiet period has elapsed. Probe planning uses this to target
+    /// candidate-recovery paths.
+    pub fn in_probation(&mut self, p: &HermesParams, now: Time) -> bool {
+        self.age_out(p, now);
+        self.phase == FailPhase::Probation
+    }
+
+    /// Move Failed → Probation once the quiet period passes with no new
+    /// failure evidence.
+    fn age_out(&mut self, p: &HermesParams, now: Time) {
+        if self.phase == FailPhase::Failed
+            && p.enable_recovery
+            && now.saturating_sub(self.last_fail_evidence) >= p.failure_quiet_period
+        {
+            self.phase = FailPhase::Probation;
+            self.probation_ok = 0;
+        }
+    }
+
+    /// Refresh the quiet-period clock and demote Probation → Failed.
+    /// No effect on healthy paths.
+    fn fail_evidence(&mut self, now: Time) {
+        if self.phase == FailPhase::Ok {
+            return;
+        }
+        self.last_fail_evidence = self.last_fail_evidence.max(now);
+        self.phase = FailPhase::Failed;
+        self.probation_ok = 0;
+    }
+
+    /// A probe sent on this path got no response — negative evidence.
+    /// Healthy paths ignore it (a probe lost to congestion must not
+    /// fail a path); suspected paths have their quiet period restarted.
+    pub fn on_probe_lost(&mut self, now: Time) {
+        self.fail_evidence(now);
     }
 
     /// Timeouts observed since the last ACK on this path.
@@ -114,8 +187,13 @@ impl PathState {
         self.retx_fraction_valid.then_some(self.retx_fraction)
     }
 
-    /// Record an RTT+ECN sample (data ACK or probe response).
-    pub fn sample(&mut self, rtt: Option<Time>, ecn: bool, p: &HermesParams, now: Time) {
+    /// Record an RTT+ECN sample (data ACK or probe response). Returns
+    /// true iff this sample just re-admitted a path from probation: in
+    /// probation every successful round-trip counts, and the
+    /// `recovery_probe_count`-th one restores the path to service with
+    /// its failure counters and τ-window cleared (stale pre-failure
+    /// retransmission history must not instantly re-fail it).
+    pub fn sample(&mut self, rtt: Option<Time>, ecn: bool, p: &HermesParams, now: Time) -> bool {
         self.roll_window(p, now);
         self.win_samples += 1;
         if ecn {
@@ -137,6 +215,23 @@ impl PathState {
         self.last_sample = now;
         // Any ACK on the path clears the blackhole suspicion.
         self.n_timeout = 0;
+        if self.phase == FailPhase::Probation {
+            self.probation_ok += 1;
+            if self.probation_ok >= p.recovery_probe_count {
+                self.phase = FailPhase::Ok;
+                self.probation_ok = 0;
+                self.bad_windows = 0;
+                self.win_start = now;
+                self.win_sent = 0;
+                self.win_retx = 0;
+                self.win_samples = 0;
+                self.win_ecn = 0;
+                self.win_max_rtt = Time::ZERO;
+                self.retx_fraction_valid = false;
+                return true;
+            }
+        }
+        false
     }
 
     /// A data segment was sent on this path.
@@ -149,23 +244,28 @@ impl PathState {
     pub fn on_retransmit(&mut self, p: &HermesParams, now: Time) {
         self.roll_window(p, now);
         self.win_retx += 1;
+        // A retransmission on a suspected path is failure evidence.
+        self.fail_evidence(now);
     }
 
     /// A flow on this path hit its RTO. Returns true if this pushed the
     /// path into the failed state (blackhole rule).
-    pub fn on_timeout(&mut self, p: &HermesParams) -> bool {
+    pub fn on_timeout(&mut self, p: &HermesParams, now: Time) -> bool {
         self.n_timeout += 1;
         // "Once it observes 3 timeouts on a path, it further checks if
         //  any of the packets on that path have been successfully ACKed"
         // — n_timeout is reset by every ACK, so reaching the threshold
         // means nothing was ACKed in between.
-        if self.n_timeout >= p.timeout_fail_count && !self.failed {
-            self.failed = true;
+        let newly = self.phase == FailPhase::Ok && self.n_timeout >= p.timeout_fail_count;
+        if newly {
+            self.phase = FailPhase::Failed;
+            self.last_fail_evidence = now;
             #[cfg(feature = "dbgfail")]
             eprintln!("FAIL-TIMEOUT");
-            return true;
+        } else {
+            self.fail_evidence(now);
         }
-        false
+        newly
     }
 
     /// Close the τ window if due, publishing the retransmission fraction
@@ -205,16 +305,17 @@ impl PathState {
     /// a high retransmission fraction and no congestion evidence mark
     /// the path failed (Algorithm 1 lines 8–9; the per-window evidence
     /// is evaluated when the window rolls). Returns the flag.
-    pub fn check_random_drop_failure(&mut self) -> bool {
-        if self.failed {
+    pub fn check_random_drop_failure(&mut self, now: Time) -> bool {
+        if self.phase != FailPhase::Ok {
             return true;
         }
         if self.bad_windows >= 2 {
-            self.failed = true;
+            self.phase = FailPhase::Failed;
+            self.last_fail_evidence = now;
             #[cfg(feature = "dbgfail")]
             eprintln!("FAIL-RETX frac={}", self.retx_fraction);
         }
-        self.failed
+        self.failed()
     }
 
     /// Algorithm 1 lines 2–7: good / gray / congested from ECN and RTT.
@@ -253,7 +354,8 @@ impl PathState {
             p.t_rtt_low <= p.t_rtt_high,
             "RTT thresholds inverted: the good and congested classes must be disjoint"
         );
-        if self.check_random_drop_failure() {
+        self.age_out(p, now);
+        if self.check_random_drop_failure(now) {
             return PathType::Failed;
         }
         self.congestion_class(p, now)
@@ -337,21 +439,22 @@ mod tests {
     fn blackhole_three_timeouts_without_acks() {
         let p = params();
         let mut s = PathState::default();
-        assert!(!s.on_timeout(&p));
-        assert!(!s.on_timeout(&p));
-        assert!(s.on_timeout(&p), "third timeout must fail the path");
-        assert_eq!(s.characterize(&p, Time::from_ms(50)), PathType::Failed);
+        let t = Time::from_ms(10);
+        assert!(!s.on_timeout(&p, t));
+        assert!(!s.on_timeout(&p, t));
+        assert!(s.on_timeout(&p, t), "third timeout must fail the path");
+        assert_eq!(s.characterize(&p, Time::from_ms(11)), PathType::Failed);
     }
 
     #[test]
     fn ack_between_timeouts_resets_suspicion() {
         let p = params();
         let mut s = PathState::default();
-        s.on_timeout(&p);
-        s.on_timeout(&p);
+        s.on_timeout(&p, Time::from_ms(10));
+        s.on_timeout(&p, Time::from_ms(20));
         // An ACK proves the path forwards *some* packets: not a blackhole.
         s.sample(Some(Time::from_us(100)), false, &p, Time::from_ms(25));
-        assert!(!s.on_timeout(&p));
+        assert!(!s.on_timeout(&p, Time::from_ms(30)));
         assert!(!s.failed());
         assert_eq!(s.n_timeout(), 1);
     }
@@ -429,16 +532,125 @@ mod tests {
     }
 
     #[test]
-    fn failure_is_sticky() {
+    fn failure_is_sticky_within_the_quiet_period() {
         let p = params();
         let mut s = PathState::default();
+        let t0 = Time::from_ms(10);
         for _ in 0..3 {
-            s.on_timeout(&p);
+            s.on_timeout(&p, t0);
         }
         assert!(s.failed());
-        // Even a later perfect sample does not clear it.
-        s.sample(Some(Time::from_us(60)), false, &p, Time::from_ms(20));
-        assert_eq!(s.characterize(&p, Time::from_ms(20)), PathType::Failed);
+        // Even a perfect sample inside the quiet period does not clear
+        // it — recovery goes through probation, never directly.
+        let t1 = t0 + p.failure_quiet_period / 2;
+        s.sample(Some(Time::from_us(60)), false, &p, t1);
+        assert_eq!(s.characterize(&p, t1), PathType::Failed);
+        assert!(!s.in_probation(&p, t1));
+    }
+
+    #[test]
+    fn quiet_period_then_probes_readmit_the_path() {
+        let p = params();
+        let mut s = PathState::default();
+        let t0 = Time::from_ms(10);
+        for _ in 0..3 {
+            s.on_timeout(&p, t0);
+        }
+        // Quiet period elapses with no further evidence → probation.
+        let t1 = t0 + p.failure_quiet_period;
+        assert!(s.in_probation(&p, t1));
+        // Probation still reads Failed to data placement.
+        assert!(s.failed());
+        assert_eq!(s.characterize(&p, t1), PathType::Failed);
+        // K − 1 probes: still barred.
+        for k in 0..p.recovery_probe_count - 1 {
+            let recovered = s.sample(
+                Some(Time::from_us(60)),
+                false,
+                &p,
+                t1 + Time::from_us(500) * u64::from(k),
+            );
+            assert!(!recovered);
+            assert!(s.failed());
+        }
+        // K-th probe: re-admitted.
+        let t2 = t1 + Time::from_ms(2);
+        assert!(s.sample(Some(Time::from_us(60)), false, &p, t2));
+        assert!(!s.failed());
+        assert_ne!(s.characterize(&p, t2), PathType::Failed);
+    }
+
+    #[test]
+    fn lost_probe_knocks_probation_back_to_failed() {
+        let p = params();
+        let mut s = PathState::default();
+        let t0 = Time::from_ms(10);
+        for _ in 0..3 {
+            s.on_timeout(&p, t0);
+        }
+        let t1 = t0 + p.failure_quiet_period;
+        assert!(s.in_probation(&p, t1));
+        s.on_probe_lost(t1);
+        assert!(!s.in_probation(&p, t1), "lost probe must demote");
+        // The quiet period restarts from the lost probe, not t0.
+        let t2 = t1 + p.failure_quiet_period - Time::from_us(1);
+        assert!(!s.in_probation(&p, t2));
+        assert!(s.in_probation(&p, t2 + Time::from_us(1)));
+    }
+
+    #[test]
+    fn lost_probe_never_fails_a_healthy_path() {
+        let p = params();
+        let mut s = PathState::default();
+        s.sample(Some(Time::from_us(60)), false, &p, Time::from_ms(1));
+        s.on_probe_lost(Time::from_ms(2));
+        assert!(!s.failed(), "probe loss alone is not a failure signal");
+    }
+
+    #[test]
+    fn recovery_disabled_keeps_failure_terminally_sticky() {
+        let mut p = params();
+        p.enable_recovery = false;
+        let mut s = PathState::default();
+        let t0 = Time::from_ms(10);
+        for _ in 0..3 {
+            s.on_timeout(&p, t0);
+        }
+        let much_later = t0 + p.failure_quiet_period * 100;
+        assert!(!s.in_probation(&p, much_later));
+        assert_eq!(s.characterize(&p, much_later), PathType::Failed);
+    }
+
+    #[test]
+    fn readmission_clears_stale_failure_history() {
+        let p = params();
+        let mut s = PathState::default();
+        // Accumulate a bad τ-window history (random drops), then fail.
+        let mut now = Time::ZERO;
+        for i in 0..2000u32 {
+            now = Time::from_us(10 * i as u64);
+            s.on_sent(&p, now);
+            if i % 33 == 0 {
+                s.on_retransmit(&p, now);
+            }
+            if i % 10 == 0 {
+                s.sample(Some(Time::from_us(70)), false, &p, now);
+            }
+        }
+        now += p.retx_window;
+        s.on_sent(&p, now);
+        assert_eq!(s.characterize(&p, now), PathType::Failed);
+        // Recover through probation.
+        let t1 = now + p.failure_quiet_period;
+        assert!(s.in_probation(&p, t1));
+        for k in 0..p.recovery_probe_count {
+            s.sample(Some(Time::from_us(60)), false, &p, t1 + Time::from_us(k as u64));
+        }
+        assert!(!s.failed());
+        // The pre-failure retransmission history must not re-fail it.
+        let t2 = t1 + p.retx_window;
+        s.on_sent(&p, t2);
+        assert_ne!(s.characterize(&p, t2), PathType::Failed);
     }
 
     #[test]

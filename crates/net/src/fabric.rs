@@ -4,6 +4,7 @@
 use hermes_sim::{EventQueue, SimRng};
 
 use crate::failure::SpineFailure;
+use crate::faultplan::FaultAction;
 use crate::lbapi::{FabricLb, LinkRef, Uplinks};
 use crate::packet::Packet;
 use crate::port::{Enqueue, Port};
@@ -54,6 +55,13 @@ pub struct Fabric {
     /// Precomputed live path candidates per ordered leaf pair.
     candidates: Vec<Vec<Vec<PathId>>>,
     failures: Vec<SpineFailure>,
+    /// Transiently downed leaf↔spine links (`[leaf][spine]`), driven by
+    /// [`FaultAction::LinkDown`]/`LinkUp` and spine outages. Unlike
+    /// topology cuts these do not shrink the candidate sets — schemes
+    /// must *sense* the fault, exactly as on a real fabric where routing
+    /// has not yet reconverged. Packets forwarded onto a downed link are
+    /// destroyed and counted as `drops_failure`.
+    link_down: Vec<Vec<bool>>,
     lb: Option<Box<dyn FabricLb>>,
     rng: SimRng,
     next_pkt_id: u64,
@@ -112,6 +120,7 @@ impl Fabric {
             .collect();
         Fabric {
             failures: vec![SpineFailure::healthy(); topo.n_spines],
+            link_down: vec![vec![false; topo.n_spines]; topo.n_leaves],
             topo,
             host_ports,
             leaf_ports,
@@ -135,6 +144,107 @@ impl Fabric {
     /// Inject a failure at a spine switch.
     pub fn set_spine_failure(&mut self, spine: SpineId, f: SpineFailure) {
         self.failures[spine.0 as usize] = f;
+    }
+
+    /// Current failure state of a spine switch.
+    pub fn spine_failure(&self, spine: SpineId) -> SpineFailure {
+        self.failures[spine.0 as usize]
+    }
+
+    /// Transiently take one leaf↔spine link down (or back up). The link
+    /// must exist in the topology; packets forwarded onto it while down
+    /// are destroyed (`drops_failure`), in both directions. Packets
+    /// already queued on the port keep draining — the link's transmit
+    /// side is what "fails", as when a transceiver loses light.
+    pub fn set_link_down(&mut self, leaf: LeafId, spine: SpineId, down: bool) {
+        assert!(
+            self.topo.up[leaf.0 as usize][spine.0 as usize].is_some(),
+            "cannot flap a link the topology cut permanently"
+        );
+        self.link_down[leaf.0 as usize][spine.0 as usize] = down;
+    }
+
+    /// Whether a leaf↔spine link is transiently down.
+    pub fn link_is_down(&self, leaf: LeafId, spine: SpineId) -> bool {
+        self.link_down[leaf.0 as usize][spine.0 as usize]
+    }
+
+    /// Change one leaf↔spine link's rate mid-run (both directions).
+    /// ECN threshold and buffer limit are rescaled to the new rate, as a
+    /// reconfigured switch port would be. Takes effect from the next
+    /// packet dequeue — transmission time is computed when serialization
+    /// starts, so the packet currently on the wire is unaffected.
+    pub fn set_link_rate(&mut self, leaf: LeafId, spine: SpineId, rate_bps: u64) {
+        assert!(rate_bps > 0, "a live link needs a nonzero rate");
+        let l = leaf.0 as usize;
+        let s = spine.0 as usize;
+        let up_idx = self.topo.hosts_per_leaf + s;
+        let ecn = self.topo.queue.ecn_threshold(rate_bps);
+        let buf = self.topo.queue.buffer(rate_bps);
+        let up = self.leaf_ports[l][up_idx]
+            .as_mut()
+            .expect("cannot re-rate a link the topology cut");
+        up.link.rate_bps = rate_bps;
+        up.ecn_threshold = ecn;
+        up.buf_limit = buf;
+        let down = self.spine_ports[s][l]
+            .as_mut()
+            .expect("spine side exists whenever the leaf side does");
+        down.link.rate_bps = rate_bps;
+        down.ecn_threshold = ecn;
+        down.buf_limit = buf;
+    }
+
+    /// Restore one leaf↔spine link to its topology-configured rate.
+    pub fn restore_link_rate(&mut self, leaf: LeafId, spine: SpineId) {
+        let orig = self.topo.up[leaf.0 as usize][spine.0 as usize]
+            .expect("cannot restore a link the topology cut")
+            .rate_bps;
+        self.set_link_rate(leaf, spine, orig);
+    }
+
+    /// Current rate of a leaf↔spine link, `None` if the topology cut it.
+    pub fn link_rate_bps(&self, leaf: LeafId, spine: SpineId) -> Option<u64> {
+        let up_idx = self.topo.hosts_per_leaf + spine.0 as usize;
+        self.leaf_ports[leaf.0 as usize][up_idx]
+            .as_ref()
+            .map(|p| p.link.rate_bps)
+    }
+
+    /// Take a whole spine out of (or back into) service: every link the
+    /// topology wired to it goes down (or up) at once.
+    pub fn set_spine_down(&mut self, spine: SpineId, down: bool) {
+        for l in 0..self.topo.n_leaves {
+            if self.topo.up[l][spine.0 as usize].is_some() {
+                self.link_down[l][spine.0 as usize] = down;
+            }
+        }
+    }
+
+    /// Apply one scheduled fault action. This is the single entry point
+    /// the runtime's event dispatcher uses to replay a
+    /// [`crate::FaultPlan`]; calling the underlying mutators from
+    /// anywhere outside the event queue breaks trace determinism (the
+    /// `fault-mutation` workspace lint enforces this).
+    pub fn apply_fault(&mut self, action: &FaultAction) {
+        match *action {
+            FaultAction::SetSpineFailure { spine, failure } => {
+                self.set_spine_failure(spine, failure);
+            }
+            FaultAction::ClearSpineFailure { spine } => {
+                self.set_spine_failure(spine, SpineFailure::healthy());
+            }
+            FaultAction::LinkDown { leaf, spine } => self.set_link_down(leaf, spine, true),
+            FaultAction::LinkUp { leaf, spine } => self.set_link_down(leaf, spine, false),
+            FaultAction::SetLinkRate {
+                leaf,
+                spine,
+                rate_bps,
+            } => self.set_link_rate(leaf, spine, rate_bps),
+            FaultAction::RestoreLinkRate { leaf, spine } => self.restore_link_rate(leaf, spine),
+            FaultAction::SpineDown { spine } => self.set_spine_down(spine, true),
+            FaultAction::SpineUp { spine } => self.set_spine_down(spine, false),
+        }
     }
 
     pub fn topology(&self) -> &Topology {
@@ -450,6 +560,15 @@ impl Fabric {
         pkt.path = path;
         pkt.meta.lb_tag = path.0;
         let spine = path.0;
+        if self.link_down[l.0 as usize][spine as usize] {
+            // Transient link failure: the packet is lost on the dead
+            // uplink. Schemes keep this path in their candidate set and
+            // must sense the loss.
+            self.stats.drops_failure += 1;
+            #[cfg(feature = "audit")]
+            self.ledger.retired(pkt.id);
+            return;
+        }
         if let Some(lb) = self.lb.as_mut() {
             lb.on_forward(LinkRef::Up { leaf: l, spine }, &mut pkt, q.now());
         }
@@ -491,6 +610,13 @@ impl Fabric {
         let idx = dst_leaf.0 as usize;
         if self.spine_ports[s.0 as usize][idx].is_none() {
             self.stats.drops_disconnected += 1;
+            #[cfg(feature = "audit")]
+            self.ledger.retired(pkt.id);
+            return;
+        }
+        if self.link_down[idx][s.0 as usize] {
+            // Transient failure of the spine→leaf downlink.
+            self.stats.drops_failure += 1;
             #[cfg(feature = "audit")]
             self.ledger.retired(pkt.id);
             return;
@@ -686,6 +812,115 @@ mod tests {
             "2:1 convergence on a 30KB-threshold port must mark"
         );
         assert!(fab.total_ecn_marks() > 0);
+    }
+
+    #[test]
+    fn downed_link_destroys_uplink_packets_and_conserves() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        let mut q = EventQueue::new();
+        fab.apply_fault(&FaultAction::LinkDown {
+            leaf: LeafId(0),
+            spine: SpineId(0),
+        });
+        assert!(fab.link_is_down(LeafId(0), SpineId(0)));
+        send_data(&mut fab, &mut q, 0, 6, PathId(0)); // dead uplink
+        send_data(&mut fab, &mut q, 0, 7, PathId(1)); // healthy path
+        let out = run_to_completion(&mut fab, &mut q);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].2.path, PathId(1));
+        assert_eq!(fab.stats.drops_failure, 1);
+        let rep = fab.conservation_report();
+        assert!(rep.balanced(), "link-down drops must be accounted: {rep:?}");
+    }
+
+    #[test]
+    fn downed_link_destroys_downlink_packets_too() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        let mut q = EventQueue::new();
+        // Down the link on the *destination* side: leaf 1 ↔ spine 0.
+        fab.apply_fault(&FaultAction::LinkDown {
+            leaf: LeafId(1),
+            spine: SpineId(0),
+        });
+        send_data(&mut fab, &mut q, 0, 6, PathId(0));
+        let out = run_to_completion(&mut fab, &mut q);
+        assert!(out.is_empty(), "packet must die at the spine downlink");
+        assert_eq!(fab.stats.drops_failure, 1);
+        // LinkUp restores delivery.
+        fab.apply_fault(&FaultAction::LinkUp {
+            leaf: LeafId(1),
+            spine: SpineId(0),
+        });
+        send_data(&mut fab, &mut q, 0, 6, PathId(0));
+        let out = run_to_completion(&mut fab, &mut q);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn spine_outage_downs_every_link_and_recovers() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        fab.apply_fault(&FaultAction::SpineDown { spine: SpineId(2) });
+        let n_leaves = fab.topology().n_leaves;
+        for l in 0..n_leaves {
+            assert!(fab.link_is_down(LeafId(l as u16), SpineId(2)));
+            assert!(!fab.link_is_down(LeafId(l as u16), SpineId(0)));
+        }
+        fab.apply_fault(&FaultAction::SpineUp { spine: SpineId(2) });
+        for l in 0..n_leaves {
+            assert!(!fab.link_is_down(LeafId(l as u16), SpineId(2)));
+        }
+    }
+
+    #[test]
+    fn link_rate_degrade_slows_delivery_and_restores_exactly() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        let orig = fab.link_rate_bps(LeafId(0), SpineId(0)).unwrap();
+        // Degrade to a tenth: serialization on that hop is 10× slower.
+        fab.apply_fault(&FaultAction::SetLinkRate {
+            leaf: LeafId(0),
+            spine: SpineId(0),
+            rate_bps: orig / 10,
+        });
+        assert_eq!(
+            fab.link_rate_bps(LeafId(0), SpineId(0)),
+            Some(orig / 10)
+        );
+        let mut q = EventQueue::new();
+        send_data(&mut fab, &mut q, 0, 6, PathId(0));
+        let out = run_to_completion(&mut fab, &mut q);
+        assert_eq!(out.len(), 1);
+        // Healthy fabric delivers at 4×12us + 4×3us (see test above);
+        // one 10×-slower hop adds 9 extra serializations of 12us.
+        assert_eq!(out[0].0, Time::from_us(4 * 12 + 4 * 3 + 9 * 12));
+        fab.apply_fault(&FaultAction::RestoreLinkRate {
+            leaf: LeafId(0),
+            spine: SpineId(0),
+        });
+        assert_eq!(fab.link_rate_bps(LeafId(0), SpineId(0)), Some(orig));
+    }
+
+    #[test]
+    fn fault_window_restores_healthy_spine_exactly() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        fab.apply_fault(&FaultAction::SetSpineFailure {
+            spine: SpineId(1),
+            failure: SpineFailure::random_drops(0.3),
+        });
+        assert!(fab.spine_failure(SpineId(1)).is_failed());
+        fab.apply_fault(&FaultAction::ClearSpineFailure { spine: SpineId(1) });
+        let f = fab.spine_failure(SpineId(1));
+        assert!(!f.is_failed());
+        assert_eq!(f.random_drop, 0.0);
+        assert!(f.blackhole.is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn flapping_a_cut_link_is_rejected() {
+        let mut topo = Topology::testbed();
+        topo.cut_link(LeafId(0), SpineId(1));
+        let mut fab = Fabric::new(topo, SimRng::new(0));
+        fab.set_link_down(LeafId(0), SpineId(1), true);
     }
 
     #[test]

@@ -38,7 +38,12 @@ impl Blackhole {
 }
 
 /// Hash a host pair to a deterministic point in `[0, 1)`.
-fn pair_unit(src: HostId, dst: HostId) -> f64 {
+///
+/// Public so property tests can pin the codomain: `matches` compares
+/// this value against `pair_fraction`, so the whole-fraction semantics
+/// ("1.0 hits every pair, 0.0 hits none") rely on the range being
+/// half-open.
+pub fn pair_unit(src: HostId, dst: HostId) -> f64 {
     let mut z = ((src.0 as u64) << 32) | dst.0 as u64;
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -74,6 +79,10 @@ impl SpineFailure {
     /// A switch blackholing `pair_fraction` of host pairs from
     /// `src_leaf` to `dst_leaf`.
     pub fn blackhole(src_leaf: LeafId, dst_leaf: LeafId, pair_fraction: f64) -> SpineFailure {
+        assert!(
+            (0.0..=1.0).contains(&pair_fraction),
+            "pair_fraction must lie in [0, 1], got {pair_fraction}"
+        );
         SpineFailure {
             random_drop: 0.0,
             blackhole: Some(Blackhole {
@@ -156,5 +165,17 @@ mod tests {
     #[should_panic]
     fn random_drop_rate_validated() {
         SpineFailure::random_drops(1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn blackhole_fraction_validated_above() {
+        SpineFailure::blackhole(LeafId(0), LeafId(1), 1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn blackhole_fraction_validated_below() {
+        SpineFailure::blackhole(LeafId(0), LeafId(1), -0.1);
     }
 }

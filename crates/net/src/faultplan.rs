@@ -1,0 +1,333 @@
+//! Time-triggered fault schedules — the "chaos schedule".
+//!
+//! The static failure API ([`crate::Fabric::set_spine_failure`]) can
+//! only break the fabric before a run starts, which cannot reproduce the
+//! paper's transient story: a switch starts misbehaving mid-run, Hermes
+//! detects and evacuates, the operator fixes it, and traffic returns
+//! (§2.1's "in the wild" failures, §5.3.3's evaluation). A [`FaultPlan`]
+//! is a declarative list of *(simulation time, fault action)* pairs that
+//! the runtime replays through the one shared event queue, so fault
+//! injection obeys the determinism contract like every other event:
+//!
+//! * spine failure **onset and clearance** (blackholes, silent random
+//!   drops, and stepwise drop-rate ramps),
+//! * leaf↔spine link **degrade/restore** and periodic link **flapping**,
+//! * whole-spine **down/up** (maintenance or crash-and-reboot).
+//!
+//! The plan itself never touches the fabric — it is pure data. The
+//! runtime schedules one `Global` event per entry and applies it via
+//! [`crate::Fabric::apply_fault`] when the event fires; mutating the
+//! fabric from anywhere else bypasses the event trace and is flagged by
+//! the workspace lint (`fault-mutation`).
+
+use hermes_sim::Time;
+
+use crate::failure::SpineFailure;
+use crate::types::{LeafId, SpineId};
+
+/// One atomic change to the fabric's health.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultAction {
+    /// Install (or replace) a spine's failure mode.
+    SetSpineFailure {
+        spine: SpineId,
+        failure: SpineFailure,
+    },
+    /// Restore a spine to [`SpineFailure::healthy`].
+    ClearSpineFailure { spine: SpineId },
+    /// Sever one leaf↔spine link (both directions); packets forwarded
+    /// onto it are destroyed until the matching [`FaultAction::LinkUp`].
+    LinkDown { leaf: LeafId, spine: SpineId },
+    /// Bring a downed leaf↔spine link back.
+    LinkUp { leaf: LeafId, spine: SpineId },
+    /// Change a leaf↔spine link's rate mid-run (degrade or upgrade);
+    /// marking threshold and buffer are rescaled with the rate.
+    SetLinkRate {
+        leaf: LeafId,
+        spine: SpineId,
+        rate_bps: u64,
+    },
+    /// Restore a leaf↔spine link to its topology-configured rate.
+    RestoreLinkRate { leaf: LeafId, spine: SpineId },
+    /// Take a whole spine out of service: every live link to it drops.
+    SpineDown { spine: SpineId },
+    /// Return a whole spine to service.
+    SpineUp { spine: SpineId },
+}
+
+/// A fault action bound to a simulation instant.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultEvent {
+    pub at: Time,
+    pub action: FaultAction,
+}
+
+/// A deterministic schedule of fault events.
+///
+/// Events fire in time order; events sharing an instant apply in
+/// insertion order (the event queue is FIFO among equal timestamps).
+/// Builders are chainable and expand compound scenarios (windows,
+/// ramps, flapping) into plain event lists at build time, so the
+/// resulting plan is a static, auditable value — printable, cloneable,
+/// and identical on every run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The time of the last scheduled event (`Time::ZERO` if empty).
+    pub fn end_time(&self) -> Time {
+        self.events
+            .iter()
+            .map(|e| e.at)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Schedule one raw action.
+    pub fn at(mut self, at: Time, action: FaultAction) -> FaultPlan {
+        self.events.push(FaultEvent { at, action });
+        self
+    }
+
+    /// A blackhole on `spine` for `src_leaf → dst_leaf` pairs, active
+    /// over `[onset, clear)`.
+    pub fn blackhole_window(
+        self,
+        spine: SpineId,
+        src_leaf: LeafId,
+        dst_leaf: LeafId,
+        pair_fraction: f64,
+        onset: Time,
+        clear: Time,
+    ) -> FaultPlan {
+        assert!(onset < clear, "fault window must have positive length");
+        self.at(
+            onset,
+            FaultAction::SetSpineFailure {
+                spine,
+                failure: SpineFailure::blackhole(src_leaf, dst_leaf, pair_fraction),
+            },
+        )
+        .at(clear, FaultAction::ClearSpineFailure { spine })
+    }
+
+    /// Silent random drops at `rate` on `spine` over `[onset, clear)`.
+    pub fn random_drop_window(
+        self,
+        spine: SpineId,
+        rate: f64,
+        onset: Time,
+        clear: Time,
+    ) -> FaultPlan {
+        assert!(onset < clear, "fault window must have positive length");
+        self.at(
+            onset,
+            FaultAction::SetSpineFailure {
+                spine,
+                failure: SpineFailure::random_drops(rate),
+            },
+        )
+        .at(clear, FaultAction::ClearSpineFailure { spine })
+    }
+
+    /// A drop-rate ramp: the spine's silent-drop probability climbs from
+    /// `peak/steps` to `peak` in `steps` equal increments spread across
+    /// `[onset, clear)`, then clears at `clear` — the "slowly dying
+    /// linecard" pattern where loss starts marginal and worsens.
+    pub fn drop_rate_ramp(
+        mut self,
+        spine: SpineId,
+        peak: f64,
+        onset: Time,
+        clear: Time,
+        steps: u32,
+    ) -> FaultPlan {
+        assert!(onset < clear, "fault window must have positive length");
+        assert!(steps >= 1, "a ramp needs at least one step");
+        assert!((0.0..=1.0).contains(&peak), "peak drop rate out of range");
+        let span = clear - onset;
+        for k in 0..steps {
+            let at = onset + span.mul_f64(f64::from(k) / f64::from(steps));
+            let rate = peak * f64::from(k + 1) / f64::from(steps);
+            self = self.at(
+                at,
+                FaultAction::SetSpineFailure {
+                    spine,
+                    failure: SpineFailure::random_drops(rate),
+                },
+            );
+        }
+        self.at(clear, FaultAction::ClearSpineFailure { spine })
+    }
+
+    /// Degrade one leaf↔spine link to `rate_bps` over `[onset, clear)`,
+    /// then restore its topology-configured rate.
+    pub fn link_degrade_window(
+        self,
+        leaf: LeafId,
+        spine: SpineId,
+        rate_bps: u64,
+        onset: Time,
+        clear: Time,
+    ) -> FaultPlan {
+        assert!(onset < clear, "fault window must have positive length");
+        assert!(rate_bps > 0, "a degraded link still needs a rate");
+        self.at(
+            onset,
+            FaultAction::SetLinkRate {
+                leaf,
+                spine,
+                rate_bps,
+            },
+        )
+        .at(clear, FaultAction::RestoreLinkRate { leaf, spine })
+    }
+
+    /// Periodic link flapping: starting at `first_down`, the link goes
+    /// down for `downtime` once every `period`, with the last flap
+    /// starting strictly before `until`. Expanded into explicit
+    /// down/up event pairs so the plan stays a flat, inspectable list.
+    pub fn link_flap(
+        mut self,
+        leaf: LeafId,
+        spine: SpineId,
+        first_down: Time,
+        downtime: Time,
+        period: Time,
+        until: Time,
+    ) -> FaultPlan {
+        assert!(downtime > Time::ZERO && downtime < period, "flap must spend time up and down");
+        let mut down_at = first_down;
+        while down_at < until {
+            self = self
+                .at(down_at, FaultAction::LinkDown { leaf, spine })
+                .at(down_at + downtime, FaultAction::LinkUp { leaf, spine });
+            down_at += period;
+        }
+        self
+    }
+
+    /// A whole-spine outage over `[down_at, up_at)`.
+    pub fn spine_outage(self, spine: SpineId, down_at: Time, up_at: Time) -> FaultPlan {
+        assert!(down_at < up_at, "outage must have positive length");
+        self.at(down_at, FaultAction::SpineDown { spine })
+            .at(up_at, FaultAction::SpineUp { spine })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_expand_to_onset_and_clear() {
+        let plan = FaultPlan::new().blackhole_window(
+            SpineId(2),
+            LeafId(0),
+            LeafId(7),
+            0.5,
+            Time::from_ms(100),
+            Time::from_ms(300),
+        );
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].at, Time::from_ms(100));
+        assert!(matches!(
+            plan.events()[0].action,
+            FaultAction::SetSpineFailure { spine: SpineId(2), .. }
+        ));
+        assert!(matches!(
+            plan.events()[1].action,
+            FaultAction::ClearSpineFailure { spine: SpineId(2) }
+        ));
+        assert_eq!(plan.end_time(), Time::from_ms(300));
+    }
+
+    #[test]
+    fn ramp_is_monotone_and_hits_peak() {
+        let plan = FaultPlan::new().drop_rate_ramp(
+            SpineId(0),
+            0.08,
+            Time::from_ms(10),
+            Time::from_ms(50),
+            4,
+        );
+        assert_eq!(plan.len(), 5); // 4 steps + clear
+        let mut last_rate = 0.0;
+        let mut last_at = Time::ZERO;
+        for e in &plan.events()[..4] {
+            let FaultAction::SetSpineFailure { failure, .. } = e.action else {
+                panic!("ramp step must set a failure");
+            };
+            assert!(failure.random_drop > last_rate, "ramp must climb");
+            assert!(e.at >= last_at, "ramp must move forward in time");
+            last_rate = failure.random_drop;
+            last_at = e.at;
+        }
+        assert!((last_rate - 0.08).abs() < 1e-12, "final step is the peak");
+        assert!(matches!(
+            plan.events()[4].action,
+            FaultAction::ClearSpineFailure { .. }
+        ));
+    }
+
+    #[test]
+    fn flap_expands_into_paired_events_within_bounds() {
+        let plan = FaultPlan::new().link_flap(
+            LeafId(1),
+            SpineId(3),
+            Time::from_ms(10),
+            Time::from_ms(2),
+            Time::from_ms(10),
+            Time::from_ms(40),
+        );
+        // Flaps start at 10, 20, 30 ms (40 is not < until).
+        assert_eq!(plan.len(), 6);
+        for pair in plan.events().chunks(2) {
+            assert!(matches!(pair[0].action, FaultAction::LinkDown { .. }));
+            assert!(matches!(pair[1].action, FaultAction::LinkUp { .. }));
+            assert_eq!(pair[1].at - pair[0].at, Time::from_ms(2));
+        }
+        assert_eq!(plan.end_time(), Time::from_ms(32));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_window_is_rejected() {
+        let _ = FaultPlan::new().random_drop_window(
+            SpineId(0),
+            0.02,
+            Time::from_ms(5),
+            Time::from_ms(5),
+        );
+    }
+
+    #[test]
+    fn compound_plans_keep_insertion_order_within_an_instant() {
+        let t = Time::from_ms(7);
+        let plan = FaultPlan::new()
+            .at(t, FaultAction::SpineDown { spine: SpineId(1) })
+            .at(t, FaultAction::SpineUp { spine: SpineId(1) });
+        assert!(matches!(plan.events()[0].action, FaultAction::SpineDown { .. }));
+        assert!(matches!(plan.events()[1].action, FaultAction::SpineUp { .. }));
+    }
+}

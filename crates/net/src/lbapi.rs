@@ -119,6 +119,14 @@ pub trait EdgeLb {
     fn on_probe_result(&mut self, dst_leaf: LeafId, path: PathId, rtt: Time, ecn: bool, now: Time) {
         let _ = (dst_leaf, path, rtt, ecn, now);
     }
+
+    /// A probe sent toward `dst_leaf` on `path` got no response within
+    /// the runtime's probe timeout — negative evidence about the path
+    /// (it may still be blackholed), used to keep suspected-failed paths
+    /// out of probation.
+    fn on_probe_timeout(&mut self, dst_leaf: LeafId, path: PathId, now: Time) {
+        let _ = (dst_leaf, path, now);
+    }
 }
 
 /// Which link a packet is being forwarded onto (for [`FabricLb::on_forward`]).

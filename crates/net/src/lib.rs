@@ -21,6 +21,7 @@
 pub mod audit;
 mod fabric;
 mod failure;
+mod faultplan;
 mod lbapi;
 mod packet;
 mod port;
@@ -30,7 +31,8 @@ mod types;
 
 pub use audit::{ConservationReport, FnvDigest};
 pub use fabric::{Event, Fabric, FabricStats};
-pub use failure::{Blackhole, SpineFailure};
+pub use failure::{pair_unit, Blackhole, SpineFailure};
+pub use faultplan::{FaultAction, FaultEvent, FaultPlan};
 pub use lbapi::{EdgeLb, FabricLb, FlowCtx, LinkRef, PinnedPath, ProbeTarget, Uplinks};
 pub use packet::{AckInfo, LbMeta, Packet, PacketKind, ACK_SIZE, HDR, MSS, PROBE_SIZE};
 pub use port::{Enqueue, Port, PortStats};

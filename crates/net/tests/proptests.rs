@@ -112,6 +112,57 @@ proptest! {
         prop_assert_eq!(go(), go());
     }
 
+    /// The deterministic pair hash behind blackhole matching maps every
+    /// host pair into [0, 1) — so any `pair_fraction` in [0, 1] selects
+    /// a well-defined subset of pairs.
+    #[test]
+    fn pair_unit_stays_in_the_unit_interval(a in any::<u32>(), b in any::<u32>()) {
+        let u = hermes_net::pair_unit(HostId(a), HostId(b));
+        prop_assert!((0.0..1.0).contains(&u), "pair_unit({a}, {b}) = {u}");
+    }
+
+    /// A fault window (onset followed by clearance) restores the spine
+    /// to exactly `SpineFailure::healthy()`, whatever the failure mode —
+    /// and link down/up and degrade/restore likewise round-trip.
+    #[test]
+    fn fault_onset_then_clear_restores_health(
+        drop_rate in 0.0f64..1.0,
+        pair_fraction in 0.0f64..1.0,
+        use_blackhole in any::<bool>(),
+        seed in 0u64..50,
+    ) {
+        use hermes_net::{FaultAction, LeafId, SpineFailure, SpineId};
+        let topo = Topology::testbed();
+        let orig_rate = topo.up[0][1].expect("testbed uplink").rate_bps;
+        let mut fab = Fabric::new(topo, SimRng::new(seed));
+        let s = SpineId(0);
+        let failure = if use_blackhole {
+            SpineFailure::blackhole(LeafId(0), LeafId(1), pair_fraction)
+        } else {
+            SpineFailure::random_drops(drop_rate)
+        };
+        fab.apply_fault(&FaultAction::SetSpineFailure { spine: s, failure });
+        fab.apply_fault(&FaultAction::ClearSpineFailure { spine: s });
+        let healed = fab.spine_failure(s);
+        prop_assert!(!healed.is_failed());
+        prop_assert_eq!(healed.random_drop, 0.0);
+        prop_assert!(healed.blackhole.is_none());
+
+        fab.apply_fault(&FaultAction::LinkDown { leaf: LeafId(0), spine: SpineId(1) });
+        prop_assert!(fab.link_is_down(LeafId(0), SpineId(1)));
+        fab.apply_fault(&FaultAction::LinkUp { leaf: LeafId(0), spine: SpineId(1) });
+        prop_assert!(!fab.link_is_down(LeafId(0), SpineId(1)));
+
+        fab.apply_fault(&FaultAction::SetLinkRate {
+            leaf: LeafId(0),
+            spine: SpineId(1),
+            rate_bps: orig_rate / 7,
+        });
+        prop_assert_eq!(fab.link_rate_bps(LeafId(0), SpineId(1)), Some(orig_rate / 7));
+        fab.apply_fault(&FaultAction::RestoreLinkRate { leaf: LeafId(0), spine: SpineId(1) });
+        prop_assert_eq!(fab.link_rate_bps(LeafId(0), SpineId(1)), Some(orig_rate));
+    }
+
     /// Random drops: delivered + dropped = sent, and the drop rate is
     /// statistically plausible for the configured probability.
     #[test]

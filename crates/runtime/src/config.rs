@@ -108,6 +108,9 @@ pub struct SimConfig {
     /// Observation window for the Table 2 visibility tracker (how long
     /// a monitor keeps "seeing" a finished flow; 0 = instantaneous).
     pub visibility_linger: Time,
+    /// Time-triggered fault schedule replayed through the event queue
+    /// (onset *and* clearance — the transient-failure story).
+    pub fault_plan: Option<hermes_net::FaultPlan>,
 }
 
 /// Default reordering-buffer hold: a few one-way delays, enough for a
@@ -123,7 +126,13 @@ impl SimConfig {
             reorder_mask: None,
             seed: 1,
             visibility_linger: Time::ZERO,
+            fault_plan: None,
         }
+    }
+
+    pub fn with_fault_plan(mut self, plan: hermes_net::FaultPlan) -> SimConfig {
+        self.fault_plan = Some(plan);
+        self
     }
 
     pub fn with_visibility_linger(mut self, linger: Time) -> SimConfig {

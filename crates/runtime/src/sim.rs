@@ -14,8 +14,8 @@ type FlowMap = BTreeMap<u64, FlowRt>;
 use hermes_core::{Hermes, RackSensing};
 use hermes_lb::{CloveEcn, Conga, Drill, Ecmp, FlowBender, LetFlow, PrestoSpray, RoundRobinSpray};
 use hermes_net::{
-    AckInfo, Dre, EdgeLb, Event, Fabric, FlowCtx, FlowId, HostId, LeafId, Packet, PacketKind,
-    PathId, SpineFailure, SpineId,
+    AckInfo, Dre, EdgeLb, Event, Fabric, FaultEvent, FaultPlan, FlowCtx, FlowId, HostId, LeafId,
+    Packet, PacketKind, PathId, SpineFailure, SpineId,
 };
 use hermes_sim::{EventQueue, SimRng, Time};
 use hermes_transport::{Receiver, RecvAction, SegmentIn, SendAction, Sender};
@@ -30,6 +30,7 @@ const TOK_ARRIVAL: u64 = 2;
 const TOK_PROBE: u64 = 3;
 const KIND_SAMPLER: u64 = 4;
 const KIND_UDP: u64 = 5;
+const KIND_FAULT: u64 = 6;
 const GEN_MASK: u64 = (1 << 21) - 1;
 
 fn pack(kind: u64, id: u64, gen: u64) -> u64 {
@@ -55,6 +56,9 @@ pub enum Probe {
     SpineDownQueue(SpineId, LeafId),
     /// Payload bytes delivered so far to a flow's receiver (TCP or UDP).
     FlowDelivered(FlowId),
+    /// Cumulative in-order TCP payload bytes delivered across *all*
+    /// flows — the goodput timeline for degradation metrics.
+    TotalGoodput,
 }
 
 struct SamplerRt {
@@ -111,6 +115,8 @@ pub struct SimStats {
     /// Data packets received out of order (reordering pressure),
     /// harvested when flows retire.
     pub ooo_packets: u64,
+    /// Probes that got no response within the probe timeout.
+    pub probe_timeouts: u64,
 }
 
 /// One experiment run.
@@ -131,6 +137,16 @@ pub struct Simulation {
     samplers: Vec<SamplerRt>,
     visibility: VisibilityTracker,
     probe_seq: u64,
+    /// Scheduled fault events, indexed by their `KIND_FAULT` token id.
+    faults: Vec<FaultEvent>,
+    /// Probes awaiting a response, keyed by probe pseudo-flow id
+    /// (ordered, so the expiry sweep is deterministic):
+    /// `(agent host, dst leaf, path, sent at)`.
+    probe_outstanding: BTreeMap<u64, (HostId, LeafId, PathId, Time)>,
+    /// A probe unanswered for this long counts as lost.
+    probe_timeout: Time,
+    /// Cumulative in-order payload bytes delivered across all TCP flows.
+    goodput_bytes: u64,
     /// Retransmissions within this window after a path change are
     /// treated as reordering, not loss (no failure-detector signal).
     reorder_grace: Time,
@@ -220,7 +236,10 @@ impl Simulation {
             cfg.visibility_linger,
         );
         let reorder_grace = topo.base_rtt() * 3;
-        Simulation {
+        // A probe is declared lost after several round trips — generous
+        // against queueing, far below the failure quiet period.
+        let probe_timeout = topo.base_rtt() * 8;
+        let mut sim = Simulation {
             cfg,
             q,
             fabric,
@@ -235,10 +254,18 @@ impl Simulation {
             samplers: Vec::new(),
             visibility,
             probe_seq: 0,
+            faults: Vec::new(),
+            probe_outstanding: BTreeMap::new(),
+            probe_timeout,
+            goodput_bytes: 0,
             reorder_grace,
             digest: hermes_net::audit::FnvDigest::new(),
             stats: SimStats::default(),
+        };
+        if let Some(plan) = sim.cfg.fault_plan.clone() {
+            sim.set_fault_plan(&plan);
         }
+        sim
     }
 
     // ---- experiment wiring ----------------------------------------
@@ -246,6 +273,23 @@ impl Simulation {
     /// Inject a switch failure (before or during the run).
     pub fn set_spine_failure(&mut self, spine: SpineId, f: SpineFailure) {
         self.fabric.set_spine_failure(spine, f);
+    }
+
+    /// Schedule a fault plan: one `Global` event per entry, dispatched
+    /// through the shared queue at its instant (so fault injection is
+    /// part of the digested event trace). Entries whose time already
+    /// passed apply at the current instant, in plan order.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            let idx = self.faults.len() as u64;
+            self.faults.push(*ev);
+            self.q.schedule(
+                ev.at.max(self.q.now()),
+                Event::Global {
+                    token: pack(KIND_FAULT, idx, 0),
+                },
+            );
+        }
     }
 
     /// Schedule a TCP flow.
@@ -354,6 +398,11 @@ impl Simulation {
         self.udps[(flow.0 - UDP_FLOW_BASE) as usize].received
     }
 
+    /// Cumulative in-order TCP payload bytes delivered across all flows.
+    pub fn goodput_bytes(&self) -> u64 {
+        self.goodput_bytes
+    }
+
     /// Fingerprint of the event trace dispatched so far. Equal seeds and
     /// workloads must yield equal digests — see
     /// [`crate::selfcheck::assert_deterministic`].
@@ -428,6 +477,10 @@ impl Simulation {
                 match kind {
                     KIND_SAMPLER => self.on_sampler(id as usize),
                     KIND_UDP => self.on_udp_tick(id as usize),
+                    KIND_FAULT => {
+                        let action = self.faults[id as usize].action;
+                        self.fabric.apply_fault(&action);
+                    }
                     _ => unreachable!("bad global token {other}"),
                 }
             }
@@ -458,6 +511,7 @@ impl Simulation {
                     )
                 }
             }
+            Probe::TotalGoodput => self.goodput_bytes,
         };
         self.samplers[idx].series.push((now, value));
         let iv = self.samplers[idx].interval;
@@ -769,6 +823,7 @@ impl Simulation {
                     return; // flow already fully retired
                 };
                 debug_assert_eq!(f.dst, host);
+                let before = f.receiver.rcv_nxt();
                 let mut buf = Vec::new();
                 f.receiver.on_data(
                     SegmentIn {
@@ -782,6 +837,9 @@ impl Simulation {
                     now,
                     &mut buf,
                 );
+                // Goodput = in-order delivery progress: duplicates and
+                // out-of-order arrivals advance nothing.
+                self.goodput_bytes += f.receiver.rcv_nxt().saturating_sub(before);
                 self.process_recv_actions(pkt.flow.0, buf);
             }
             PacketKind::Ack {
@@ -818,6 +876,7 @@ impl Simulation {
             }
             PacketKind::ProbeResp { req_ecn, echo_ts } => {
                 self.stats.probe_responses += 1;
+                self.probe_outstanding.remove(&pkt.flow.0);
                 let rtt = now.saturating_sub(echo_ts);
                 let dst_leaf = self.fabric.topology().host_leaf(pkt.src);
                 if let Some(lb) = self.edge[host.0 as usize].as_mut() {
@@ -835,6 +894,28 @@ impl Simulation {
 
     fn send_probes(&mut self) {
         let now = self.q.now();
+        // Expire unanswered probes first: each is negative evidence for
+        // the probed path (recovery sensing), reported to the agent that
+        // sent it. The sweep runs on the probe tick, so loss detection
+        // granularity is one probe interval — fine next to the quiet
+        // period. BTreeMap iteration keeps the order deterministic.
+        let cutoff = now.saturating_sub(self.probe_timeout);
+        let expired: Vec<u64> = self
+            .probe_outstanding
+            .iter()
+            .filter(|&(_, &(_, _, _, sent))| sent <= cutoff)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in expired {
+            let (agent, dst_leaf, path, _) = self
+                .probe_outstanding
+                .remove(&k)
+                .expect("expired key just listed");
+            self.stats.probe_timeouts += 1;
+            if let Some(lb) = self.edge[agent.0 as usize].as_mut() {
+                lb.on_probe_timeout(dst_leaf, path, now);
+            }
+        }
         let topo = self.fabric.topology();
         let agents: Vec<(HostId, LeafId)> = (0..topo.n_leaves)
             .map(|l| (topo.leaf_agent(LeafId(l as u16)), LeafId(l as u16)))
@@ -850,6 +931,8 @@ impl Simulation {
                 self.probe_seq += 1;
                 let pkt = Packet::probe_req(flow, agent, dst_agent, t.path);
                 self.stats.probes_sent += 1;
+                self.probe_outstanding
+                    .insert(flow.0, (agent, t.dst_leaf, t.path, now));
                 self.fabric.host_send(&mut self.q, pkt);
             }
         }

@@ -155,6 +155,54 @@ fn blackhole_strands_ecmp_but_not_hermes() {
 }
 
 #[test]
+fn silent_random_drops_inflate_ecmp_tail_but_not_hermes() {
+    // One spine silently drops 2% of packets (the Fig. 16 failure mode:
+    // no link-down signal, just loss). Hermes' retransmission-fraction
+    // sensing must classify the path as failed and route around it;
+    // ECMP keeps hashing flows into the lossy spine for their lifetime.
+    let topo = Topology::leaf_spine(
+        4,
+        4,
+        4,
+        hermes_net::LinkCfg::new(10_000_000_000, Time::from_us(5)),
+        hermes_net::LinkCfg::new(10_000_000_000, Time::from_us(10)),
+    );
+    let flows: Vec<FlowSpec> = (0..16)
+        .map(|i| FlowSpec {
+            id: FlowId(i),
+            src: HostId((i % 4) as u32),     // rack 0
+            dst: HostId(4 + (i % 4) as u32), // rack 1
+            size: 2_000_000,
+            start: Time::from_us(10 * i),
+        })
+        .collect();
+
+    let run = |scheme: Scheme| {
+        let mut sim = Simulation::new(SimConfig::new(topo.clone(), scheme).with_seed(2));
+        sim.set_spine_failure(SpineId(0), SpineFailure::random_drops(0.02));
+        sim.add_flows(flows.clone());
+        sim.run_to_completion(Time::from_secs(3));
+        let unfinished = sim.records().iter().filter(|r| r.finish.is_none()).count();
+        let max_fct = sim
+            .records()
+            .iter()
+            .filter_map(|r| r.finish.map(|f| f - r.start))
+            .max()
+            .expect("at least one finished flow");
+        (unfinished, max_fct)
+    };
+
+    let (ecmp_unfinished, ecmp_tail) = run(Scheme::Ecmp);
+    assert_eq!(ecmp_unfinished, 0, "2% loss delays ECMP but does not strand it");
+    let (hermes_unfinished, hermes_tail) = run(Scheme::Hermes(HermesParams::from_topology(&topo)));
+    assert_eq!(hermes_unfinished, 0, "Hermes must finish everything");
+    assert!(
+        hermes_tail < ecmp_tail,
+        "Hermes must route around the lossy spine: tail {hermes_tail} vs ECMP {ecmp_tail}"
+    );
+}
+
+#[test]
 fn udp_source_delivers_at_configured_rate() {
     let topo = Topology::testbed();
     let mut sim = Simulation::new(SimConfig::new(topo, Scheme::Ecmp));

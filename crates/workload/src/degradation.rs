@@ -1,0 +1,200 @@
+//! Degradation metrics over a goodput timeline.
+//!
+//! The transient-failure experiments (blackhole onset at t₁, clear at
+//! t₂) are judged on *how* a scheme degrades, not just final FCTs:
+//! how far goodput dips, how quickly the dip appears after onset, and
+//! how long until goodput is back at its pre-fault baseline. This
+//! module turns a cumulative goodput series — as recorded by the
+//! runtime's `TotalGoodput` sampler — into those numbers.
+//!
+//! All rates are computed per sampling bin (Δbytes·8/Δt), so the
+//! sampler interval sets the resolution; bins are left-labelled by
+//! their start time.
+
+use hermes_sim::Time;
+
+/// Thresholds for calling a dip and a recovery.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradationCfg {
+    /// A bin below `dip_frac × baseline` counts as degraded.
+    pub dip_frac: f64,
+    /// A bin at or above `recover_frac × baseline` counts as recovered.
+    pub recover_frac: f64,
+    /// Consecutive recovered bins required before recovery is declared
+    /// (filters a single lucky bin during the outage).
+    pub sustain_bins: usize,
+}
+
+impl Default for DegradationCfg {
+    fn default() -> DegradationCfg {
+        DegradationCfg {
+            dip_frac: 0.9,
+            recover_frac: 0.9,
+            sustain_bins: 3,
+        }
+    }
+}
+
+/// What a fault window did to a scheme's goodput.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradationReport {
+    /// Mean goodput over the bins fully before onset (bits/s).
+    pub baseline_bps: f64,
+    /// Lowest per-bin goodput at or after onset (bits/s).
+    pub dip_min_bps: f64,
+    /// Onset → first degraded bin (None: no bin ever dipped).
+    pub time_to_impact: Option<Time>,
+    /// Onset → start of the first sustained recovered run after the
+    /// impact (None: no impact, or never recovered within the series).
+    pub time_to_recover: Option<Time>,
+    /// Flows stranded across the fault window (caller-supplied; the
+    /// runtime knows which flows started before the clear and never
+    /// finished).
+    pub stranded: usize,
+}
+
+/// Analyze a cumulative goodput series against a fault `onset` time.
+///
+/// `series` is `(sample time, cumulative bytes)` in time order, as a
+/// `TotalGoodput` sampler records it. Needs at least one full bin
+/// before `onset` to establish a baseline; with no pre-onset bins the
+/// baseline is 0 and no impact can be detected.
+pub fn degradation_report(
+    series: &[(Time, u64)],
+    onset: Time,
+    cfg: &DegradationCfg,
+    stranded: usize,
+) -> DegradationReport {
+    // Per-bin rates: (bin start, bin end, bits/s).
+    let bins: Vec<(Time, Time, f64)> = series
+        .windows(2)
+        .filter_map(|w| {
+            let (t0, b0) = w[0];
+            let (t1, b1) = w[1];
+            let dt = t1.saturating_sub(t0);
+            if dt == Time::ZERO {
+                return None;
+            }
+            let bps = (b1.saturating_sub(b0) * 8) as f64 / dt.as_secs_f64();
+            Some((t0, t1, bps))
+        })
+        .collect();
+    // Baseline over bins fully before onset; the bin straddling onset
+    // belongs to neither side.
+    let pre: Vec<f64> = bins
+        .iter()
+        .filter(|&&(_, end, _)| end <= onset)
+        .map(|&(_, _, r)| r)
+        .collect();
+    let baseline = if pre.is_empty() {
+        0.0
+    } else {
+        pre.iter().sum::<f64>() / pre.len() as f64
+    };
+    let post: Vec<(Time, f64)> = bins
+        .iter()
+        .filter(|&&(start, _, _)| start >= onset)
+        .map(|&(start, _, r)| (start, r))
+        .collect();
+    let dip_min = post
+        .iter()
+        .map(|&(_, r)| r)
+        .fold(f64::INFINITY, f64::min)
+        .min(baseline);
+    let impact_idx = post
+        .iter()
+        .position(|&(_, r)| baseline > 0.0 && r < cfg.dip_frac * baseline);
+    let time_to_impact = impact_idx.map(|i| post[i].0.saturating_sub(onset));
+    let time_to_recover = impact_idx.and_then(|i| {
+        let mut run = 0usize;
+        for (j, &(_, r)) in post.iter().enumerate().skip(i) {
+            if r >= cfg.recover_frac * baseline {
+                run += 1;
+                if run >= cfg.sustain_bins {
+                    return Some(post[j + 1 - run].0.saturating_sub(onset));
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    });
+    DegradationReport {
+        baseline_bps: baseline,
+        dip_min_bps: if dip_min.is_finite() { dip_min } else { 0.0 },
+        time_to_impact,
+        time_to_recover,
+        stranded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a cumulative series from per-bin rates (1 ms bins,
+    /// rate expressed in bytes per bin).
+    fn series(rates_bytes_per_ms: &[u64]) -> Vec<(Time, u64)> {
+        let mut out = vec![(Time::ZERO, 0u64)];
+        let mut total = 0u64;
+        for (i, &r) in rates_bytes_per_ms.iter().enumerate() {
+            total += r;
+            out.push((Time::from_ms(i as u64 + 1), total));
+        }
+        out
+    }
+
+    #[test]
+    fn detects_dip_and_recovery() {
+        // 5 bins at 100, 4 bins at 10 (fault), 5 bins at 100 again.
+        let s = series(&[100, 100, 100, 100, 100, 10, 10, 10, 10, 100, 100, 100, 100, 100]);
+        let onset = Time::from_ms(5);
+        let rep = degradation_report(&s, onset, &DegradationCfg::default(), 0);
+        let per_bin = 100.0 * 8.0 / 1e-3; // bytes per ms → bits/s
+        assert!((rep.baseline_bps - per_bin).abs() / per_bin < 1e-9);
+        assert!(rep.dip_min_bps < 0.2 * rep.baseline_bps);
+        // Impact in the first faulty bin.
+        assert_eq!(rep.time_to_impact, Some(Time::ZERO));
+        // Recovery at bin 9 (4 ms after onset), sustained 3 bins.
+        assert_eq!(rep.time_to_recover, Some(Time::from_ms(4)));
+    }
+
+    #[test]
+    fn single_good_bin_during_outage_is_not_recovery() {
+        let s = series(&[100, 100, 100, 100, 10, 10, 100, 10, 10, 100, 100, 100]);
+        let onset = Time::from_ms(4);
+        let rep = degradation_report(&s, onset, &DegradationCfg::default(), 0);
+        // The lone good bin at index 6 must not count; the sustained run
+        // starts at bin 9 (5 ms after onset).
+        assert_eq!(rep.time_to_recover, Some(Time::from_ms(5)));
+    }
+
+    #[test]
+    fn no_dip_means_no_impact_or_recovery() {
+        let s = series(&[100, 100, 100, 100, 98, 97, 99, 100]);
+        let rep = degradation_report(&s, Time::from_ms(4), &DegradationCfg::default(), 2);
+        assert!(rep.time_to_impact.is_none());
+        assert!(rep.time_to_recover.is_none());
+        assert_eq!(rep.stranded, 2);
+    }
+
+    #[test]
+    fn unrecovered_outage_reports_impact_only() {
+        let s = series(&[100, 100, 100, 100, 5, 5, 5, 5]);
+        let rep = degradation_report(&s, Time::from_ms(4), &DegradationCfg::default(), 0);
+        assert_eq!(rep.time_to_impact, Some(Time::ZERO));
+        assert!(rep.time_to_recover.is_none());
+    }
+
+    #[test]
+    fn empty_or_preonset_free_series_is_harmless() {
+        let rep = degradation_report(&[], Time::from_ms(1), &DegradationCfg::default(), 0);
+        assert_eq!(rep.baseline_bps, 0.0);
+        assert!(rep.time_to_impact.is_none());
+        // All samples after onset: baseline 0, nothing detectable.
+        let s = series(&[50, 50]);
+        let rep = degradation_report(&s, Time::ZERO, &DegradationCfg::default(), 0);
+        assert_eq!(rep.baseline_bps, 0.0);
+        assert!(rep.time_to_impact.is_none());
+    }
+}

@@ -12,13 +12,18 @@
 //!   visibility metric for switch pairs vs. host pairs.
 //! * [`IncastGen`] — the partition–aggregate microburst pattern (§6's
 //!   discussion of bursts Hermes cannot sense within an RTT).
+//! * [`degradation_report`] — goodput-timeline degradation metrics for
+//!   the transient-failure experiments (dip depth, time-to-impact,
+//!   time-to-recover-to-baseline, stranded flows).
 
+mod degradation;
 mod dist;
 mod flowgen;
 mod incast;
 mod metrics;
 mod visibility;
 
+pub use degradation::{degradation_report, DegradationCfg, DegradationReport};
 pub use dist::FlowSizeDist;
 pub use flowgen::{FlowGen, FlowSpec};
 pub use incast::{query_completion, IncastGen, Query};

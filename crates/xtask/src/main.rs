@@ -21,6 +21,12 @@
 //! * **lib-unwrap** — `.unwrap()` in library code (crate `src/`
 //!   excluding `src/bin/` and `#[cfg(test)]` regions). Library code
 //!   must use `expect` with an invariant message, or handle the `None`.
+//! * **fault-mutation** — direct fabric mutation (`apply_fault`,
+//!   `set_spine_failure`, `set_link_down`, …) outside `hermes-net`
+//!   (which defines the operations) and `hermes-runtime` (which
+//!   dispatches them from scheduled `FaultPlan` events). Anywhere else,
+//!   a mid-run mutation would bypass the event queue — undigested by
+//!   the trace fingerprint and invisible to the determinism self-check.
 //!
 //! The scanner masks comments, string literals, and `#[cfg(test)]`
 //! blocks before matching, so a rule name in a doc comment or an
@@ -87,6 +93,13 @@ fn lib_code(c: &FileClass) -> bool {
     c.kind == Kind::Lib
 }
 
+/// Simulation crates other than the two that legitimately own fault
+/// application: `net` defines the fabric operations, `runtime` invokes
+/// them from `FaultPlan` events popped off the queue.
+fn sim_crate_outside_fault_core(c: &FileClass) -> bool {
+    is_sim_crate(c) && c.krate != "net" && c.krate != "runtime"
+}
+
 const RULES: &[Rule] = &[
     Rule {
         name: "wall-clock",
@@ -112,6 +125,21 @@ const RULES: &[Rule] = &[
         tokens: &[".unwrap()"],
         why: "library code must expect() with an invariant message or handle the None/Err",
         applies: lib_code,
+    },
+    Rule {
+        name: "fault-mutation",
+        tokens: &[
+            "set_spine_failure",
+            "set_link_down",
+            "set_link_rate",
+            "restore_link_rate",
+            "set_spine_down",
+            "apply_fault",
+        ],
+        why: "mid-run fabric mutation must be scheduled via a FaultPlan so it flows through the \
+              event queue (digested, deterministic); only hermes-net defines these operations \
+              and only hermes-runtime dispatches them",
+        applies: sim_crate_outside_fault_core,
     },
 ];
 
@@ -438,6 +466,14 @@ const BAD_FIXTURES: &[(&str, &str)] = &[
     ("stray-rng", "fn f() -> u64 { rand::random() }\n"),
     ("stray-rng", "fn f() { let mut _r = thread_rng(); }\n"),
     ("lib-unwrap", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n"),
+    (
+        "fault-mutation",
+        "fn f(fab: &mut Fabric) { fab.set_spine_down(SpineId(0), true); }\n",
+    ),
+    (
+        "fault-mutation",
+        "fn f(fab: &mut Fabric, a: &FaultAction) { fab.apply_fault(a); }\n",
+    ),
 ];
 
 /// Sources that must NOT fire: the forbidden tokens appear only in
@@ -448,6 +484,7 @@ const CLEAN_FIXTURES: &[&str] = &[
     "/* thread_rng() would break determinism */\nfn f() {}\n",
     "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n",
     "fn lifetime<'a>(x: &'a u64) -> &'a u64 { x }\n",
+    "// never call apply_fault directly; schedule it via a FaultPlan\nfn f() {}\n",
 ];
 
 fn self_test() -> ExitCode {
@@ -534,6 +571,20 @@ mod tests {
         assert!(scan_as("sim", Kind::Bin, src).is_empty());
         assert!(scan_as("sim", Kind::TestOrExample, src).is_empty());
         assert!(scan_as("sim", Kind::Lib, src).contains(&"lib-unwrap"));
+    }
+
+    #[test]
+    fn fault_mutation_exempts_the_fault_core() {
+        let src = "fn f(fab: &mut Fabric, a: &FaultAction) { fab.apply_fault(a); }\n";
+        // net defines the operations, runtime dispatches FaultPlan
+        // events, bench isn't a simulation crate: all exempt.
+        assert!(scan_as("net", Kind::Lib, src).is_empty());
+        assert!(scan_as("runtime", Kind::Lib, src).is_empty());
+        assert!(scan_as("runtime", Kind::TestOrExample, src).is_empty());
+        assert!(scan_as("bench", Kind::Lib, src).is_empty());
+        // Everywhere else in the simulation stack the rule fires.
+        assert!(scan_as("lb", Kind::Lib, src).contains(&"fault-mutation"));
+        assert!(scan_as("core", Kind::TestOrExample, src).contains(&"fault-mutation"));
     }
 
     #[test]

@@ -64,10 +64,10 @@ fn main() {
 
     // 6. Blackhole: timeouts with nothing ACKed in between.
     let mut hole = PathState::default();
-    hole.on_timeout(&p);
-    hole.on_timeout(&p);
+    hole.on_timeout(&p, now);
+    hole.on_timeout(&p, now);
     show("2 timeouts, nothing ACKed", &mut hole, &p, now);
-    hole.on_timeout(&p);
+    hole.on_timeout(&p, now);
     show("3rd timeout (blackhole rule)", &mut hole, &p, now);
 
     // 7. Silent random drops: healthy-looking path, 3% retransmissions.
@@ -91,5 +91,28 @@ fn main() {
         after,
     );
 
-    println!("\nFailure classes are sticky; everything else re-evaluates per packet.");
+    // 8. Recovery: after a quiet period the failed path enters
+    // probation (the probe planner checks `in_probation`, as the
+    // runtime does) and K clean probes re-admit it (DESIGN.md §9).
+    let quiet = now + p.failure_quiet_period;
+    assert!(hole.in_probation(&p, quiet), "quiet period has elapsed");
+    for i in 0..p.recovery_probe_count as u64 {
+        hole.sample(
+            Some(p.t_rtt_low - Time::from_us(15)),
+            false,
+            &p,
+            quiet + Time::from_us(500 * i),
+        );
+    }
+    show(
+        "quiet period + 3 clean probes (re-admitted)",
+        &mut hole,
+        &p,
+        quiet + Time::from_ms(2),
+    );
+
+    println!(
+        "\nFailure classes stay sticky until a quiet period plus probation probes\n\
+         re-admit the path; everything else re-evaluates per packet."
+    );
 }

@@ -27,6 +27,9 @@ for src in crates/bench/src/bin/*.rs; do
     case "$bin" in
         autotune) continue ;; # interactive parameter search, not a figure
     esac
+    # Note: fig17_transient_recovery additionally asserts same-seed
+    # replay determinism internally, so a digest mismatch fails the
+    # sweep here rather than passing silently.
     echo "== $bin =="
     if ! cargo run --release -q -p hermes-bench --bin "$bin" \
             >"$outdir/$bin.txt" 2>&1; then

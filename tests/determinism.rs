@@ -13,7 +13,7 @@
 
 use hermes_core::HermesParams;
 use hermes_lb::{CloveCfg, CongaCfg, FlowBenderCfg};
-use hermes_net::{LeafId, SpineFailure, SpineId, Topology};
+use hermes_net::{FaultPlan, LeafId, SpineFailure, SpineId, Topology};
 use hermes_runtime::{selfcheck, Scheme, SimConfig, Simulation};
 use hermes_sim::{SimRng, Time};
 use hermes_workload::{FlowGen, FlowSizeDist};
@@ -92,6 +92,63 @@ fn failover_scenario_is_deterministic_and_conserves_packets() {
         fp.conservation.dropped() > 0,
         "the blackhole must destroy packets: {}",
         fp.conservation
+    );
+}
+
+/// A transient chaos scenario: a link flapping periodically while a
+/// blackhole opens mid-run and clears again, all driven by a
+/// [`FaultPlan`] replayed through the event queue.
+fn chaos_sim() -> Simulation {
+    let topo = Topology::sim_baseline();
+    let scheme = Scheme::Hermes(HermesParams::from_topology(&topo));
+    let plan = FaultPlan::new()
+        .blackhole_window(
+            SpineId(5),
+            LeafId(0),
+            LeafId(7),
+            1.0,
+            Time::from_ms(4),
+            Time::from_ms(12),
+        )
+        .link_flap(
+            LeafId(0),
+            SpineId(2),
+            Time::from_ms(2),
+            Time::from_ms(1),
+            Time::from_ms(3),
+            Time::from_ms(14),
+        );
+    let mut sim = Simulation::new(
+        SimConfig::new(topo.clone(), scheme)
+            .with_seed(3)
+            .with_fault_plan(plan),
+    );
+    let mut gen = FlowGen::new(&topo, FlowSizeDist::web_search(), 0.4, None, SimRng::new(9));
+    let mut flows = Vec::new();
+    while flows.len() < 40 {
+        let f = gen.next_flow();
+        if topo.host_leaf(f.src) == LeafId(0) && topo.host_leaf(f.dst) == LeafId(7) {
+            flows.push(f);
+        }
+    }
+    for (i, f) in flows.iter_mut().enumerate() {
+        f.start = Time::from_us(400 * i as u64);
+    }
+    sim.add_flows(flows);
+    sim
+}
+
+#[test]
+fn chaos_schedule_is_deterministic_and_conserves_packets() {
+    let fp = selfcheck::assert_deterministic(chaos_sim, Time::from_secs(5));
+    assert!(
+        fp.conservation.dropped() > 0,
+        "the flapping link and the transient blackhole must destroy packets: {}",
+        fp.conservation
+    );
+    assert!(
+        fp.fcts.iter().all(|&(_, f)| f.is_some()),
+        "every flow must finish once the faults clear"
     );
 }
 
