@@ -86,15 +86,14 @@ fn run(scheme: Scheme) -> RunOut {
         .filter(|r| r.start < CLEAR && r.finish.is_none_or(|f| f > CLEAR))
         .count();
     let unfinished = sim.records().iter().filter(|r| r.finish.is_none()).count();
-    let (detect, readmit, recoveries) =
-        sim.hermes_racks().first().map_or((None, None, 0), |r| {
-            let s = r.borrow();
-            (
-                s.first_failure_at.map(|t| t.saturating_sub(ONSET)),
-                s.first_recovery_at.map(|t| t.saturating_sub(CLEAR)),
-                s.stat_recoveries,
-            )
-        });
+    let (detect, readmit, recoveries) = sim.hermes_racks().first().map_or((None, None, 0), |r| {
+        let s = r.borrow();
+        (
+            s.first_failure_at.map(|t| t.saturating_sub(ONSET)),
+            s.first_recovery_at.map(|t| t.saturating_sub(CLEAR)),
+            s.stat_recoveries,
+        )
+    });
     RunOut {
         series: sim.sampler_series(sampler).to_vec(),
         digest: sim.trace_digest(),

@@ -24,7 +24,9 @@ mod table;
 
 pub use grid::GridSpec;
 pub use probing::{ProbingCostModel, ProbingRow};
-pub use runner::{avg_summaries, run_point, PointCfg, PointResult};
+pub use runner::{
+    avg_summaries, run_point, run_point_detailed, DetailedResult, PointCfg, PointResult,
+};
 pub use table::{fmt_ms, fmt_ratio, TextTable};
 
 /// Global flow-count scale from `HERMES_SCALE`.

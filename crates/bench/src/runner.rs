@@ -1,11 +1,11 @@
 //! Single experiment-point runner: one (topology, scheme, workload,
 //! load, seed) tuple → FCT summary.
 
-use hermes_net::{FaultPlan, SpineFailure, SpineId, Topology};
-use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_net::{ConservationReport, FaultPlan, SpineFailure, SpineId, Topology};
+use hermes_runtime::{Probe, Scheme, SimConfig, Simulation};
 use hermes_sim::{SimRng, Time};
 use hermes_transport::TransportCfg;
-use hermes_workload::{summarize, FctSummary, FlowGen, FlowSizeDist};
+use hermes_workload::{summarize, FctSummary, FlowGen, FlowRecord, FlowSizeDist};
 
 /// One experiment point.
 #[derive(Clone)]
@@ -113,6 +113,52 @@ pub struct PointResult {
 
 /// Run one point. Deterministic in `(cfg, seed)`.
 pub fn run_point(cfg: &PointCfg) -> PointResult {
+    let (sim, horizon) = run_sim(cfg, None);
+    finish_point(sim, horizon)
+}
+
+/// Everything [`run_point`] reports plus the raw evidence the
+/// conformance checkers need: per-flow records, the event-trace
+/// digest, the packet-conservation snapshot, and a goodput timeline.
+///
+/// Note on digests: the goodput sampler injects `Global` events that
+/// are part of the digested trace, so a detailed run's digest differs
+/// from a plain [`run_point`] run's. Golden digests must therefore be
+/// produced and checked through this same entry point (they are — see
+/// `hermes-testkit`). Sampler events never touch RNG streams or flow
+/// state, so FCTs and records are identical either way.
+#[derive(Clone, Debug)]
+pub struct DetailedResult {
+    pub fct: FctSummary,
+    pub records: Vec<FlowRecord>,
+    pub events: u64,
+    pub sim_time: Time,
+    /// The measurement horizon `summarize` charged unfinished flows at.
+    pub horizon: Time,
+    pub digest: u64,
+    pub conservation: ConservationReport,
+    /// `(sample time, cumulative in-order TCP payload bytes)`.
+    pub goodput: Vec<(Time, u64)>,
+}
+
+/// Run one point, keeping the evidence. Deterministic in `(cfg, seed)`.
+pub fn run_point_detailed(cfg: &PointCfg, goodput_interval: Time) -> DetailedResult {
+    let (sim, horizon) = run_sim(cfg, Some(goodput_interval));
+    DetailedResult {
+        fct: summarize(sim.records(), horizon),
+        records: sim.records().to_vec(),
+        events: sim.stats.events,
+        sim_time: sim.now(),
+        horizon,
+        digest: sim.trace_digest(),
+        conservation: sim.conservation(),
+        goodput: sim.sampler_series(0).to_vec(),
+    }
+}
+
+/// Shared materialization: build the sim, wire failures/faults,
+/// schedule the workload, run to the drain horizon.
+fn run_sim(cfg: &PointCfg, goodput_interval: Option<Time>) -> (Simulation, Time) {
     let mut gen = FlowGen::new(
         &cfg.topo,
         cfg.dist.clone(),
@@ -130,6 +176,10 @@ pub fn run_point(cfg: &PointCfg) -> PointResult {
         sim_cfg = sim_cfg.with_reorder_mask(mask);
     }
     let mut sim = Simulation::new(sim_cfg);
+    if let Some(interval) = goodput_interval {
+        let idx = sim.add_sampler(interval, Probe::TotalGoodput);
+        debug_assert_eq!(idx, 0, "goodput sampler must be sampler 0");
+    }
     for (s, f) in &cfg.failures {
         sim.set_spine_failure(*s, *f);
     }
@@ -139,6 +189,10 @@ pub fn run_point(cfg: &PointCfg) -> PointResult {
     sim.add_flows(specs);
     let horizon = last_arrival + cfg.drain;
     sim.run_to_completion(horizon);
+    (sim, horizon)
+}
+
+fn finish_point(mut sim: Simulation, horizon: Time) -> PointResult {
     let (vis_switch, vis_host) = sim.visibility();
     PointResult {
         fct: summarize(sim.records(), horizon),
@@ -196,6 +250,26 @@ mod tests {
             .drain(Time::from_ms(500));
         let r = run_point(&cfg);
         assert!(r.fct.unfinished > 0, "blackholed ECMP flows cannot finish");
+    }
+
+    #[test]
+    fn detailed_run_matches_plain_fct() {
+        let topo = Topology::testbed();
+        let cfg = PointCfg::new(topo, Scheme::Ecmp, FlowSizeDist::web_search(), 0.3).flows(50);
+        let plain = run_point(&cfg);
+        let det = run_point_detailed(&cfg, Time::from_ms(1));
+        // Sampler events are observation-only: FCTs must be identical.
+        assert_eq!(plain.fct.avg, det.fct.avg);
+        assert_eq!(plain.fct.p99, det.fct.p99);
+        assert_eq!(det.records.len(), 50);
+        assert!(det.conservation.balanced(), "{:?}", det.conservation);
+        assert!(!det.goodput.is_empty());
+        // ...but the digested trace now includes the sampler ticks.
+        assert!(det.events > plain.events);
+        // Detailed runs are themselves deterministic.
+        let det2 = run_point_detailed(&cfg, Time::from_ms(1));
+        assert_eq!(det.digest, det2.digest);
+        assert_eq!(det.goodput, det2.goodput);
     }
 
     #[test]

@@ -644,7 +644,12 @@ mod tests {
         let t1 = now + p.failure_quiet_period;
         assert!(s.in_probation(&p, t1));
         for k in 0..p.recovery_probe_count {
-            s.sample(Some(Time::from_us(60)), false, &p, t1 + Time::from_us(k as u64));
+            s.sample(
+                Some(Time::from_us(60)),
+                false,
+                &p,
+                t1 + Time::from_us(k as u64),
+            );
         }
         assert!(!s.failed());
         // The pre-failure retransmission history must not re-fail it.

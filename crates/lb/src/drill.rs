@@ -141,6 +141,85 @@ mod tests {
     }
 
     #[test]
+    fn full_scan_always_picks_the_shortest_queue() {
+        // With samples >= candidates every queue is drawn eventually;
+        // the min-queue choice must win regardless of the RNG, and the
+        // decision must track the queues as they shift.
+        let mut lb = Drill::new(4);
+        let mut rng = SimRng::new(7);
+        for (shortest, q) in [
+            (1, [9_000u64, 100, 9_000, 9_000]),
+            (3, [9_000, 8_000, 9_000, 50]),
+            (0, [0, 8_000, 9_000, 7_000]),
+        ] {
+            // Repeat enough times that all four indices get sampled at
+            // least once with overwhelming probability.
+            let mut settled = None;
+            for _ in 0..30 {
+                settled = Some(lb.ingress_select(
+                    LeafId(0),
+                    LeafId(1),
+                    &pkt(),
+                    Uplinks {
+                        paths: &CANDS,
+                        qbytes: &q,
+                    },
+                    Time::ZERO,
+                    &mut rng,
+                ));
+            }
+            assert_eq!(
+                settled,
+                Some(PathId(shortest)),
+                "queue state {q:?} must settle on the shortest"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_competes_against_fresh_samples() {
+        // DRILL(d, 1): the remembered path is considered *in addition*
+        // to the random samples. Seed the memory with the globally
+        // shortest queue, then verify a single-sample DRILL never does
+        // worse than that remembered queue afterwards.
+        let mut lb = Drill::new(1);
+        let mut rng = SimRng::new(8);
+        let q = [40_000u64, 30_000, 200, 50_000];
+        for _ in 0..64 {
+            lb.ingress_select(
+                LeafId(0),
+                LeafId(1),
+                &pkt(),
+                Uplinks {
+                    paths: &CANDS,
+                    qbytes: &q,
+                },
+                Time::ZERO,
+                &mut rng,
+            );
+        }
+        assert_eq!(lb.memory[&(LeafId(0), LeafId(1))], PathId(2));
+        for _ in 0..50 {
+            let p = lb.ingress_select(
+                LeafId(0),
+                LeafId(1),
+                &pkt(),
+                Uplinks {
+                    paths: &CANDS,
+                    qbytes: &q,
+                },
+                Time::ZERO,
+                &mut rng,
+            );
+            assert_eq!(
+                p,
+                PathId(2),
+                "one random sample can never beat the remembered empty queue"
+            );
+        }
+    }
+
+    #[test]
     fn handles_fewer_candidates_than_samples() {
         let mut lb = Drill::new(5);
         let mut rng = SimRng::new(3);

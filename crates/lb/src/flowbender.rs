@@ -185,6 +185,81 @@ mod tests {
     }
 
     #[test]
+    fn sustained_streaks_keep_bouncing_window_after_window() {
+        // FlowBender under persistent congestion is *restless*: every
+        // completed window of marked ACKs re-hashes again — it never
+        // settles while the marks keep coming.
+        let mut lb = FlowBender::new(FlowBenderCfg::default());
+        let mut rng = SimRng::new(21);
+        let mut path = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+        let mut bounces = 0;
+        for _ in 0..8 {
+            for _ in 0..16 {
+                lb.on_ack(&ctx(1), path, None, true, 1460, Time::ZERO);
+            }
+            let next = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+            assert_ne!(next, path, "a fully-marked window must bounce the flow");
+            path = next;
+            bounces += 1;
+        }
+        assert_eq!(bounces, 8);
+    }
+
+    #[test]
+    fn window_boundary_resets_the_mark_count() {
+        // Marks do not accumulate across windows: 8 marked ACKs in one
+        // window then 8 in the next (threshold 60% of a 16-ACK window)
+        // never reaches the threshold, even though 16 total marks
+        // arrived.
+        let cfg = FlowBenderCfg {
+            ecn_threshold: 0.6,
+            window_acks: 16,
+        };
+        let mut lb = FlowBender::new(cfg);
+        let mut rng = SimRng::new(22);
+        let p = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+        for window in 0..2 {
+            let _ = window;
+            for i in 0..16 {
+                lb.on_ack(&ctx(1), p, None, i < 8, 1460, Time::ZERO);
+            }
+            assert_eq!(
+                lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng),
+                p,
+                "50% marks under a 60% threshold must not reroute"
+            );
+        }
+    }
+
+    #[test]
+    fn rehash_avoids_the_current_path_when_alternatives_exist() {
+        // Every trigger over many trials lands on a *different* path
+        // than the one the flow was on — the re-hash excludes the
+        // current path whenever others are live.
+        let mut lb = FlowBender::new(FlowBenderCfg::default());
+        let mut rng = SimRng::new(23);
+        let mut path = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+        for _ in 0..64 {
+            lb.on_timeout(&ctx(1), path, Time::ZERO);
+            let next = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+            assert_ne!(next, path);
+            path = next;
+        }
+    }
+
+    #[test]
+    fn dead_path_forces_rehash_onto_survivors() {
+        let mut lb = FlowBender::new(FlowBenderCfg::default());
+        let mut rng = SimRng::new(24);
+        let p = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+        // The flow's path disappears from the candidate set (link cut):
+        // the next selection must move to a surviving path unprompted.
+        let survivors: Vec<PathId> = CANDS.iter().copied().filter(|&c| c != p).collect();
+        let q = lb.select_path(&ctx(1), &survivors, Time::ZERO, &mut rng);
+        assert!(survivors.contains(&q));
+    }
+
+    #[test]
     fn timeout_triggers_reroute() {
         let mut lb = FlowBender::new(FlowBenderCfg::default());
         let mut rng = SimRng::new(9);

@@ -92,6 +92,86 @@ mod tests {
     }
 
     #[test]
+    fn gap_rehash_spreads_load_where_steady_traffic_cannot() {
+        // The §2.2.2 critique, as a distribution statement: a steady
+        // stream never re-hashes (its path histogram is a point mass),
+        // while the same flow with inter-packet gaps above the timeout
+        // spreads across all paths with no path starved or dominant.
+        let uplinks = Uplinks {
+            paths: &CANDS,
+            qbytes: &[0; 4],
+        };
+        let mut steady = LetFlow::new(Time::from_us(150));
+        let mut rng = SimRng::new(11);
+        let mut steady_hist = [0u32; 4];
+        for i in 0..400u64 {
+            // 10 µs spacing: always inside the flowlet gap.
+            let p = steady.ingress_select(
+                LeafId(0),
+                LeafId(1),
+                &pkt(7),
+                uplinks,
+                Time::from_us(i * 10),
+                &mut rng,
+            );
+            steady_hist[p.0 as usize] += 1;
+        }
+        assert_eq!(
+            steady_hist.iter().filter(|&&c| c > 0).count(),
+            1,
+            "steady traffic must never re-hash: {steady_hist:?}"
+        );
+
+        let mut gapped = LetFlow::new(Time::from_us(150));
+        let mut hist = [0u32; 4];
+        for i in 0..400u64 {
+            // 500 µs spacing: every packet opens a new flowlet.
+            let p = gapped.ingress_select(
+                LeafId(0),
+                LeafId(1),
+                &pkt(7),
+                uplinks,
+                Time::from_us(i * 500),
+                &mut rng,
+            );
+            hist[p.0 as usize] += 1;
+        }
+        // Uniform expectation is 100 per path; allow a generous band
+        // (binomial σ ≈ 8.7, so ±4σ ≈ [65, 135]).
+        for (i, &c) in hist.iter().enumerate() {
+            assert!(
+                (65..=135).contains(&c),
+                "path {i} got {c} of 400 flowlets; distribution skewed: {hist:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flows_get_independent_flowlet_state() {
+        // Two flows at the same leaf must not share a flowlet entry:
+        // with enough flows, simultaneous first packets land on more
+        // than one path.
+        let mut lb = LetFlow::new(Time::from_us(150));
+        let mut rng = SimRng::new(5);
+        let uplinks = Uplinks {
+            paths: &CANDS,
+            qbytes: &[0; 4],
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for f in 0..32 {
+            seen.insert(lb.ingress_select(
+                LeafId(0),
+                LeafId(1),
+                &pkt(f),
+                uplinks,
+                Time::ZERO,
+                &mut rng,
+            ));
+        }
+        assert!(seen.len() > 1, "32 flows all hashed to one path");
+    }
+
+    #[test]
     fn directions_are_independent() {
         // The same flow id seen at two leaves (data vs ACK direction)
         // keeps independent flowlet state.

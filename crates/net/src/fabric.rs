@@ -881,10 +881,7 @@ mod tests {
             spine: SpineId(0),
             rate_bps: orig / 10,
         });
-        assert_eq!(
-            fab.link_rate_bps(LeafId(0), SpineId(0)),
-            Some(orig / 10)
-        );
+        assert_eq!(fab.link_rate_bps(LeafId(0), SpineId(0)), Some(orig / 10));
         let mut q = EventQueue::new();
         send_data(&mut fab, &mut q, 0, 6, PathId(0));
         let out = run_to_completion(&mut fab, &mut q);

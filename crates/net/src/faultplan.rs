@@ -96,11 +96,7 @@ impl FaultPlan {
 
     /// The time of the last scheduled event (`Time::ZERO` if empty).
     pub fn end_time(&self) -> Time {
-        self.events
-            .iter()
-            .map(|e| e.at)
-            .max()
-            .unwrap_or(Time::ZERO)
+        self.events.iter().map(|e| e.at).max().unwrap_or(Time::ZERO)
     }
 
     /// Schedule one raw action.
@@ -216,7 +212,10 @@ impl FaultPlan {
         period: Time,
         until: Time,
     ) -> FaultPlan {
-        assert!(downtime > Time::ZERO && downtime < period, "flap must spend time up and down");
+        assert!(
+            downtime > Time::ZERO && downtime < period,
+            "flap must spend time up and down"
+        );
         let mut down_at = first_down;
         while down_at < until {
             self = self
@@ -253,7 +252,10 @@ mod tests {
         assert_eq!(plan.events()[0].at, Time::from_ms(100));
         assert!(matches!(
             plan.events()[0].action,
-            FaultAction::SetSpineFailure { spine: SpineId(2), .. }
+            FaultAction::SetSpineFailure {
+                spine: SpineId(2),
+                ..
+            }
         ));
         assert!(matches!(
             plan.events()[1].action,
@@ -327,7 +329,13 @@ mod tests {
         let plan = FaultPlan::new()
             .at(t, FaultAction::SpineDown { spine: SpineId(1) })
             .at(t, FaultAction::SpineUp { spine: SpineId(1) });
-        assert!(matches!(plan.events()[0].action, FaultAction::SpineDown { .. }));
-        assert!(matches!(plan.events()[1].action, FaultAction::SpineUp { .. }));
+        assert!(matches!(
+            plan.events()[0].action,
+            FaultAction::SpineDown { .. }
+        ));
+        assert!(matches!(
+            plan.events()[1].action,
+            FaultAction::SpineUp { .. }
+        ));
     }
 }

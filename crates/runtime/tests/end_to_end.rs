@@ -193,7 +193,10 @@ fn silent_random_drops_inflate_ecmp_tail_but_not_hermes() {
     };
 
     let (ecmp_unfinished, ecmp_tail) = run(Scheme::Ecmp);
-    assert_eq!(ecmp_unfinished, 0, "2% loss delays ECMP but does not strand it");
+    assert_eq!(
+        ecmp_unfinished, 0,
+        "2% loss delays ECMP but does not strand it"
+    );
     let (hermes_unfinished, hermes_tail) = run(Scheme::Hermes(HermesParams::from_topology(&topo)));
     assert_eq!(hermes_unfinished, 0, "Hermes must finish everything");
     assert!(

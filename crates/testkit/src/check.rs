@@ -1,0 +1,369 @@
+//! The three checker classes: invariants, golden digests, envelopes.
+//!
+//! Every check produces [`Failure`]s rather than panicking, so one
+//! broken cell doesn't mask the rest of the grid and the self-test can
+//! assert that a deliberately-broken fixture trips exactly the class
+//! it was built to trip.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hermes_sim::Time;
+
+use crate::run::RunOutcome;
+use crate::spec::{Metric, ScenarioSpec};
+
+/// Which checker found the problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckClass {
+    /// Per-run physical invariants (conservation, monotonicity, FCT
+    /// sanity, unfinished bound).
+    Invariant,
+    /// Golden event-trace digest mismatch or missing pin.
+    Digest,
+    /// Statistical FCT-ratio envelope between LBs.
+    Envelope,
+}
+
+impl fmt::Display for CheckClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckClass::Invariant => write!(f, "invariant"),
+            CheckClass::Digest => write!(f, "digest"),
+            CheckClass::Envelope => write!(f, "envelope"),
+        }
+    }
+}
+
+/// One conformance failure, attributed to a scenario cell.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub class: CheckClass,
+    /// `scenario/lb/seed` (or `scenario` for grid-level checks).
+    pub cell: String,
+    pub detail: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.class, self.cell, self.detail)
+    }
+}
+
+/// Check the per-run physical invariants of one outcome.
+pub fn check_invariants(spec: &ScenarioSpec, out: &RunOutcome) -> Vec<Failure> {
+    let mut fails = Vec::new();
+    let cell = spec.digest_key(out.lb_idx, out.seed);
+    let fail = |fails: &mut Vec<Failure>, detail: String| {
+        fails.push(Failure {
+            class: CheckClass::Invariant,
+            cell: cell.clone(),
+            detail,
+        });
+    };
+    let r = &out.result;
+
+    // (a) Packet conservation: injected = delivered + dropped + in-flight.
+    if !r.conservation.balanced() {
+        fail(
+            &mut fails,
+            format!("packet conservation violated: {:?}", r.conservation),
+        );
+    }
+
+    // (b) Monotonic sim time, observed through the goodput timeline:
+    // sample times strictly increase, cumulative bytes never decrease,
+    // and no sample postdates the final clock.
+    for w in r.goodput.windows(2) {
+        if w[1].0 <= w[0].0 {
+            fail(
+                &mut fails,
+                format!("goodput sample times not increasing at {:?}", w[1].0),
+            );
+            break;
+        }
+        if w[1].1 < w[0].1 {
+            fail(
+                &mut fails,
+                format!("cumulative goodput decreased at {:?}", w[1].0),
+            );
+            break;
+        }
+    }
+    if let Some(last) = r.goodput.last() {
+        if last.0 > r.sim_time {
+            fail(
+                &mut fails,
+                format!(
+                    "sample at {:?} postdates final clock {:?}",
+                    last.0, r.sim_time
+                ),
+            );
+        }
+    }
+
+    // (c) Unfinished-flow bound.
+    let frac = r.fct.unfinished_frac();
+    if frac > spec.invariants.max_unfinished_frac {
+        fail(
+            &mut fails,
+            format!(
+                "unfinished fraction {:.3} exceeds bound {:.3}",
+                frac, spec.invariants.max_unfinished_frac
+            ),
+        );
+    }
+
+    // (d) FCT sanity: a finished flow can never beat its own
+    // serialization time on the host link (ideal lower bound; see
+    // tests/properties.rs for the single-flow version).
+    let (topo, _) = spec.topology.build();
+    let rate = topo.host_link.rate_bps;
+    for rec in &r.records {
+        let Some(finish) = rec.finish else { continue };
+        if finish < rec.start {
+            fail(
+                &mut fails,
+                format!("flow {:?} finished before it started", rec.id),
+            );
+            continue;
+        }
+        let lower = Time::tx_time(rec.size, rate);
+        if finish - rec.start < lower {
+            fail(
+                &mut fails,
+                format!(
+                    "flow {:?} ({} B) finished in {:?}, below ideal {:?}",
+                    rec.id,
+                    rec.size,
+                    finish - rec.start,
+                    lower
+                ),
+            );
+        }
+    }
+    fails
+}
+
+/// Check pinned digests against the golden store. A pinned cell with
+/// no golden is a failure (run `cargo run -p xtask -- bless`).
+pub fn check_digests(
+    spec: &ScenarioSpec,
+    outs: &[&RunOutcome],
+    goldens: &BTreeMap<String, u64>,
+) -> Vec<Failure> {
+    if !spec.pin_digests {
+        return Vec::new();
+    }
+    let mut fails = Vec::new();
+    for out in outs {
+        let key = spec.digest_key(out.lb_idx, out.seed);
+        match goldens.get(&key) {
+            None => fails.push(Failure {
+                class: CheckClass::Digest,
+                cell: key,
+                detail: "no golden digest pinned; run `cargo run -p xtask -- bless`".to_string(),
+            }),
+            Some(&want) if want != out.result.digest => fails.push(Failure {
+                class: CheckClass::Digest,
+                cell: key,
+                detail: format!(
+                    "event-trace digest {:#018x} != golden {:#018x}; if the behavior \
+                     change is intended, re-bless",
+                    out.result.digest, want
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    fails
+}
+
+/// Mean of an FCT metric over a scenario's seeds for one LB.
+fn mean_metric(outs: &[&RunOutcome], lb_idx: usize, metric: Metric) -> Option<f64> {
+    let vals: Vec<f64> = outs
+        .iter()
+        .filter(|o| o.lb_idx == lb_idx)
+        .map(|o| match metric {
+            Metric::Avg => o.result.fct.avg,
+            Metric::P99 => o.result.fct.p99,
+        })
+        .collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+/// Check the scenario's statistical envelopes over all its outcomes.
+pub fn check_envelopes(spec: &ScenarioSpec, outs: &[&RunOutcome]) -> Vec<Failure> {
+    let mut fails = Vec::new();
+    for env in &spec.envelopes {
+        let find = |name: &str| spec.lbs.iter().position(|l| l.name == name);
+        let (Some(li), Some(bi)) = (find(&env.lb), find(&env.baseline)) else {
+            // Unreachable for disk-loaded specs (the loader validates),
+            // but hand-built specs deserve a failure, not a panic.
+            fails.push(Failure {
+                class: CheckClass::Envelope,
+                cell: spec.name.clone(),
+                detail: format!(
+                    "envelope references unknown lb `{}`/`{}`",
+                    env.lb, env.baseline
+                ),
+            });
+            continue;
+        };
+        let (Some(lhs), Some(rhs)) = (
+            mean_metric(outs, li, env.metric),
+            mean_metric(outs, bi, env.metric),
+        ) else {
+            fails.push(Failure {
+                class: CheckClass::Envelope,
+                cell: spec.name.clone(),
+                detail: "envelope has no outcomes to compare".to_string(),
+            });
+            continue;
+        };
+        let bound = env.max_ratio * rhs;
+        if lhs > bound {
+            fails.push(Failure {
+                class: CheckClass::Envelope,
+                cell: spec.name.clone(),
+                detail: format!(
+                    "{} {}: {:.6}s > {:.2} x {} ({:.6}s); ratio {:.3}",
+                    env.lb,
+                    env.metric,
+                    lhs,
+                    env.max_ratio,
+                    env.baseline,
+                    rhs,
+                    if rhs > 0.0 { lhs / rhs } else { f64::INFINITY }
+                ),
+            });
+        }
+    }
+    fails
+}
+
+// ---- golden-digest store --------------------------------------------
+
+/// Parse a `digests.toml` golden store: a single `[digests]` table of
+/// `"scenario/lb/seed" = "0x..."` entries.
+pub fn parse_digests(src: &str) -> Result<BTreeMap<String, u64>, String> {
+    let root = crate::toml::parse(src).map_err(|e| e.to_string())?;
+    let table = root
+        .get("digests")
+        .and_then(crate::toml::Value::as_table)
+        .ok_or("missing [digests] table")?;
+    let mut out = BTreeMap::new();
+    for (k, v) in table {
+        let s = v.as_str().ok_or_else(|| format!("`{k}` is not a string"))?;
+        let hex = s
+            .strip_prefix("0x")
+            .ok_or_else(|| format!("`{k}` digest must start with 0x"))?;
+        let d = u64::from_str_radix(hex, 16).map_err(|e| format!("`{k}`: {e}"))?;
+        out.insert(k.clone(), d);
+    }
+    Ok(out)
+}
+
+/// Render a golden store back to `digests.toml` form (sorted, stable).
+pub fn format_digests(goldens: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from(
+        "# Golden event-trace digests for pinned (scenario, lb, seed) cells.\n\
+         # Regenerate with `cargo run -p xtask -- bless` after intended\n\
+         # behavior changes; see DESIGN.md section 10.\n\n[digests]\n",
+    );
+    for (k, v) in goldens {
+        out.push_str(&format!("\"{k}\" = \"{v:#018x}\"\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_grid;
+    use crate::spec::parse_scenario;
+
+    fn smoke_outcomes() -> (ScenarioSpec, Vec<RunOutcome>) {
+        let spec = parse_scenario(
+            r#"
+            pin_digests = true
+            [topology]
+            kind = "testbed"
+            [workload]
+            dist = "web_search"
+            load = 0.3
+            flows = 25
+            [run]
+            seeds = [1]
+            lbs = ["ecmp"]
+            drain_ms = 1000
+            [[envelope]]
+            metric = "avg"
+            lb = "ecmp"
+            baseline = "ecmp"
+            max_ratio = 1.0
+            "#,
+            "mem",
+            "smoke",
+        )
+        .expect("parses");
+        let outs = run_grid(std::slice::from_ref(&spec), 1).expect("runs");
+        (spec, outs)
+    }
+
+    #[test]
+    fn healthy_run_passes_all_checkers() {
+        let (spec, outs) = smoke_outcomes();
+        let refs: Vec<&RunOutcome> = outs.iter().collect();
+        assert!(check_invariants(&spec, &outs[0]).is_empty());
+        // Self-vs-self at ratio 1.0 always holds (lhs == rhs).
+        assert!(check_envelopes(&spec, &refs).is_empty());
+        let goldens: BTreeMap<String, u64> =
+            [(spec.digest_key(0, 1), outs[0].result.digest)].into();
+        assert!(check_digests(&spec, &refs, &goldens).is_empty());
+    }
+
+    #[test]
+    fn tampered_evidence_trips_the_invariant_class() {
+        let (spec, mut outs) = smoke_outcomes();
+        // Conservation: claim one more injected packet than retired.
+        outs[0].result.conservation.injected += 1;
+        let fails = check_invariants(&spec, &outs[0]);
+        assert!(fails
+            .iter()
+            .any(|f| f.class == CheckClass::Invariant && f.detail.contains("conservation")));
+        // FCT sanity: a flow that finished instantly.
+        let (spec2, mut outs2) = smoke_outcomes();
+        outs2[0].result.records[0].finish = Some(outs2[0].result.records[0].start);
+        let fails2 = check_invariants(&spec2, &outs2[0]);
+        assert!(fails2.iter().any(|f| f.detail.contains("below ideal")));
+    }
+
+    #[test]
+    fn wrong_or_missing_golden_trips_the_digest_class() {
+        let (spec, outs) = smoke_outcomes();
+        let refs: Vec<&RunOutcome> = outs.iter().collect();
+        let wrong: BTreeMap<String, u64> = [(spec.digest_key(0, 1), 0xdead_beef)].into();
+        let fails = check_digests(&spec, &refs, &wrong);
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].class, CheckClass::Digest);
+        let fails = check_digests(&spec, &refs, &BTreeMap::new());
+        assert!(fails[0].detail.contains("bless"));
+    }
+
+    #[test]
+    fn digest_store_roundtrips() {
+        let goldens: BTreeMap<String, u64> = [
+            ("sym/hermes/1".to_string(), 0x1234_5678_9abc_def0_u64),
+            ("sym/ecmp/2".to_string(), 7),
+        ]
+        .into();
+        let text = format_digests(&goldens);
+        let back = parse_digests(&text).expect("parses");
+        assert_eq!(back, goldens);
+    }
+}

@@ -1,0 +1,36 @@
+//! hermes-testkit: declarative scenario conformance for the Hermes
+//! reproduction.
+//!
+//! The paper's headline claims (§5–6) are behavior *envelopes* —
+//! Hermes ≈ CONGA under symmetry, graceful degradation under asymmetry
+//! and failure — so this crate encodes them as an executable grid:
+//!
+//! * **specs** — scenario TOML files (`tests/scenarios/`) declaring a
+//!   topology, workload, fault plan, the LBs under test, and seeds;
+//! * **run** — every `(scenario, lb, seed)` cell executed as its own
+//!   deterministic simulation, fanned out across threads;
+//! * **check** — three checker classes over the evidence: physical
+//!   invariants (packet conservation, monotonic time, FCT sanity,
+//!   unfinished-flow bounds), golden event-trace digests with a bless
+//!   flow, and statistical FCT-ratio envelopes between LBs;
+//! * **selftest** — deliberately-broken fixtures proving each checker
+//!   class actually fails when it should.
+//!
+//! Entry points: [`suite::run_conformance`] for a directory pass,
+//! [`suite::bless`] to regenerate goldens, and
+//! [`selftest::run_self_test`] for the checker self-test. The tier-1
+//! grid lives in the repo-root `tests/conformance.rs`; the extended
+//! grid runs via `cargo run -p xtask -- conformance`.
+
+pub mod check;
+pub mod run;
+pub mod selftest;
+pub mod spec;
+pub mod suite;
+pub mod toml;
+
+pub use check::{CheckClass, Failure};
+pub use run::{run_grid, RunOutcome};
+pub use selftest::{run_self_test, self_test_passed};
+pub use spec::{load_dir, load_file, parse_scenario, ScenarioSpec, SpecError};
+pub use suite::{bless, run_conformance, ConformanceReport, DIGESTS_FILE};

@@ -1,0 +1,727 @@
+//! Declarative scenario specs and their materialization into runnable
+//! experiment points.
+//!
+//! A scenario is one TOML file (see `tests/scenarios/` at the repo
+//! root) describing a topology, a workload mix, a fault plan, the LBs
+//! under test, the seeds to sweep, and the checks to apply. The loader
+//! turns it into a [`ScenarioSpec`]; [`ScenarioSpec::materialize`]
+//! turns each `(lb, seed)` cell of the grid into a
+//! [`hermes_bench::PointCfg`] ready for `run_point_detailed`.
+//!
+//! ## Schema
+//!
+//! ```toml
+//! name = "asymmetric"            # defaults to the file stem
+//! description = "one uplink cut, load vs healthy fabric"
+//! pin_digests = true             # participate in golden digests
+//!
+//! [topology]
+//! kind = "testbed"               # "testbed" | "sim_baseline"
+//! cut = [[0, 3]]                 # optional [leaf, spine] cuts
+//! degrade = [[0, 2, 100]]        # optional [leaf, spine, rate_mbps]
+//!
+//! [workload]
+//! dist = "web_search"            # "web_search" | "data_mining"
+//! load = 0.5                     # vs the healthy fabric when cut/degraded
+//! flows = 60
+//!
+//! [run]
+//! seeds = [1, 2, 3]
+//! lbs = ["hermes", "conga", "ecmp"]
+//! drain_ms = 2000                # optional (default 3000)
+//! letflow_timeout_us = 800       # optional LB parameter overrides
+//! drill_samples = 2
+//! goodput_interval_us = 1000     # optional (default 500)
+//!
+//! [fault]                        # optional, time-triggered
+//! kind = "blackhole"             # "blackhole" | "random_drop"
+//! spine = 0
+//! src_leaf = 0                   # blackhole only
+//! dst_leaf = 1                   # blackhole only
+//! frac = 1.0                     # blackhole pair fraction | drop rate
+//! start_ms = 5
+//! end_ms = 120
+//!
+//! [invariants]
+//! max_unfinished_frac = 0.0      # optional (default 1.0 = no bound)
+//!
+//! [[envelope]]                   # optional statistical envelopes
+//! metric = "avg"                 # "avg" | "p99"
+//! lb = "hermes"
+//! baseline = "conga"
+//! max_ratio = 1.15               # mean-over-seeds(lb) ≤ ratio × baseline
+//! ```
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use hermes_bench::PointCfg;
+use hermes_core::HermesParams;
+use hermes_lb::{CloveCfg, CongaCfg, FlowBenderCfg};
+use hermes_net::{FaultPlan, LeafId, SpineId, Topology};
+use hermes_runtime::Scheme;
+use hermes_sim::Time;
+use hermes_workload::FlowSizeDist;
+
+use crate::toml::{self, Table, Value};
+
+/// A spec-level error: what went wrong, and in which file.
+#[derive(Clone, Debug)]
+pub struct SpecError {
+    pub file: String,
+    pub msg: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.file, self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn serr<T>(file: &str, msg: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError {
+        file: file.to_string(),
+        msg: msg.into(),
+    })
+}
+
+/// Which base topology a scenario starts from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopoKind {
+    /// 2 leaves × 4 spines × 6 hosts/leaf, 1 Gbps (the paper's testbed).
+    Testbed,
+    /// 8 leaves × 8 spines × 16 hosts/leaf, 10 Gbps (§5 simulations).
+    SimBaseline,
+}
+
+/// The topology under test: a base fabric plus static asymmetry.
+#[derive(Clone, Debug)]
+pub struct TopologySpec {
+    pub kind: TopoKind,
+    /// `(leaf, spine)` uplinks removed entirely.
+    pub cuts: Vec<(LeafId, SpineId)>,
+    /// `(leaf, spine, rate_mbps)` uplinks degraded in capacity.
+    pub degrades: Vec<(LeafId, SpineId, u64)>,
+}
+
+impl TopologySpec {
+    /// Build the (possibly asymmetric) topology, plus the healthy
+    /// fabric's uplink capacity for the load-definition convention.
+    pub fn build(&self) -> (Topology, u64) {
+        let mut topo = match self.kind {
+            TopoKind::Testbed => Topology::testbed(),
+            TopoKind::SimBaseline => Topology::sim_baseline(),
+        };
+        let healthy_capacity = topo.total_uplink_bps();
+        for (l, s) in &self.cuts {
+            topo.cut_link(*l, *s);
+        }
+        for (l, s, mbps) in &self.degrades {
+            topo.degrade_link(*l, *s, mbps * 1_000_000);
+        }
+        (topo, healthy_capacity)
+    }
+
+    /// Whether the fabric deviates from the healthy base.
+    pub fn is_asymmetric(&self) -> bool {
+        !self.cuts.is_empty() || !self.degrades.is_empty()
+    }
+}
+
+/// A named LB choice with the scenario's parameter overrides applied.
+#[derive(Clone, Debug)]
+pub struct LbSpec {
+    /// The spec-file name, used in job labels and envelope references.
+    pub name: String,
+    pub letflow_timeout: Time,
+    pub drill_samples: usize,
+}
+
+impl LbSpec {
+    /// Resolve to a runtime [`Scheme`] against a concrete topology
+    /// (Hermes derives its thresholds from the fabric's RTT/rates).
+    pub fn scheme(&self, topo: &Topology) -> Result<Scheme, String> {
+        Ok(match self.name.as_str() {
+            "ecmp" => Scheme::Ecmp,
+            "drb" => Scheme::Drb,
+            "presto" => Scheme::presto(),
+            "presto_weighted" => Scheme::presto_weighted(),
+            "flowbender" => Scheme::FlowBender(FlowBenderCfg::default()),
+            "clove" => Scheme::Clove(CloveCfg::default()),
+            "letflow" => Scheme::LetFlow {
+                flowlet_timeout: self.letflow_timeout,
+            },
+            "drill" => Scheme::Drill {
+                samples: self.drill_samples,
+            },
+            "conga" => Scheme::Conga(CongaCfg::default()),
+            "hermes" => Scheme::Hermes(HermesParams::from_topology(topo)),
+            other => return Err(format!("unknown lb `{other}`")),
+        })
+    }
+}
+
+/// A time-triggered fault window.
+#[derive(Clone, Debug)]
+pub enum FaultSpec {
+    /// `spine` silently drops `frac` of the `src→dst` leaf pair's
+    /// packets between `start` and `end`.
+    Blackhole {
+        spine: SpineId,
+        src: LeafId,
+        dst: LeafId,
+        frac: f64,
+        start: Time,
+        end: Time,
+    },
+    /// `spine` drops each packet with probability `rate` in the window.
+    RandomDrop {
+        spine: SpineId,
+        rate: f64,
+        start: Time,
+        end: Time,
+    },
+}
+
+impl FaultSpec {
+    pub fn plan(&self) -> FaultPlan {
+        match *self {
+            FaultSpec::Blackhole {
+                spine,
+                src,
+                dst,
+                frac,
+                start,
+                end,
+            } => FaultPlan::new().blackhole_window(spine, src, dst, frac, start, end),
+            FaultSpec::RandomDrop {
+                spine,
+                rate,
+                start,
+                end,
+            } => FaultPlan::new().random_drop_window(spine, rate, start, end),
+        }
+    }
+}
+
+/// A statistical envelope: `mean_over_seeds(metric(lb))` must stay
+/// within `max_ratio ×` the same metric of `baseline`.
+#[derive(Clone, Debug)]
+pub struct EnvelopeSpec {
+    pub metric: Metric,
+    pub lb: String,
+    pub baseline: String,
+    pub max_ratio: f64,
+}
+
+/// Which FCT statistic an envelope constrains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    Avg,
+    P99,
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Metric::Avg => write!(f, "avg"),
+            Metric::P99 => write!(f, "p99"),
+        }
+    }
+}
+
+/// Invariant knobs (everything else is always on).
+#[derive(Clone, Debug)]
+pub struct InvariantCfg {
+    /// Upper bound on the unfinished-flow fraction per run. The default
+    /// of 1.0 disables the bound (fault scenarios legitimately strand
+    /// flows under non-adaptive LBs).
+    pub max_unfinished_frac: f64,
+}
+
+impl Default for InvariantCfg {
+    fn default() -> InvariantCfg {
+        InvariantCfg {
+            max_unfinished_frac: 1.0,
+        }
+    }
+}
+
+/// One fully-parsed scenario file.
+#[derive(Clone, Debug)]
+pub struct ScenarioSpec {
+    pub name: String,
+    pub description: String,
+    pub topology: TopologySpec,
+    pub dist: FlowSizeDist,
+    pub load: f64,
+    pub n_flows: usize,
+    pub seeds: Vec<u64>,
+    pub lbs: Vec<LbSpec>,
+    pub drain: Time,
+    pub goodput_interval: Time,
+    pub fault: Option<FaultSpec>,
+    pub invariants: InvariantCfg,
+    pub envelopes: Vec<EnvelopeSpec>,
+    /// Whether `(scenario, lb, seed)` digests are pinned as goldens.
+    pub pin_digests: bool,
+}
+
+impl ScenarioSpec {
+    /// The `(lb, seed)` grid, in deterministic order.
+    pub fn grid(&self) -> Vec<(usize, u64)> {
+        let mut out = Vec::with_capacity(self.lbs.len() * self.seeds.len());
+        for (li, _) in self.lbs.iter().enumerate() {
+            for &s in &self.seeds {
+                out.push((li, s));
+            }
+        }
+        out
+    }
+
+    /// Materialize one grid cell into a runnable point.
+    pub fn materialize(&self, lb_idx: usize, seed: u64) -> Result<PointCfg, SpecError> {
+        let lb = &self.lbs[lb_idx];
+        let (topo, healthy_capacity) = self.topology.build();
+        let scheme = lb.scheme(&topo).map_err(|msg| SpecError {
+            file: self.name.clone(),
+            msg,
+        })?;
+        let mut cfg = PointCfg::new(topo, scheme, self.dist.clone(), self.load)
+            .flows(self.n_flows)
+            .seed(seed)
+            .drain(self.drain);
+        if self.topology.is_asymmetric() {
+            // The paper's convention: offered load is defined against
+            // the healthy fabric even when the fabric under test lost
+            // capacity.
+            cfg = cfg.capacity(healthy_capacity);
+        }
+        if let Some(fault) = &self.fault {
+            cfg = cfg.fault(fault.plan());
+        }
+        Ok(cfg)
+    }
+
+    /// Key for a golden-digest entry.
+    pub fn digest_key(&self, lb_idx: usize, seed: u64) -> String {
+        format!("{}/{}/{}", self.name, self.lbs[lb_idx].name, seed)
+    }
+}
+
+// ---- TOML → spec ----------------------------------------------------
+
+fn get<'a>(t: &'a Table, key: &str) -> Option<&'a Value> {
+    t.get(key)
+}
+
+fn req_str(t: &Table, key: &str, file: &str) -> Result<String, SpecError> {
+    match get(t, key).and_then(Value::as_str) {
+        Some(s) => Ok(s.to_string()),
+        None => serr(file, format!("missing string `{key}`")),
+    }
+}
+
+fn req_float(t: &Table, key: &str, file: &str) -> Result<f64, SpecError> {
+    match get(t, key).and_then(Value::as_float) {
+        Some(f) => Ok(f),
+        None => serr(file, format!("missing number `{key}`")),
+    }
+}
+
+fn req_usize(t: &Table, key: &str, file: &str) -> Result<usize, SpecError> {
+    let Some(i) = get(t, key).and_then(Value::as_int) else {
+        return serr(file, format!("missing integer `{key}`"));
+    };
+    usize::try_from(i).map_err(|_| SpecError {
+        file: file.to_string(),
+        msg: format!("`{key}` must be non-negative"),
+    })
+}
+
+fn opt_int(t: &Table, key: &str, default: i64) -> i64 {
+    get(t, key).and_then(Value::as_int).unwrap_or(default)
+}
+
+fn time_ms(t: &Table, key: &str, file: &str) -> Result<Time, SpecError> {
+    let i = match get(t, key).and_then(Value::as_int) {
+        Some(i) if i >= 0 => i,
+        _ => return serr(file, format!("missing non-negative integer `{key}`")),
+    };
+    Ok(Time::from_ms(i as u64))
+}
+
+fn pair_list(v: &Value, file: &str, key: &str) -> Result<Vec<(u16, u16)>, SpecError> {
+    let mut out = Vec::new();
+    let Some(items) = v.as_array() else {
+        return serr(file, format!("`{key}` must be an array of pairs"));
+    };
+    for item in items {
+        let pair = item.as_array().unwrap_or(&[]);
+        let (Some(a), Some(b)) = (
+            pair.first().and_then(Value::as_int),
+            pair.get(1).and_then(Value::as_int),
+        ) else {
+            return serr(file, format!("`{key}` entries must be [leaf, spine]"));
+        };
+        out.push((a as u16, b as u16));
+    }
+    Ok(out)
+}
+
+/// Parse one scenario file's contents. `file` is used for error
+/// context; `stem` is the default scenario name.
+pub fn parse_scenario(src: &str, file: &str, stem: &str) -> Result<ScenarioSpec, SpecError> {
+    let root = toml::parse(src).map_err(|e| SpecError {
+        file: file.to_string(),
+        msg: e.to_string(),
+    })?;
+
+    let name = match get(&root, "name").and_then(Value::as_str) {
+        Some(s) => s.to_string(),
+        None => stem.to_string(),
+    };
+    let description = get(&root, "description")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_string();
+    let pin_digests = get(&root, "pin_digests")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+
+    // [topology]
+    let Some(topo_t) = get(&root, "topology").and_then(Value::as_table) else {
+        return serr(file, "missing [topology] table");
+    };
+    let kind = match req_str(topo_t, "kind", file)?.as_str() {
+        "testbed" => TopoKind::Testbed,
+        "sim_baseline" => TopoKind::SimBaseline,
+        other => return serr(file, format!("unknown topology kind `{other}`")),
+    };
+    let cuts = match get(topo_t, "cut") {
+        Some(v) => pair_list(v, file, "cut")?
+            .into_iter()
+            .map(|(l, s)| (LeafId(l), SpineId(s)))
+            .collect(),
+        None => Vec::new(),
+    };
+    let degrades = match get(topo_t, "degrade").and_then(Value::as_array) {
+        Some(items) => {
+            let mut out = Vec::new();
+            for item in items {
+                let trip = item.as_array().unwrap_or(&[]);
+                let (Some(l), Some(s), Some(m)) = (
+                    trip.first().and_then(Value::as_int),
+                    trip.get(1).and_then(Value::as_int),
+                    trip.get(2).and_then(Value::as_int),
+                ) else {
+                    return serr(file, "`degrade` entries must be [leaf, spine, rate_mbps]");
+                };
+                out.push((LeafId(l as u16), SpineId(s as u16), m as u64));
+            }
+            out
+        }
+        None => Vec::new(),
+    };
+
+    // [workload]
+    let Some(work_t) = get(&root, "workload").and_then(Value::as_table) else {
+        return serr(file, "missing [workload] table");
+    };
+    let dist = match req_str(work_t, "dist", file)?.as_str() {
+        "web_search" => FlowSizeDist::web_search(),
+        "data_mining" => FlowSizeDist::data_mining(),
+        other => return serr(file, format!("unknown dist `{other}`")),
+    };
+    let load = req_float(work_t, "load", file)?;
+    if !(0.0..=1.5).contains(&load) {
+        return serr(file, format!("load {load} outside [0, 1.5]"));
+    }
+    let n_flows = req_usize(work_t, "flows", file)?;
+
+    // [run]
+    let Some(run_t) = get(&root, "run").and_then(Value::as_table) else {
+        return serr(file, "missing [run] table");
+    };
+    let seeds: Vec<u64> = match get(run_t, "seeds").and_then(Value::as_array) {
+        Some(items) => {
+            let mut out = Vec::new();
+            for item in items {
+                match item.as_int() {
+                    Some(i) if i >= 0 => out.push(i as u64),
+                    _ => return serr(file, "`seeds` must be non-negative integers"),
+                }
+            }
+            out
+        }
+        None => return serr(file, "missing `seeds` in [run]"),
+    };
+    if seeds.is_empty() {
+        return serr(file, "`seeds` must be non-empty");
+    }
+    let letflow_timeout = Time::from_us(opt_int(run_t, "letflow_timeout_us", 150) as u64);
+    let drill_samples = usize::try_from(opt_int(run_t, "drill_samples", 2)).unwrap_or(2);
+    let lbs: Vec<LbSpec> = match get(run_t, "lbs").and_then(Value::as_array) {
+        Some(items) => {
+            let mut out = Vec::new();
+            for item in items {
+                let Some(n) = item.as_str() else {
+                    return serr(file, "`lbs` must be strings");
+                };
+                out.push(LbSpec {
+                    name: n.to_string(),
+                    letflow_timeout,
+                    drill_samples,
+                });
+            }
+            out
+        }
+        None => return serr(file, "missing `lbs` in [run]"),
+    };
+    if lbs.is_empty() {
+        return serr(file, "`lbs` must be non-empty");
+    }
+    let drain = Time::from_ms(opt_int(run_t, "drain_ms", 3000) as u64);
+    let goodput_interval = Time::from_us(opt_int(run_t, "goodput_interval_us", 500) as u64);
+
+    // [fault] (optional)
+    let fault = match get(&root, "fault").and_then(Value::as_table) {
+        Some(ft) => {
+            let spine = SpineId(req_usize(ft, "spine", file)? as u16);
+            let start = time_ms(ft, "start_ms", file)?;
+            let end = time_ms(ft, "end_ms", file)?;
+            if end <= start {
+                return serr(file, "fault `end_ms` must exceed `start_ms`");
+            }
+            match req_str(ft, "kind", file)?.as_str() {
+                "blackhole" => Some(FaultSpec::Blackhole {
+                    spine,
+                    src: LeafId(req_usize(ft, "src_leaf", file)? as u16),
+                    dst: LeafId(req_usize(ft, "dst_leaf", file)? as u16),
+                    frac: req_float(ft, "frac", file)?,
+                    start,
+                    end,
+                }),
+                "random_drop" => Some(FaultSpec::RandomDrop {
+                    spine,
+                    rate: req_float(ft, "frac", file)?,
+                    start,
+                    end,
+                }),
+                other => return serr(file, format!("unknown fault kind `{other}`")),
+            }
+        }
+        None => None,
+    };
+
+    // [invariants] (optional)
+    let invariants = match get(&root, "invariants").and_then(Value::as_table) {
+        Some(it) => InvariantCfg {
+            max_unfinished_frac: get(it, "max_unfinished_frac")
+                .and_then(Value::as_float)
+                .unwrap_or(1.0),
+        },
+        None => InvariantCfg::default(),
+    };
+
+    // [[envelope]] (optional)
+    let mut envelopes = Vec::new();
+    if let Some(items) = get(&root, "envelope").and_then(Value::as_array) {
+        for item in items {
+            let Some(et) = item.as_table() else {
+                return serr(file, "[[envelope]] entries must be tables");
+            };
+            let metric = match req_str(et, "metric", file)?.as_str() {
+                "avg" => Metric::Avg,
+                "p99" => Metric::P99,
+                other => return serr(file, format!("unknown metric `{other}`")),
+            };
+            let env = EnvelopeSpec {
+                metric,
+                lb: req_str(et, "lb", file)?,
+                baseline: req_str(et, "baseline", file)?,
+                max_ratio: req_float(et, "max_ratio", file)?,
+            };
+            for who in [&env.lb, &env.baseline] {
+                if !lbs.iter().any(|l| &l.name == who) {
+                    return serr(file, format!("envelope references `{who}` not in `lbs`"));
+                }
+            }
+            envelopes.push(env);
+        }
+    }
+
+    let spec = ScenarioSpec {
+        name,
+        description,
+        topology: TopologySpec {
+            kind,
+            cuts,
+            degrades,
+        },
+        dist,
+        load,
+        n_flows,
+        seeds,
+        lbs,
+        drain,
+        goodput_interval,
+        fault,
+        invariants,
+        envelopes,
+        pin_digests,
+    };
+    // Surface bad LB names at load time, not mid-run.
+    let (topo, _) = spec.topology.build();
+    for lb in &spec.lbs {
+        lb.scheme(&topo).map_err(|msg| SpecError {
+            file: file.to_string(),
+            msg,
+        })?;
+    }
+    Ok(spec)
+}
+
+/// Load one scenario file from disk.
+pub fn load_file(path: &Path) -> Result<ScenarioSpec, SpecError> {
+    let file = path.display().to_string();
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("scenario");
+    let src = std::fs::read_to_string(path).map_err(|e| SpecError {
+        file: file.clone(),
+        msg: format!("read failed: {e}"),
+    })?;
+    parse_scenario(&src, &file, stem)
+}
+
+/// Load every `*.toml` scenario in a directory (non-recursive), sorted
+/// by file name for deterministic grid order. `digests.toml` is the
+/// golden store, not a scenario, and is skipped.
+pub fn load_dir(dir: &Path) -> Result<Vec<ScenarioSpec>, SpecError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| SpecError {
+        file: dir.display().to_string(),
+        msg: format!("read_dir failed: {e}"),
+    })?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|e| e == "toml")
+                && p.file_name().is_some_and(|n| n != "digests.toml")
+        })
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in &paths {
+        out.push(load_file(p)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+        description = "smoke"
+        [topology]
+        kind = "testbed"
+        [workload]
+        dist = "web_search"
+        load = 0.3
+        flows = 40
+        [run]
+        seeds = [1, 2]
+        lbs = ["hermes", "ecmp"]
+    "#;
+
+    #[test]
+    fn minimal_scenario_parses_with_defaults() {
+        let s = parse_scenario(MINIMAL, "mem", "smoke_test").expect("parses");
+        assert_eq!(s.name, "smoke_test");
+        assert_eq!(s.seeds, vec![1, 2]);
+        assert_eq!(s.lbs.len(), 2);
+        assert_eq!(s.drain, Time::from_ms(3000));
+        assert!(!s.pin_digests);
+        assert!(s.fault.is_none());
+        assert_eq!(s.invariants.max_unfinished_frac, 1.0);
+        assert_eq!(s.grid().len(), 4);
+    }
+
+    #[test]
+    fn materializes_asymmetric_with_healthy_capacity() {
+        let src = r#"
+            [topology]
+            kind = "testbed"
+            cut = [[0, 3]]
+            [workload]
+            dist = "data_mining"
+            load = 0.4
+            flows = 30
+            [run]
+            seeds = [7]
+            lbs = ["conga"]
+        "#;
+        let s = parse_scenario(src, "mem", "asym").expect("parses");
+        let cfg = s.materialize(0, 7).expect("materializes");
+        assert_eq!(cfg.seed, 7);
+        let healthy = Topology::testbed().total_uplink_bps();
+        assert_eq!(cfg.capacity_override, Some(healthy));
+        assert!(cfg.topo.total_uplink_bps() < healthy);
+    }
+
+    #[test]
+    fn fault_and_envelope_blocks_parse() {
+        let src = r#"
+            [topology]
+            kind = "testbed"
+            [workload]
+            dist = "web_search"
+            load = 0.3
+            flows = 40
+            [run]
+            seeds = [1]
+            lbs = ["hermes", "ecmp"]
+            [fault]
+            kind = "blackhole"
+            spine = 0
+            src_leaf = 0
+            dst_leaf = 1
+            frac = 1.0
+            start_ms = 5
+            end_ms = 100
+            [[envelope]]
+            metric = "avg"
+            lb = "hermes"
+            baseline = "ecmp"
+            max_ratio = 0.7
+        "#;
+        let s = parse_scenario(src, "mem", "bh").expect("parses");
+        assert!(matches!(s.fault, Some(FaultSpec::Blackhole { .. })));
+        assert_eq!(s.envelopes.len(), 1);
+        assert_eq!(s.envelopes[0].metric, Metric::Avg);
+        let cfg = s.materialize(0, 1).expect("materializes");
+        assert!(cfg.fault_plan.is_some());
+    }
+
+    #[test]
+    fn rejects_unknown_lb_and_dangling_envelope() {
+        let bad_lb = MINIMAL.replace("\"ecmp\"", "\"wecmp\"");
+        assert!(parse_scenario(&bad_lb, "mem", "x").is_err());
+        let dangling = format!(
+            "{MINIMAL}\n[[envelope]]\nmetric = \"p99\"\nlb = \"hermes\"\nbaseline = \"conga\"\nmax_ratio = 1.0\n"
+        );
+        let e = parse_scenario(&dangling, "mem", "x").expect_err("must fail");
+        assert!(e.msg.contains("conga"));
+    }
+
+    #[test]
+    fn digest_keys_are_stable() {
+        let s = parse_scenario(MINIMAL, "mem", "smoke_test").expect("parses");
+        assert_eq!(s.digest_key(1, 2), "smoke_test/ecmp/2");
+    }
+}

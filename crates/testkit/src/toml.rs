@@ -1,0 +1,541 @@
+//! A minimal TOML-subset parser for scenario specs.
+//!
+//! The build environment is air-gapped (every dependency is vendored
+//! in-tree), so rather than vendoring a full `toml` crate the testkit
+//! carries its own parser for the subset the scenario schema uses:
+//!
+//! * comments (`#`), bare and quoted keys, `key = value` pairs,
+//! * `[table]` and dotted `[table.sub]` headers,
+//! * `[[array-of-tables]]` headers,
+//! * values: basic strings, integers (with `_` separators), floats,
+//!   booleans, and (possibly nested, possibly multi-line) arrays.
+//!
+//! Unsupported TOML (inline tables, dates, multi-line strings, dotted
+//! keys in key position) is rejected with a line-numbered error rather
+//! than silently misparsed. Tables are `BTreeMap`s, so iteration order
+//! is deterministic by construction.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Array(Vec<Value>),
+    Table(Table),
+}
+
+/// A TOML table with deterministic (sorted) iteration order.
+pub type Table = BTreeMap<String, Value>;
+
+/// A parse failure, with the 1-based line it happened on.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: integers read as floats too.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a TOML document into its root table.
+pub fn parse(src: &str) -> Result<Table, ParseError> {
+    let mut root = Table::new();
+    // Path of the table new `key = value` pairs land in.
+    let mut current: Vec<String> = Vec::new();
+    let lines: Vec<&str> = src.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let lineno = i + 1;
+        let line = strip_comment(lines[i]);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            i += 1;
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("[[") {
+            let Some(head) = rest.strip_suffix("]]") else {
+                return err(lineno, "unterminated [[array-of-tables]] header");
+            };
+            let path = parse_key_path(head.trim(), lineno)?;
+            push_array_table(&mut root, &path, lineno)?;
+            current = path;
+            current.push(String::new()); // marker: inside the last array element
+            i += 1;
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            let Some(head) = rest.strip_suffix(']') else {
+                return err(lineno, "unterminated [table] header");
+            };
+            let path = parse_key_path(head.trim(), lineno)?;
+            ensure_table(&mut root, &path, lineno)?;
+            current = path;
+            i += 1;
+            continue;
+        }
+        // key = value (value may span lines if it is an array).
+        let Some(eq) = find_unquoted(trimmed, '=') else {
+            return err(lineno, format!("expected `key = value`, got `{trimmed}`"));
+        };
+        let key = parse_key(trimmed[..eq].trim(), lineno)?;
+        let mut vtext = trimmed[eq + 1..].trim().to_string();
+        // Multi-line arrays: keep consuming lines until brackets balance.
+        while bracket_depth(&vtext) > 0 {
+            i += 1;
+            if i >= lines.len() {
+                return err(lineno, "unterminated array");
+            }
+            vtext.push(' ');
+            vtext.push_str(strip_comment(lines[i]).trim());
+        }
+        let value = parse_value(&vtext, lineno)?;
+        insert(&mut root, &current, key, value, lineno)?;
+        i += 1;
+    }
+    Ok(root)
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+/// Byte index of the first `target` outside any basic string.
+fn find_unquoted(line: &str, target: char) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == target {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+/// Net bracket nesting outside strings (positive = unclosed `[`).
+fn bracket_depth(text: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    depth
+}
+
+/// One key: bare (`a-b_c2`) or quoted (`"any text"`).
+fn parse_key(text: &str, lineno: usize) -> Result<String, ParseError> {
+    if let Some(rest) = text.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return err(lineno, "unterminated quoted key");
+        };
+        return unescape(inner, lineno);
+    }
+    if text.is_empty()
+        || !text
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return err(lineno, format!("invalid bare key `{text}`"));
+    }
+    Ok(text.to_string())
+}
+
+/// A dotted header path (`a.b."c d"`). Quoted segments may contain dots.
+fn parse_key_path(text: &str, lineno: usize) -> Result<Vec<String>, ParseError> {
+    let mut parts = Vec::new();
+    let mut rest = text;
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix('"') {
+            let Some(close) = after.find('"') else {
+                return err(lineno, "unterminated quoted key in header");
+            };
+            parts.push(unescape(&after[..close], lineno)?);
+            rest = after[close + 1..].trim_start();
+        } else {
+            let end = rest.find('.').unwrap_or(rest.len());
+            parts.push(parse_key(rest[..end].trim(), lineno)?);
+            rest = &rest[end..];
+        }
+        if rest.is_empty() {
+            break;
+        }
+        let Some(after_dot) = rest.strip_prefix('.') else {
+            return err(lineno, format!("expected `.` between keys in `{text}`"));
+        };
+        rest = after_dot;
+    }
+    Ok(parts)
+}
+
+fn unescape(text: &str, lineno: usize) -> Result<String, ParseError> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            other => return err(lineno, format!("unsupported escape `\\{other:?}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, ParseError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return err(lineno, "missing value");
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return err(lineno, "unterminated string");
+        };
+        // Reject an interior unescaped quote (`"a" x "b"`).
+        if find_unquoted(&format!("\"{inner}\""), '\0').is_some() {
+            return err(lineno, "malformed string");
+        }
+        return Ok(Value::Str(unescape(inner, lineno)?));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('[') {
+        return parse_array(text, lineno);
+    }
+    let plain = text.replace('_', "");
+    if !plain.contains(['.', 'e', 'E']) {
+        if let Some(hex) = plain
+            .strip_prefix("0x")
+            .or_else(|| plain.strip_prefix("0X"))
+        {
+            if let Ok(i) = i64::from_str_radix(hex, 16) {
+                return Ok(Value::Int(i));
+            }
+        } else if let Ok(i) = plain.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    if let Ok(f) = plain.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    err(lineno, format!("unrecognized value `{text}`"))
+}
+
+/// Parse an array literal, including nested arrays, in one string.
+fn parse_array(text: &str, lineno: usize) -> Result<Value, ParseError> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or(ParseError {
+            line: lineno,
+            msg: "malformed array".to_string(),
+        })?;
+    let mut items = Vec::new();
+    for part in split_top_level(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        items.push(parse_value(part, lineno)?);
+    }
+    Ok(Value::Array(items))
+}
+
+/// Split on commas at bracket depth zero, outside strings.
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut start = 0;
+    for (idx, c) in text.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(&text[start..idx]);
+                start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+/// Walk (creating) nested tables along `path`; a trailing empty segment
+/// means "the last element of the array-of-tables at the prior key".
+fn descend<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    lineno: usize,
+) -> Result<&'a mut Table, ParseError> {
+    let mut cur = root;
+    let mut idx = 0;
+    while idx < path.len() {
+        let seg = &path[idx];
+        if seg.is_empty() {
+            // Marker from a [[header]]: stay in the array's last element,
+            // which the prior iteration already entered.
+            idx += 1;
+            continue;
+        }
+        let is_aot_hop = path.get(idx + 1).is_some_and(String::is_empty);
+        let entry = cur
+            .entry(seg.clone())
+            .or_insert_with(|| Value::Table(Table::new()));
+        cur = match entry {
+            Value::Table(t) => t,
+            Value::Array(a) if is_aot_hop || idx + 1 < path.len() => match a.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return err(lineno, format!("`{seg}` is not an array of tables")),
+            },
+            _ => return err(lineno, format!("key `{seg}` is not a table")),
+        };
+        idx += 1;
+    }
+    Ok(cur)
+}
+
+fn ensure_table(root: &mut Table, path: &[String], lineno: usize) -> Result<(), ParseError> {
+    descend(root, path, lineno).map(|_| ())
+}
+
+fn push_array_table(root: &mut Table, path: &[String], lineno: usize) -> Result<(), ParseError> {
+    let (last, prefix) = path.split_last().ok_or(ParseError {
+        line: lineno,
+        msg: "empty [[header]]".to_string(),
+    })?;
+    let parent = descend(root, prefix, lineno)?;
+    match parent
+        .entry(last.clone())
+        .or_insert_with(|| Value::Array(Vec::new()))
+    {
+        Value::Array(a) => {
+            a.push(Value::Table(Table::new()));
+            Ok(())
+        }
+        _ => err(lineno, format!("key `{last}` is not an array of tables")),
+    }
+}
+
+fn insert(
+    root: &mut Table,
+    current: &[String],
+    key: String,
+    value: Value,
+    lineno: usize,
+) -> Result<(), ParseError> {
+    let table = descend(root, current, lineno)?;
+    if table.insert(key.clone(), value).is_some() {
+        return err(lineno, format!("duplicate key `{key}`"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_comments() {
+        let t = parse(
+            "# header comment\n\
+             name = \"sym # not a comment\"  # trailing\n\
+             load = 0.4\n\
+             flows = 1_000\n\
+             pin = true\n\
+             mask = 0xFF\n",
+        )
+        .expect("parses");
+        assert_eq!(t["name"].as_str(), Some("sym # not a comment"));
+        assert_eq!(t["load"].as_float(), Some(0.4));
+        assert_eq!(t["flows"].as_int(), Some(1000));
+        assert_eq!(t["pin"].as_bool(), Some(true));
+        assert_eq!(t["mask"].as_int(), Some(255));
+    }
+
+    #[test]
+    fn tables_and_dotted_headers() {
+        let t = parse("[a]\nx = 1\n[a.b]\ny = 2\n").expect("parses");
+        let a = t["a"].as_table().expect("table");
+        assert_eq!(a["x"].as_int(), Some(1));
+        assert_eq!(a["b"].as_table().expect("sub")["y"].as_int(), Some(2));
+    }
+
+    #[test]
+    fn arrays_nested_and_multiline() {
+        let t = parse("seeds = [1, 2, 3]\ncuts = [\n  [0, 3],\n  [1, 2],  # comment\n]\n")
+            .expect("parses");
+        let seeds: Vec<i64> = t["seeds"]
+            .as_array()
+            .expect("array")
+            .iter()
+            .map(|v| v.as_int().expect("int"))
+            .collect();
+        assert_eq!(seeds, vec![1, 2, 3]);
+        let cuts = t["cuts"].as_array().expect("array");
+        assert_eq!(cuts.len(), 2);
+        assert_eq!(cuts[1].as_array().expect("inner")[0].as_int(), Some(1));
+    }
+
+    #[test]
+    fn array_of_tables() {
+        let t =
+            parse("[[lb]]\nname = \"hermes\"\n[[lb]]\nname = \"ecmp\"\nx = 2\n").expect("parses");
+        let lbs = t["lb"].as_array().expect("aot");
+        assert_eq!(lbs.len(), 2);
+        assert_eq!(
+            lbs[0].as_table().expect("t")["name"].as_str(),
+            Some("hermes")
+        );
+        assert_eq!(lbs[1].as_table().expect("t")["x"].as_int(), Some(2));
+    }
+
+    #[test]
+    fn quoted_keys_hold_slashes() {
+        let t = parse("[digests]\n\"sym/hermes/1\" = \"0xabc\"\n").expect("parses");
+        let d = t["digests"].as_table().expect("table");
+        assert_eq!(d["sym/hermes/1"].as_str(), Some("0xabc"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = 1\nbad line\n").expect_err("must fail");
+        assert_eq!(e.line, 2);
+        let e = parse("x = 1\nx = 2\n").expect_err("duplicate");
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_unsupported_forms() {
+        assert!(
+            parse("t = { a = 1 }\n").is_err(),
+            "inline tables unsupported"
+        );
+        assert!(parse("d = 2024-01-01\n").is_err(), "dates unsupported");
+        assert!(parse("[unclosed\n").is_err());
+    }
+
+    #[test]
+    fn negative_and_exponent_floats() {
+        let t = parse("a = -3\nb = 2.5e9\nc = -0.7\n").expect("parses");
+        assert_eq!(t["a"].as_int(), Some(-3));
+        assert_eq!(t["b"].as_float(), Some(2.5e9));
+        assert_eq!(t["c"].as_float(), Some(-0.7));
+    }
+}

@@ -589,6 +589,108 @@ mod tests {
     }
 
     #[test]
+    fn rto_backoff_saturates_at_max_rto() {
+        let mut s = sender(100 * MSS);
+        let mut out = Vec::new();
+        s.start(Time::ZERO, &mut out);
+        // Fire timeouts back to back and track the armed offsets: they
+        // double up to max_rto and then stay pinned there — never
+        // beyond, no overflow after many expirations.
+        let max_rto = s.cfg.max_rto;
+        let mut at = Time::from_ms(10);
+        let mut offsets = Vec::new();
+        for _ in 0..12 {
+            out.clear();
+            s.on_rto(at, &mut out);
+            let Some(SendAction::ArmRto { deadline }) = out.last() else {
+                panic!("RTO must rearm");
+            };
+            offsets.push(*deadline - at);
+            at = *deadline;
+        }
+        for w in offsets.windows(2) {
+            if w[0] < max_rto {
+                assert!(
+                    w[1] == max_rto.min(w[0] * 2),
+                    "backoff must double toward the cap: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        assert_eq!(*offsets.last().expect("nonempty"), max_rto);
+        assert!(
+            offsets.iter().filter(|&&o| o == max_rto).count() >= 2,
+            "the cap must hold across repeated expirations: {offsets:?}"
+        );
+    }
+
+    #[test]
+    fn fast_retransmit_beats_the_rto_clock() {
+        // The point of dup-ACK recovery: the hole is repaired well
+        // before the armed RTO deadline, without any timeout firing or
+        // backoff accruing.
+        let mut s = sender(100 * MSS);
+        let mut out = Vec::new();
+        s.start(Time::ZERO, &mut out);
+        let Some(SendAction::ArmRto { deadline }) = out.last().copied() else {
+            panic!("start must arm an RTO");
+        };
+        out.clear();
+        // Three duplicate ACKs arrive a few µs in — far inside the
+        // min-RTO window.
+        let t_dup = Time::from_us(100);
+        assert!(t_dup + Time::from_us(2) < deadline);
+        for i in 0..3u64 {
+            s.on_ack(0, false, None, t_dup + Time::from_us(i), &mut out);
+        }
+        assert_eq!(txs(&out), vec![(0, 1460, true)]);
+        assert_eq!(s.stats.fast_retx, 1);
+        assert_eq!(s.stats.timeouts, 0, "no RTO may fire");
+        assert_eq!(s.backoff, 0, "dup-ACK recovery must not back off the RTO");
+    }
+
+    #[test]
+    fn alpha_converges_to_the_marking_fraction() {
+        // DCTCP's estimator: with a fixed fraction F of each window
+        // marked, α converges geometrically to F (gain g = 1/16).
+        // Mark every 4th ACK → F = 0.25 per rolled-over window.
+        let mut s = sender(1_000_000 * MSS);
+        let mut out = Vec::new();
+        s.start(Time::ZERO, &mut out);
+        s.ssthresh = s.cwnd; // congestion avoidance
+        let mut ack = 0u64;
+        for i in 0..4_000u64 {
+            ack += MSS;
+            out.clear();
+            s.on_ack(ack, i % 4 == 0, None, Time::from_us(60), &mut out);
+        }
+        let f = 0.25;
+        assert!(
+            (s.alpha() - f).abs() < 0.1,
+            "alpha {} must converge near the marking fraction {f}",
+            s.alpha()
+        );
+        // And the same estimator driven at F = 1/2 lands higher.
+        let mut s2 = sender(1_000_000 * MSS);
+        out.clear();
+        s2.start(Time::ZERO, &mut out);
+        s2.ssthresh = s2.cwnd;
+        let mut ack2 = 0u64;
+        for i in 0..4_000u64 {
+            ack2 += MSS;
+            out.clear();
+            s2.on_ack(ack2, i % 2 == 0, None, Time::from_us(60), &mut out);
+        }
+        assert!(
+            s2.alpha() > s.alpha() + 0.1,
+            "estimator must order marking fractions: {} vs {}",
+            s2.alpha(),
+            s.alpha()
+        );
+    }
+
+    #[test]
     fn dctcp_reduces_under_persistent_marking() {
         let mut s = sender(100_000 * MSS);
         let mut out = Vec::new();

@@ -147,7 +147,9 @@ mod tests {
     #[test]
     fn detects_dip_and_recovery() {
         // 5 bins at 100, 4 bins at 10 (fault), 5 bins at 100 again.
-        let s = series(&[100, 100, 100, 100, 100, 10, 10, 10, 10, 100, 100, 100, 100, 100]);
+        let s = series(&[
+            100, 100, 100, 100, 100, 10, 10, 10, 10, 100, 100, 100, 100, 100,
+        ]);
         let onset = Time::from_ms(5);
         let rep = degradation_report(&s, onset, &DegradationCfg::default(), 0);
         let per_bin = 100.0 * 8.0 / 1e-3; // bytes per ms → bits/s

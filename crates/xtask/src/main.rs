@@ -1,5 +1,13 @@
-//! Workspace lint pass: the determinism rules no off-the-shelf linter
-//! knows. Run as `cargo run -p xtask -- lint`.
+//! Workspace tasks. Subcommands:
+//!
+//! * `cargo run -p xtask -- lint [--self-test]` — the determinism lint
+//!   pass described below;
+//! * `cargo run -p xtask -- conformance [--self-test]` — run the full
+//!   scenario conformance grid (`tests/scenarios/` plus the extended
+//!   directory) through `hermes-testkit`, or prove each checker class
+//!   fails on its deliberately-broken fixture;
+//! * `cargo run -p xtask -- bless` — regenerate the golden event-trace
+//!   digest stores after an intended behavior change.
 //!
 //! The simulator's core promise is that a (config, seed) pair fully
 //! determines every packet of a run. That promise dies quietly: one
@@ -160,11 +168,142 @@ fn main() -> ExitCode {
             let root = workspace_root();
             lint(&root)
         }
+        Some("conformance") => {
+            if args.iter().any(|a| a == "--self-test") {
+                return conformance_self_test();
+            }
+            conformance()
+        }
+        Some("bless") => bless_goldens(),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--self-test]");
+            eprintln!(
+                "usage: cargo run -p xtask -- <lint [--self-test] | conformance [--self-test] | bless>"
+            );
             ExitCode::FAILURE
         }
     }
+}
+
+/// The scenario directories, tier-1 grid first, then the extended grid
+/// that only this subcommand (not `tests/conformance.rs`) runs.
+fn scenario_dirs() -> Vec<PathBuf> {
+    let root = workspace_root();
+    vec![
+        root.join("tests/scenarios"),
+        root.join("tests/scenarios/extended"),
+    ]
+}
+
+/// Run the full conformance grid (tier-1 scenarios plus the extended
+/// directory) and print per-LB FCT summaries for every scenario.
+fn conformance() -> ExitCode {
+    let mut ok = true;
+    for dir in scenario_dirs() {
+        println!("== {} ==", dir.display());
+        let report = match hermes_testkit::run_conformance(&dir, 0) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("xtask conformance: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Per-(scenario, lb) mean FCTs over seeds — the numbers the
+        // envelope tolerances in the specs are calibrated against.
+        for (si, spec) in report.scenarios.iter().enumerate() {
+            for (li, lb) in spec.lbs.iter().enumerate() {
+                let cells: Vec<_> = report
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.scenario == si && o.lb_idx == li)
+                    .collect();
+                if cells.is_empty() {
+                    continue;
+                }
+                let n = cells.len() as f64;
+                let avg = cells.iter().map(|o| o.result.fct.avg).sum::<f64>() / n;
+                let p99 = cells.iter().map(|o| o.result.fct.p99).sum::<f64>() / n;
+                let unfinished: usize = cells.iter().map(|o| o.result.fct.unfinished).sum();
+                println!(
+                    "  {:<14} {:<10} avg {:>9.3} ms  p99 {:>9.3} ms  unfinished {}",
+                    spec.name,
+                    lb.name,
+                    avg * 1e3,
+                    p99 * 1e3,
+                    unfinished
+                );
+            }
+        }
+        print!("{report}");
+        ok &= report.passed();
+    }
+    if ok {
+        println!("xtask conformance: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask conformance: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+/// Prove each checker class (invariant, digest, envelope) actually
+/// fails on its deliberately-broken fixture.
+fn conformance_self_test() -> ExitCode {
+    let cases = match hermes_testkit::run_self_test() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask conformance --self-test: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    for case in &cases {
+        let tripped = case.failures.iter().any(|f| f.class == case.expect);
+        println!(
+            "  [{}] {:<55} {}",
+            if tripped { "ok" } else { "MISSED" },
+            case.name,
+            case.failures
+                .first()
+                .map_or_else(|| "(no failure reported)".to_string(), ToString::to_string)
+        );
+        ok &= tripped;
+    }
+    if ok {
+        println!(
+            "xtask conformance --self-test: all {} broken fixtures tripped their checker class",
+            cases.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask conformance --self-test: a checker class failed to fail");
+        ExitCode::FAILURE
+    }
+}
+
+/// Regenerate the golden digest stores for every scenario directory
+/// that pins digests.
+fn bless_goldens() -> ExitCode {
+    for dir in scenario_dirs() {
+        let specs = match hermes_testkit::load_dir(&dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask bless: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !specs.iter().any(|s| s.pin_digests) {
+            println!("bless: {} has no pinned scenarios, skipped", dir.display());
+            continue;
+        }
+        match hermes_testkit::bless(&dir, 0) {
+            Ok((n, path)) => println!("bless: wrote {n} golden digest(s) to {}", path.display()),
+            Err(e) => {
+                eprintln!("xtask bless: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// The workspace root, two levels above this crate's manifest.

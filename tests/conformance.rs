@@ -1,0 +1,93 @@
+//! Tier-1 conformance: the small scenario grid under `tests/scenarios/`
+//! (symmetric, asymmetric, blackhole, random-drop × hermes/conga/ecmp
+//! × 3 seeds), run in parallel and held to all three checker classes —
+//! physical invariants, golden event-trace digests, and the paper's
+//! FCT-ratio envelopes. The extended grid (8×8 fabric, wider LB field)
+//! runs via `cargo run -p xtask -- conformance`; goldens regenerate
+//! via `cargo run -p xtask -- bless`. See DESIGN.md §10.
+
+use std::path::{Path, PathBuf};
+
+use hermes_testkit::{run_conformance, run_self_test, self_test_passed, CheckClass};
+
+fn scenario_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/scenarios")
+}
+
+#[test]
+fn small_grid_passes_all_checker_classes() {
+    let report = run_conformance(&scenario_dir(), 0).expect("scenario grid runs");
+    // The ISSUE's floor: four failure regimes × at least three LBs ×
+    // at least three seeds.
+    assert!(report.scenarios.len() >= 4, "expected the four-regime grid");
+    let combos: usize = report
+        .scenarios
+        .iter()
+        .map(|s| {
+            assert!(s.seeds.len() >= 3, "{}: fewer than 3 seeds", s.name);
+            assert!(s.lbs.len() >= 3, "{}: fewer than 3 LBs", s.name);
+            assert!(s.pin_digests, "{}: tier-1 scenarios pin digests", s.name);
+            s.lbs.len()
+        })
+        .sum();
+    assert!(
+        combos >= 12,
+        "expected a >=12 (scenario, lb) grid, got {combos}"
+    );
+    assert_eq!(
+        report.cells(),
+        report
+            .scenarios
+            .iter()
+            .map(|s| s.lbs.len() * s.seeds.len())
+            .sum::<usize>()
+    );
+    assert!(
+        report.passed(),
+        "conformance failures:\n{}",
+        report
+            .failures
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn grid_is_invariant_to_thread_count() {
+    // The executor must produce identical evidence no matter how the
+    // cells are scheduled: re-run one scenario's grid at 1 and 4
+    // threads and compare digests cell-by-cell.
+    let specs: Vec<_> = hermes_testkit::load_dir(&scenario_dir())
+        .expect("scenarios load")
+        .into_iter()
+        .filter(|s| s.name == "symmetric")
+        .collect();
+    assert_eq!(specs.len(), 1);
+    let serial = hermes_testkit::run_grid(&specs, 1).expect("serial");
+    let parallel = hermes_testkit::run_grid(&specs, 4).expect("parallel");
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.result.digest, b.result.digest);
+        assert_eq!(a.result.events, b.result.events);
+    }
+}
+
+#[test]
+fn checker_self_test_trips_every_class() {
+    // A suite that cannot fail checks nothing: each deliberately-broken
+    // fixture must trip exactly the checker class it targets.
+    let cases = run_self_test().expect("fixtures run");
+    assert!(self_test_passed(&cases));
+    for class in [
+        CheckClass::Invariant,
+        CheckClass::Digest,
+        CheckClass::Envelope,
+    ] {
+        assert!(
+            cases.iter().any(|c| c.expect == class),
+            "no fixture covers {class:?}"
+        );
+    }
+}
