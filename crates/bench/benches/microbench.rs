@@ -1,6 +1,8 @@
 //! Criterion microbenchmarks for the hot paths of the simulator: event
-//! queue churn, DRE updates, CDF sampling, Hermes path selection, CONGA
-//! ingress selection, and a small end-to-end simulation.
+//! queue churn (timing wheel vs. binary heap, at shallow and deep
+//! pending depths), port enqueue/dequeue, the DCTCP sender ACK step,
+//! DRE updates, CDF sampling, Hermes path selection, CONGA ingress
+//! selection, and a small end-to-end simulation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -8,25 +10,111 @@ use std::hint::black_box;
 use hermes_core::{Hermes, HermesParams, RackSensing};
 use hermes_lb::{Conga, CongaCfg};
 use hermes_net::{
-    Dre, EdgeLb, FabricLb, FlowCtx, FlowId, HostId, LeafId, Packet, PathId, Topology, Uplinks,
+    Dre, EdgeLb, FabricLb, FlowCtx, FlowId, HostId, LeafId, LinkCfg, Packet, PathId, Port,
+    Topology, Uplinks,
 };
 use hermes_runtime::{Scheme, SimConfig, Simulation};
-use hermes_sim::{EventQueue, SimRng, Time};
+use hermes_sim::{HeapQueue, SimRng, Time, WheelQueue};
+use hermes_transport::{Sender, TransportCfg};
 use hermes_workload::{FlowGen, FlowSizeDist};
 
+/// Both schedulers share an API but no trait; a macro instantiates the
+/// same two benchmark bodies for each concrete type:
+/// * `*_push_pop_1k` — build a fresh queue, push 1k, drain it;
+/// * `*_steady_{n}_pending` — pop-one/push-one at a sustained depth of
+///   1k / 100k pending events (the regime a big fig12 run operates in).
+macro_rules! bench_queue_type {
+    ($c:expr, $name:literal, $ty:ident) => {{
+        $c.bench_function(concat!($name, "_push_pop_1k"), |b| {
+            let mut rng = SimRng::new(1);
+            b.iter(|| {
+                let mut q: $ty<u64> = $ty::new();
+                for i in 0..1000u64 {
+                    q.schedule(Time::from_ns(rng.u64() % 1_000_000), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                black_box(acc)
+            });
+        });
+        for pending in [1_000u64, 100_000] {
+            let id = format!("{}_steady_{}k_pending", $name, pending / 1000);
+            $c.bench_function(&id, |b| {
+                let mut rng = SimRng::new(2);
+                let mut q: $ty<u64> = $ty::new();
+                for i in 0..pending {
+                    q.schedule(Time::from_ns(rng.u64() % 1_000_000), i);
+                }
+                b.iter(|| {
+                    let (t, v) = q.pop().expect("queue is kept at a fixed depth");
+                    q.schedule(t + Time::from_ns(rng.u64() % 1_000_000), v);
+                    black_box(v)
+                });
+            });
+        }
+    }};
+}
+
 fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        let mut rng = SimRng::new(1);
+    bench_queue_type!(c, "wheel", WheelQueue);
+    bench_queue_type!(c, "heap", HeapQueue);
+}
+
+fn bench_port(c: &mut Criterion) {
+    c.bench_function("port_enqueue_dequeue", |b| {
+        // 10G port, DCTCP marking threshold 65KB, 300KB buffer — the
+        // sim_baseline configuration. One packet in, one serialized
+        // out per iteration, so the queue never grows or drains dry.
+        let mut port = Port::new(
+            LinkCfg::new(10_000_000_000, Time::from_us(1)),
+            65_000,
+            300_000,
+        );
+        let mut seq = 0u64;
         b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(Time::from_ns(rng.u64() % 1_000_000), i);
+            seq += 1460;
+            let pkt = Box::new(Packet::data(
+                FlowId(1),
+                HostId(0),
+                HostId(20),
+                seq,
+                1460,
+                true,
+            ));
+            black_box(port.enqueue(pkt).is_queued());
+            if port.begin_tx().is_some() {
+                black_box(port.complete_tx());
             }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
+        });
+    });
+}
+
+fn bench_sender_step(c: &mut Criterion) {
+    c.bench_function("dctcp_sender_ack_step", |b| {
+        // One cumulative-ACK step of the DCTCP state machine: window
+        // arithmetic, α update, and the re-emitted segment actions. The
+        // flow is sized so it never finishes within the measurement.
+        let mut s = Sender::new(TransportCfg::dctcp(), u64::MAX / 4);
+        let mut out = Vec::new();
+        s.start(Time::ZERO, &mut out);
+        let mut ack = 0u64;
+        let mut t = Time::ZERO;
+        let mut i = 0u64;
+        b.iter(|| {
+            ack += 1460;
+            t += Time::from_ns(500);
+            i += 1;
+            out.clear();
+            s.on_ack(
+                ack,
+                i.is_multiple_of(4),
+                Some(Time::from_us(60)),
+                t,
+                &mut out,
+            );
+            black_box(out.len())
         });
     });
 }
@@ -143,6 +231,8 @@ fn bench_end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_port,
+    bench_sender_step,
     bench_dre,
     bench_cdf_sampling,
     bench_hermes_select,

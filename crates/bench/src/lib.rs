@@ -18,11 +18,13 @@
 //! `HERMES_SCALE`/`HERMES_RUNS` to tighten confidence intervals.
 
 mod grid;
+mod perf;
 mod probing;
 mod runner;
 mod table;
 
 pub use grid::GridSpec;
+pub use perf::{measure_point, peak_rss_kb, perf_point_cfg, PerfSample, PERF_POINTS};
 pub use probing::{ProbingCostModel, ProbingRow};
 pub use runner::{
     avg_summaries, run_point, run_point_detailed, DetailedResult, PointCfg, PointResult,

@@ -7,6 +7,7 @@ use crate::failure::SpineFailure;
 use crate::faultplan::FaultAction;
 use crate::lbapi::{FabricLb, LinkRef, Uplinks};
 use crate::packet::Packet;
+use crate::pool::{PacketPool, PoolStats};
 use crate::port::{Enqueue, Port};
 use crate::topology::Topology;
 use crate::types::{HostId, LeafId, NodeId, PathId, SpineId};
@@ -65,6 +66,13 @@ pub struct Fabric {
     lb: Option<Box<dyn FabricLb>>,
     rng: SimRng,
     next_pkt_id: u64,
+    /// Arena of retired packet allocations, reused by `host_send` so the
+    /// steady-state fast path performs no heap allocation per packet.
+    pool: PacketPool,
+    /// Reused buffer for per-candidate queue depths handed to fabric
+    /// LBs on ingress (avoids a Vec allocation per uplink-forwarded
+    /// packet). Always left empty between calls.
+    qbytes_scratch: Vec<u64>,
     /// Packets currently propagating on links (scheduled `Arrive`
     /// events). Together with the port census this gives an accounting
     /// of in-flight packets that is independent of the drop/delivery
@@ -129,6 +137,8 @@ impl Fabric {
             lb: None,
             rng,
             next_pkt_id: 0,
+            pool: PacketPool::new(),
+            qbytes_scratch: Vec::new(),
             on_wire: 0,
             #[cfg(feature = "audit")]
             ledger: crate::audit::Ledger::default(),
@@ -371,10 +381,25 @@ impl Fabric {
         self.ledger.outstanding()
     }
 
+    /// Return a retired packet's allocation to the fabric's arena. The
+    /// runtime calls this after consuming a delivered packet; internal
+    /// drop sites recycle automatically.
+    #[inline]
+    pub fn recycle(&mut self, pkt: Box<Packet>) {
+        self.pool.recycle(pkt);
+    }
+
+    /// Packet-arena effectiveness counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Hand a packet from a host to the fabric. Stamps id and departure
-    /// time, then queues it on the host NIC.
+    /// time, then queues it on the host NIC. The box comes from the
+    /// fabric's packet arena, so steady-state sends allocate nothing.
     pub fn host_send(&mut self, q: &mut EventQueue<Event>, pkt: Packet) {
-        self.host_send_boxed(q, Box::new(pkt));
+        let boxed = self.pool.boxed(pkt);
+        self.host_send_boxed(q, boxed);
     }
 
     /// Like [`Fabric::host_send`], for callers that already boxed.
@@ -391,16 +416,14 @@ impl Fabric {
         let host = pkt.src;
         let node = NodeId::Host(host);
         #[cfg(feature = "audit")]
-        let pid = {
-            self.ledger.injected(pkt.id);
-            pkt.id
-        };
+        self.ledger.injected(pkt.id);
         let port = &mut self.host_ports[host.0 as usize];
         match port.enqueue(pkt) {
             Enqueue::Queued => Self::kick_port(q, node, 0, port),
-            Enqueue::Dropped => {
+            Enqueue::Dropped(pkt) => {
                 #[cfg(feature = "audit")]
-                self.ledger.retired(pid);
+                self.ledger.retired(pkt.id);
+                self.pool.recycle(pkt);
             }
         }
     }
@@ -511,16 +534,15 @@ impl Fabric {
                 lb.on_forward(LinkRef::HostDown { leaf: l }, &mut pkt, q.now());
             }
             let node = NodeId::Leaf(l);
-            #[cfg(feature = "audit")]
-            let pid = pkt.id;
             let port = self.leaf_ports[l.0 as usize][slot]
                 .as_mut()
                 .expect("host-facing leaf ports are never cut");
             match port.enqueue(pkt) {
                 Enqueue::Queued => Self::kick_port(q, node, slot, port),
-                Enqueue::Dropped => {
+                Enqueue::Dropped(pkt) => {
                     #[cfg(feature = "audit")]
-                    self.ledger.retired(pid);
+                    self.ledger.retired(pkt.id);
+                    self.pool.recycle(pkt);
                 }
             }
             return;
@@ -532,23 +554,25 @@ impl Fabric {
             self.stats.drops_disconnected += 1;
             #[cfg(feature = "audit")]
             self.ledger.retired(pkt.id);
+            self.pool.recycle(pkt);
             return;
         }
         let path = if let Some(lb) = self.lb.as_mut() {
-            let qbytes: Vec<u64> = cands
-                .iter()
-                .map(|p| {
-                    let idx = self.topo.hosts_per_leaf + p.0 as usize;
-                    self.leaf_ports[l.0 as usize][idx]
-                        .as_ref()
-                        .map_or(0, Port::queued_bytes)
-                })
-                .collect();
+            let mut qbytes = std::mem::take(&mut self.qbytes_scratch);
+            qbytes.extend(cands.iter().map(|p| {
+                let idx = self.topo.hosts_per_leaf + p.0 as usize;
+                self.leaf_ports[l.0 as usize][idx]
+                    .as_ref()
+                    .map_or(0, Port::queued_bytes)
+            }));
             let uplinks = Uplinks {
                 paths: cands,
                 qbytes: &qbytes,
             };
-            lb.ingress_select(l, dst_leaf, &pkt, uplinks, q.now(), &mut self.rng)
+            let path = lb.ingress_select(l, dst_leaf, &pkt, uplinks, q.now(), &mut self.rng);
+            qbytes.clear();
+            self.qbytes_scratch = qbytes;
+            path
         } else if cands.contains(&pkt.path) {
             pkt.path
         } else {
@@ -567,6 +591,7 @@ impl Fabric {
             self.stats.drops_failure += 1;
             #[cfg(feature = "audit")]
             self.ledger.retired(pkt.id);
+            self.pool.recycle(pkt);
             return;
         }
         if let Some(lb) = self.lb.as_mut() {
@@ -574,16 +599,15 @@ impl Fabric {
         }
         let idx = self.topo.hosts_per_leaf + spine as usize;
         let node = NodeId::Leaf(l);
-        #[cfg(feature = "audit")]
-        let pid = pkt.id;
         let port = self.leaf_ports[l.0 as usize][idx]
             .as_mut()
             .expect("candidate paths only cross live uplinks");
         match port.enqueue(pkt) {
             Enqueue::Queued => Self::kick_port(q, node, idx, port),
-            Enqueue::Dropped => {
+            Enqueue::Dropped(pkt) => {
                 #[cfg(feature = "audit")]
-                self.ledger.retired(pid);
+                self.ledger.retired(pkt.id);
+                self.pool.recycle(pkt);
             }
         }
     }
@@ -594,6 +618,7 @@ impl Fabric {
             self.stats.drops_failure += 1;
             #[cfg(feature = "audit")]
             self.ledger.retired(pkt.id);
+            self.pool.recycle(pkt);
             return;
         }
         if let Some(bh) = f.blackhole {
@@ -603,6 +628,7 @@ impl Fabric {
                 self.stats.drops_failure += 1;
                 #[cfg(feature = "audit")]
                 self.ledger.retired(pkt.id);
+                self.pool.recycle(pkt);
                 return;
             }
         }
@@ -612,6 +638,7 @@ impl Fabric {
             self.stats.drops_disconnected += 1;
             #[cfg(feature = "audit")]
             self.ledger.retired(pkt.id);
+            self.pool.recycle(pkt);
             return;
         }
         if self.link_down[idx][s.0 as usize] {
@@ -619,6 +646,7 @@ impl Fabric {
             self.stats.drops_failure += 1;
             #[cfg(feature = "audit")]
             self.ledger.retired(pkt.id);
+            self.pool.recycle(pkt);
             return;
         }
         if let Some(lb) = self.lb.as_mut() {
@@ -632,16 +660,15 @@ impl Fabric {
             );
         }
         let node = NodeId::Spine(s);
-        #[cfg(feature = "audit")]
-        let pid = pkt.id;
         let port = self.spine_ports[s.0 as usize][idx]
             .as_mut()
             .expect("downlink existence checked above");
         match port.enqueue(pkt) {
             Enqueue::Queued => Self::kick_port(q, node, idx, port),
-            Enqueue::Dropped => {
+            Enqueue::Dropped(pkt) => {
                 #[cfg(feature = "audit")]
-                self.ledger.retired(pid);
+                self.ledger.retired(pkt.id);
+                self.pool.recycle(pkt);
             }
         }
     }

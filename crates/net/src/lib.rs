@@ -24,6 +24,7 @@ mod failure;
 mod faultplan;
 mod lbapi;
 mod packet;
+mod pool;
 mod port;
 mod rate;
 mod topology;
@@ -35,6 +36,7 @@ pub use failure::{pair_unit, Blackhole, SpineFailure};
 pub use faultplan::{FaultAction, FaultEvent, FaultPlan};
 pub use lbapi::{EdgeLb, FabricLb, FlowCtx, LinkRef, PinnedPath, ProbeTarget, Uplinks};
 pub use packet::{AckInfo, LbMeta, Packet, PacketKind, ACK_SIZE, HDR, MSS, PROBE_SIZE};
+pub use pool::{PacketPool, PoolStats};
 pub use port::{Enqueue, Port, PortStats};
 pub use rate::Dre;
 pub use topology::{LinkCfg, QueueCfg, Topology};

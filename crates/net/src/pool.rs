@@ -1,0 +1,167 @@
+//! Packet arena: a free-list of recycled `Box<Packet>` allocations.
+//!
+//! Every packet a simulation forwards lives in a `Box<Packet>` so the
+//! event queue moves 8-byte pointers, not 100-byte structs. Without a
+//! pool that costs one heap allocation per injected packet on the
+//! `host_send` hot path and one free per drop/delivery. The pool turns
+//! that round trip into a `Vec` push/pop plus a plain `Packet` store
+//! (every [`Packet`] field is `Copy`, so `*slot = pkt` is a memcpy —
+//! no drop glue runs).
+//!
+//! # Lifetime rules (see DESIGN.md §11)
+//!
+//! * Boxes are handed out by [`PacketPool::boxed`] and come back via
+//!   [`PacketPool::recycle`] when the fabric retires a packet: tail
+//!   drop, failure/blackhole/disconnected drop, or delivery after the
+//!   runtime has consumed the payload.
+//! * Recycling is *optional for correctness* — a box that is simply
+//!   dropped (e.g. by a test that never returns it) is freed normally;
+//!   the pool just loses the reuse.
+//! * A recycled box's contents are stale until `boxed` overwrites them;
+//!   the pool never reads packet fields.
+//! * The free list is capped so a drain-heavy phase cannot pin an
+//!   unbounded high-water mark of dead allocations.
+
+use crate::packet::Packet;
+
+/// Counters for pool effectiveness; surfaced through
+/// [`Fabric::pool_stats`](crate::Fabric::pool_stats) and the perf
+/// harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Boxes allocated fresh because the free list was empty.
+    pub fresh: u64,
+    /// Boxes handed out from the free list (allocations avoided).
+    pub reused: u64,
+    /// Boxes returned to the free list.
+    pub recycled: u64,
+    /// Boxes dropped on return because the free list was at capacity.
+    pub discarded: u64,
+}
+
+/// A bounded free-list of packet allocations.
+pub struct PacketPool {
+    // The boxes ARE the payload: the pool exists to park allocations so
+    // `boxed` can hand them back out. `Vec<Packet>` would discard the
+    // very thing being recycled.
+    #[allow(clippy::vec_box)]
+    free: Vec<Box<Packet>>,
+    cap: usize,
+    stats: PoolStats,
+}
+
+impl Default for PacketPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketPool {
+    /// Free-list bound: comfortably above the packets-in-flight
+    /// high-water mark of the largest bench topology, small enough
+    /// (64Ki boxes ≈ a few MiB) that an idle pool is cheap to keep.
+    pub const DEFAULT_CAP: usize = 1 << 16;
+
+    /// A pool with the default capacity bound.
+    pub fn new() -> PacketPool {
+        PacketPool::with_capacity(Self::DEFAULT_CAP)
+    }
+
+    /// A pool retaining at most `cap` free boxes.
+    pub fn with_capacity(cap: usize) -> PacketPool {
+        PacketPool {
+            free: Vec::new(),
+            cap,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Box `pkt`, reusing a recycled allocation when one is available.
+    #[inline]
+    pub fn boxed(&mut self, pkt: Packet) -> Box<Packet> {
+        match self.free.pop() {
+            Some(mut slot) => {
+                *slot = pkt;
+                self.stats.reused += 1;
+                slot
+            }
+            None => {
+                self.stats.fresh += 1;
+                Box::new(pkt)
+            }
+        }
+    }
+
+    /// Return a retired packet's allocation to the free list. Boxes
+    /// beyond the capacity bound are freed instead of retained.
+    #[inline]
+    pub fn recycle(&mut self, pkt: Box<Packet>) {
+        if self.free.len() < self.cap {
+            self.stats.recycled += 1;
+            self.free.push(pkt);
+        } else {
+            self.stats.discarded += 1;
+        }
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Boxes currently parked on the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use crate::types::{FlowId, HostId};
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::data(FlowId(1), HostId(0), HostId(1), seq, 1460, false)
+    }
+
+    #[test]
+    fn reuses_recycled_allocations() {
+        let mut pool = PacketPool::new();
+        let a = pool.boxed(pkt(0));
+        let addr = std::ptr::addr_of!(*a) as usize;
+        pool.recycle(a);
+        let b = pool.boxed(pkt(7));
+        assert_eq!(std::ptr::addr_of!(*b) as usize, addr, "allocation reused");
+        match b.kind {
+            crate::packet::PacketKind::Data { seq, .. } => {
+                assert_eq!(seq, 7, "contents fully overwritten on reuse");
+            }
+            _ => panic!("wrong kind"),
+        }
+        let s = pool.stats();
+        assert_eq!((s.fresh, s.reused, s.recycled), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_bound_discards_excess() {
+        let mut pool = PacketPool::with_capacity(2);
+        let boxes: Vec<_> = (0..4).map(|i| pool.boxed(pkt(i))).collect();
+        for b in boxes {
+            pool.recycle(b);
+        }
+        assert_eq!(pool.free_len(), 2);
+        let s = pool.stats();
+        assert_eq!((s.recycled, s.discarded), (2, 2));
+    }
+
+    #[test]
+    fn empty_pool_allocates_fresh() {
+        let mut pool = PacketPool::new();
+        assert_eq!(pool.free_len(), 0);
+        let _a = pool.boxed(pkt(0));
+        let _b = pool.boxed(pkt(1));
+        assert_eq!(pool.stats().fresh, 2);
+        assert_eq!(pool.stats().reused, 0);
+    }
+}

@@ -1,7 +1,7 @@
 //! Property-based tests of the fabric: conservation, delivery, and
 //! determinism under arbitrary traffic.
 
-use hermes_net::{Enqueue, Event, Fabric, FlowId, HostId, LinkCfg, Packet, PathId, Port, Topology};
+use hermes_net::{Event, Fabric, FlowId, HostId, LinkCfg, Packet, PathId, Port, Topology};
 use hermes_sim::{EventQueue, SimRng, Time};
 use proptest::prelude::*;
 
@@ -30,7 +30,7 @@ proptest! {
         for (i, &sz) in sizes.iter().enumerate() {
             let pkt = Packet::data(FlowId(i as u64), HostId(0), HostId(1), 0, sz - 40, false);
             in_bytes += sz as u64;
-            if p.enqueue(Box::new(pkt)) == Enqueue::Queued {
+            if p.enqueue(Box::new(pkt)).is_queued() {
                 accepted += sz as u64;
             }
         }

@@ -86,6 +86,84 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform sampled values (upstream's `prop_map`).
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Mapped strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Weighted union of same-valued strategies (backs [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<V> {
+        branches: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(branches: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Union<V> {
+            let total = branches.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { branches, total }
+        }
+    }
+
+    /// Erase a strategy's concrete type for use in a [`Union`]. Keeping
+    /// the `Value` associated type visible here (rather than `as _` in
+    /// the macro) is what lets inference unify heterogeneous branches.
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.branches {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.sample(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("pick < total by construction")
+        }
     }
 
     macro_rules! int_range_strategy {
@@ -213,9 +291,24 @@ pub mod arbitrary {
 
 pub mod prelude {
     pub use crate::arbitrary::any;
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted choice among strategies producing the same value type:
+/// `prop_oneof![3 => 0u64..8, 1 => Just(42u64)]`. Unweighted branches
+/// (`prop_oneof![a, b]`) get weight 1 each, as upstream.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Assert inside a property body. Without shrinking this is a plain
@@ -347,6 +440,25 @@ mod tests {
                 prop_assert!((0.0..1.0).contains(y));
             }
             let _ = bits;
+        }
+
+        /// prop_oneof / prop_map / Just: every branch is reachable, maps
+        /// apply, and weights of zero never fire.
+        #[test]
+        fn oneof_map_just(
+            vals in crate::collection::vec(
+                prop_oneof![
+                    2 => (0u32..10).prop_map(|x| x * 2),
+                    1 => Just(99u32),
+                    0 => Just(7u32),
+                ],
+                50..60,
+            ),
+        ) {
+            for v in &vals {
+                prop_assert!((*v == 99) || (*v < 20 && v % 2 == 0));
+                prop_assert_ne!(*v, 7, "zero-weight branch must never fire");
+            }
         }
     }
 }

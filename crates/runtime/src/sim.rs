@@ -154,6 +154,11 @@ pub struct Simulation {
     /// must agree on this at every point, so comparing final digests is a
     /// whole-run determinism check.
     digest: hermes_net::audit::FnvDigest,
+    /// Reused buffers for transport actions, so per-ACK/per-timer
+    /// dispatch allocates nothing in steady state. Taken at each call
+    /// site and returned (cleared) by `process_*_actions`.
+    send_scratch: Vec<SendAction>,
+    recv_scratch: Vec<RecvAction>,
     pub stats: SimStats,
 }
 
@@ -260,6 +265,8 @@ impl Simulation {
             goodput_bytes: 0,
             reorder_grace,
             digest: hermes_net::audit::FnvDigest::new(),
+            send_scratch: Vec::new(),
+            recv_scratch: Vec::new(),
             stats: SimStats::default(),
         };
         if let Some(plan) = sim.cfg.fault_plan.clone() {
@@ -588,7 +595,7 @@ impl Simulation {
             sender_done: false,
         };
         self.stats.flows_started += 1;
-        let mut buf = Vec::new();
+        let mut buf = std::mem::take(&mut self.send_scratch);
         f.sender.start(now, &mut buf);
         self.flows.insert(spec.id.0, f);
         self.process_send_actions(spec.id.0, buf);
@@ -614,9 +621,9 @@ impl Simulation {
         }
     }
 
-    fn process_send_actions(&mut self, fid: u64, actions: Vec<SendAction>) {
+    fn process_send_actions(&mut self, fid: u64, mut actions: Vec<SendAction>) {
         let now = self.q.now();
-        for a in actions {
+        for a in actions.drain(..) {
             match a {
                 SendAction::Tx { seq, len, retx } => {
                     let Some(f) = self.flows.get_mut(&fid) else {
@@ -719,11 +726,12 @@ impl Simulation {
                 }
             }
         }
+        self.send_scratch = actions;
     }
 
-    fn process_recv_actions(&mut self, fid: u64, actions: Vec<RecvAction>) {
+    fn process_recv_actions(&mut self, fid: u64, mut actions: Vec<RecvAction>) {
         let now = self.q.now();
-        for a in actions {
+        for a in actions.drain(..) {
             match a {
                 RecvAction::SendAck {
                     ack,
@@ -772,6 +780,7 @@ impl Simulation {
                 }
             }
         }
+        self.recv_scratch = actions;
     }
 
     fn on_timer(&mut self, token: u64) {
@@ -796,7 +805,7 @@ impl Simulation {
                         lb.on_timeout(&ctx, path, now);
                     }
                 }
-                let mut buf = Vec::new();
+                let mut buf = std::mem::take(&mut self.send_scratch);
                 f.sender.on_rto(now, &mut buf);
                 self.process_send_actions(fid, buf);
             }
@@ -807,7 +816,7 @@ impl Simulation {
                 if (f.hold_gen & GEN_MASK) != gen {
                     return;
                 }
-                let mut buf = Vec::new();
+                let mut buf = std::mem::take(&mut self.recv_scratch);
                 f.receiver.on_hold_timer(now, &mut buf);
                 self.process_recv_actions(fid, buf);
             }
@@ -816,6 +825,13 @@ impl Simulation {
     }
 
     fn on_deliver(&mut self, host: HostId, pkt: Box<Packet>) {
+        self.deliver(host, &pkt);
+        // The payload has been fully consumed; hand the allocation back
+        // to the fabric's packet arena.
+        self.fabric.recycle(pkt);
+    }
+
+    fn deliver(&mut self, host: HostId, pkt: &Packet) {
         let now = self.q.now();
         match pkt.kind {
             PacketKind::Data { seq, len, retx } => {
@@ -824,7 +840,7 @@ impl Simulation {
                 };
                 debug_assert_eq!(f.dst, host);
                 let before = f.receiver.rcv_nxt();
-                let mut buf = Vec::new();
+                let mut buf = std::mem::take(&mut self.recv_scratch);
                 f.receiver.on_data(
                     SegmentIn {
                         seq,
@@ -865,13 +881,13 @@ impl Simulation {
                         lb.on_ack(&ctx, echo_path, rtt, ecn_echo, delta, now);
                     }
                 }
-                let mut buf = Vec::new();
+                let mut buf = std::mem::take(&mut self.send_scratch);
                 f.sender.on_ack(ack, ecn_echo, rtt, now, &mut buf);
                 self.process_send_actions(pkt.flow.0, buf);
             }
             PacketKind::ProbeReq => {
                 // Reflect immediately on the same path, high priority.
-                let resp = Packet::probe_resp(&pkt);
+                let resp = Packet::probe_resp(pkt);
                 self.fabric.host_send(&mut self.q, resp);
             }
             PacketKind::ProbeResp { req_ecn, echo_ts } => {

@@ -1,4 +1,6 @@
-//! The event queue at the heart of the discrete-event engine.
+//! Binary-heap event queue — the original scheduler, kept as the
+//! reference implementation and `heap-queue` feature fallback for the
+//! timing wheel in [`crate::wheel`].
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -39,22 +41,22 @@ impl<E> Ord for Entry<E> {
 ///   which makes simulations reproducible regardless of heap internals.
 /// * Tracks `now`, the time of the most recently popped event, and
 ///   rejects scheduling into the past (debug assertion).
-pub struct EventQueue<E> {
+pub struct HeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: Time,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// An empty queue with `now == Time::ZERO`.
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::new(),
             seq: 0,
             now: Time::ZERO,
@@ -127,7 +129,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.schedule(Time::from_us(3), 3u32);
         q.schedule(Time::from_us(1), 1);
         q.schedule(Time::from_us(2), 2);
@@ -139,7 +141,7 @@ mod tests {
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         for i in 0..100u32 {
             q.schedule(Time::from_us(7), i);
         }
@@ -150,7 +152,7 @@ mod tests {
 
     #[test]
     fn now_advances_with_pops() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         assert_eq!(q.now(), Time::ZERO);
         q.schedule(Time::from_us(10), ());
         q.pop();
@@ -162,7 +164,7 @@ mod tests {
 
     #[test]
     fn len_and_counters() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         assert!(q.is_empty());
         q.schedule(Time::from_us(1), ());
         q.schedule(Time::from_us(2), ());
@@ -176,7 +178,7 @@ mod tests {
     #[cfg(not(debug_assertions))]
     #[test]
     fn release_clamps_past_scheduling() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.schedule(Time::from_us(10), 1u32);
         q.pop();
         q.schedule(Time::from_us(1), 2); // in the past: clamped to now

@@ -1,0 +1,405 @@
+//! Hierarchical timing-wheel event scheduler.
+//!
+//! A drop-in replacement for the binary-heap [`HeapQueue`](crate::HeapQueue)
+//! honoring the identical `(time, seq)` total-order contract: pops are
+//! nondecreasing in time, and events scheduled for the same instant fire
+//! in scheduling order. Same (config, seed) runs therefore produce
+//! byte-identical event traces under either scheduler — the differential
+//! property tests in `tests/proptests.rs` drive both against each other.
+//!
+//! # Structure
+//!
+//! The full 64-bit nanosecond time domain is covered by [`LEVELS`] wheels
+//! of [`SLOTS`] slots each; level `l` slots have a granularity of
+//! `2^(6·l)` ns. An event due at absolute time `at` while the wheel
+//! cursor sits at `now` lives at
+//!
+//! ```text
+//! level = msb(at ^ now) / 6          (bit index of the highest differing bit)
+//! slot  = (at >> (6 · level)) & 63   (the time's digit at that level)
+//! ```
+//!
+//! Two consequences of this placement drive the whole design:
+//!
+//! * **No intra-level wraparound.** At its own level an event's slot digit
+//!   is strictly greater than the cursor's digit (a smaller digit would
+//!   mean `at < now`), so the first occupied slot of a level — a single
+//!   `trailing_zeros` on the occupancy bitmap — holds the level's minimum.
+//! * **Levels are time-ordered.** Every level-`l+1` event is strictly
+//!   later than every level-`l` event, so the global minimum is the
+//!   first occupied slot of the lowest occupied level: `peek_time` is
+//!   O(levels) with no mutation and no cached state to invalidate.
+//!
+//! Popping jumps the cursor directly to the next event's timestamp and
+//! *cascades*: slots indexed by the new cursor position ("pos slots") are
+//! drained top-down and their events re-placed relative to the new cursor
+//! — each strictly descends in level, events due exactly now land in a
+//! `ready` queue sorted by seq to restore FIFO order. The jump skips
+//! empty slots entirely, so sparse far-future schedules (RTO timers,
+//! fault injections) cost O(levels), not O(elapsed ticks).
+
+use std::collections::VecDeque;
+
+use crate::Time;
+
+/// log2 of the slot count per level.
+const BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << BITS;
+/// Wheel levels; 11 × 6 = 66 bits covers the full `u64` nanosecond domain.
+const LEVELS: usize = 11;
+
+/// A scheduled event: absolute due time plus the global schedule sequence
+/// number that breaks same-instant ties FIFO.
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    payload: E,
+}
+
+/// A deterministic future-event list backed by a hierarchical timing
+/// wheel.
+///
+/// Semantics match [`HeapQueue`](crate::HeapQueue) exactly:
+///
+/// * Pops in nondecreasing time order.
+/// * Ties broken by scheduling order (FIFO among same-instant events).
+/// * Tracks `now`, the time of the most recently popped event, and
+///   rejects scheduling into the past (debug assertion; release clamps).
+pub struct WheelQueue<E> {
+    /// `LEVELS × SLOTS` buckets, row-major by level. Buckets keep their
+    /// allocation across drains (buffers rotate through `scratch`).
+    slots: Vec<Vec<Entry<E>>>,
+    /// Per-level bitmap of non-empty slots.
+    occupied: [u64; LEVELS],
+    /// Minimum due time per bucket (`Time::MAX` when empty). Exact,
+    /// because buckets are only ever drained whole, never partially.
+    slot_min: Vec<Time>,
+    /// Events due exactly at the cursor, in seq (FIFO) order.
+    ready: VecDeque<Entry<E>>,
+    /// Reusable drain buffer so cascades don't allocate.
+    scratch: Vec<Entry<E>>,
+    /// Time of the most recently popped event; also the wheel cursor all
+    /// placements are relative to.
+    now: Time,
+    seq: u64,
+    len: usize,
+}
+
+impl<E> Default for WheelQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> WheelQueue<E> {
+    /// An empty queue with `now == Time::ZERO`.
+    pub fn new() -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(LEVELS * SLOTS, Vec::new);
+        WheelQueue {
+            slots,
+            occupied: [0; LEVELS],
+            slot_min: vec![Time::MAX; LEVELS * SLOTS],
+            ready: VecDeque::new(),
+            scratch: Vec::new(),
+            now: Time::ZERO,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// The time of the most recently popped event (simulated "now").
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling strictly before `now` is a logic error in the caller
+    /// (events cannot fire in the past); debug builds assert, release
+    /// builds clamp to `now` to stay safe.
+    pub fn schedule(&mut self, at: Time, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let e = Entry {
+            at,
+            seq: self.seq,
+            payload,
+        };
+        self.seq += 1;
+        self.len += 1;
+        if at == self.now {
+            // A fresh schedule carries the largest seq seen so far, so
+            // its FIFO position among the due-now events is the back.
+            self.ready.push_back(e);
+        } else {
+            self.place(e);
+        }
+    }
+
+    /// Schedule `payload` to fire `delay` after `now`.
+    pub fn schedule_in(&mut self, delay: Time, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pop the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        if self.ready.is_empty() {
+            // Jump the cursor straight to the next occupied instant and
+            // re-bucket everything the jump strands in a pos slot.
+            let target = self.wheel_min()?;
+            debug_assert!(target >= self.now, "event queue went backwards");
+            self.now = target;
+            self.cascade();
+            debug_assert!(
+                !self.ready.is_empty(),
+                "cascade must surface the event at the jump target"
+            );
+        }
+        let e = self.ready.pop_front()?;
+        self.len -= 1;
+        debug_assert!(e.at == self.now, "ready event not at cursor");
+        self.now = e.at;
+        Some((e.at, e.payload))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        if let Some(e) = self.ready.front() {
+            return Some(e.at);
+        }
+        self.wheel_min()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever scheduled (monotone counter).
+    pub fn scheduled_count(&self) -> u64 {
+        self.seq
+    }
+
+    /// Bucket an entry with `at > now` relative to the current cursor.
+    fn place(&mut self, e: Entry<E>) {
+        let at = e.at.as_ns();
+        let xor = at ^ self.now.as_ns();
+        debug_assert!(xor != 0, "due-now events belong in `ready`");
+        // msb index of the xor picks the level; the time's digit at that
+        // level picks the slot. msb ≤ 63 ⇒ level ≤ 10 ⇒ shift ≤ 60.
+        let level = ((63 - xor.leading_zeros()) / BITS) as usize;
+        let slot = ((at >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let idx = level * SLOTS + slot;
+        self.occupied[level] |= 1 << slot;
+        if e.at < self.slot_min[idx] {
+            self.slot_min[idx] = e.at;
+        }
+        self.slots[idx].push(e);
+    }
+
+    /// Minimum due time across all bucketed events (excludes `ready`).
+    fn wheel_min(&self) -> Option<Time> {
+        for level in 0..LEVELS {
+            let occ = self.occupied[level];
+            if occ != 0 {
+                let slot = occ.trailing_zeros() as usize;
+                return Some(self.slot_min[level * SLOTS + slot]);
+            }
+        }
+        None
+    }
+
+    /// Drain every slot indexed by the (just-moved) cursor, top level
+    /// down, re-placing each event relative to the new cursor. Events due
+    /// exactly now go to `ready`; everything else descends strictly in
+    /// level, so one pass suffices. Higher-level events never interleave
+    /// behind lower-level ones incorrectly because `ready` is re-sorted
+    /// by seq at the end (seqs are unique, so the order is total).
+    fn cascade(&mut self) {
+        let now_ns = self.now.as_ns();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for level in (0..LEVELS).rev() {
+            let pos = ((now_ns >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            let bit = 1u64 << pos;
+            if self.occupied[level] & bit == 0 {
+                continue;
+            }
+            self.occupied[level] &= !bit;
+            let idx = level * SLOTS + pos;
+            self.slot_min[idx] = Time::MAX;
+            // Swap the bucket's buffer out (scratch is empty here), so
+            // both allocations survive and rotate instead of churning.
+            std::mem::swap(&mut self.slots[idx], &mut scratch);
+            for e in scratch.drain(..) {
+                if e.at == self.now {
+                    self.ready.push_back(e);
+                } else {
+                    self.place(e);
+                }
+            }
+        }
+        self.scratch = scratch;
+        self.ready.make_contiguous().sort_unstable_by_key(|e| e.seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = WheelQueue::new();
+        q.schedule(Time::from_us(3), 3u32);
+        q.schedule(Time::from_us(1), 1);
+        q.schedule(Time::from_us(2), 2);
+        assert_eq!(q.pop().unwrap(), (Time::from_us(1), 1));
+        assert_eq!(q.pop().unwrap(), (Time::from_us(2), 2));
+        assert_eq!(q.pop().unwrap(), (Time::from_us(3), 3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = WheelQueue::new();
+        for i in 0..100u32 {
+            q.schedule(Time::from_us(7), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = WheelQueue::new();
+        assert_eq!(q.now(), Time::ZERO);
+        q.schedule(Time::from_us(10), ());
+        q.pop();
+        assert_eq!(q.now(), Time::from_us(10));
+        q.schedule_in(Time::from_us(5), ());
+        assert_eq!(q.peek_time(), Some(Time::from_us(15)));
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut q = WheelQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Time::from_us(1), ());
+        q.schedule(Time::from_us(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_count(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_count(), 2);
+    }
+
+    /// Same-instant events that start life at *different wheel levels*
+    /// (one bucketed before a cursor move, one after) must still pop
+    /// FIFO. This is the stale-pos-slot cascade path.
+    #[test]
+    fn equal_times_across_levels_stay_fifo() {
+        let mut q = WheelQueue::new();
+        // At now=0: both land at level 1, slot 1 (digits of 100 and 70).
+        q.schedule(Time::from_ns(100), "a");
+        q.schedule(Time::from_ns(70), "b");
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(70), "b"));
+        // After the cursor jump to 70, "a" was cascaded to level 0.
+        // "c" joins it at the same instant but with a larger seq.
+        q.schedule(Time::from_ns(100), "c");
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(100), "a"));
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(100), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn level_boundaries_cascade_correctly() {
+        // Straddle the 64-ns (level 0/1) and 4096-ns (level 1/2)
+        // boundaries in one run.
+        let mut q = WheelQueue::new();
+        for at in [63u64, 64, 65, 4095, 4096, 4097] {
+            q.schedule(Time::from_ns(at), at);
+        }
+        for want in [63u64, 64, 65, 4095, 4096, 4097] {
+            let (t, v) = q.pop().unwrap();
+            assert_eq!((t, v), (Time::from_ns(want), want));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn far_jumps_skip_empty_slots() {
+        let mut q = WheelQueue::new();
+        q.schedule(Time::from_secs(3600), 1u32);
+        q.schedule(Time::from_ns(1), 0);
+        assert_eq!(q.pop().unwrap().1, 0);
+        assert_eq!(q.peek_time(), Some(Time::from_secs(3600)));
+        assert_eq!(q.pop().unwrap(), (Time::from_secs(3600), 1));
+        assert_eq!(q.now(), Time::from_secs(3600));
+    }
+
+    #[test]
+    fn max_time_is_representable() {
+        let mut q = WheelQueue::new();
+        q.schedule(Time::MAX, "sentinel");
+        q.schedule(Time::from_ns(5), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.pop().unwrap(), (Time::MAX, "sentinel"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_matches_heap() {
+        // Cheap deterministic LCG-driven differential run against the
+        // heap; the heavier randomized version lives in tests/proptests.rs.
+        let mut wheel = WheelQueue::new();
+        let mut heap = crate::HeapQueue::new();
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..2000u32 {
+            let delay = Time::from_ns(next() % 10_000);
+            wheel.schedule_in(delay, round);
+            heap.schedule_in(delay, round);
+            if next() % 3 == 0 {
+                assert_eq!(wheel.pop(), heap.pop());
+                assert_eq!(wheel.now(), heap.now());
+            }
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+            assert_eq!(wheel.len(), heap.len());
+        }
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            assert_eq!(w, h);
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_clamps_past_scheduling() {
+        let mut q = WheelQueue::new();
+        q.schedule(Time::from_us(10), 1u32);
+        q.pop();
+        q.schedule(Time::from_us(1), 2); // in the past: clamped to now
+        assert_eq!(q.pop().unwrap(), (Time::from_us(10), 2));
+    }
+}

@@ -1,9 +1,96 @@
 //! Property-based tests for the discrete-event engine invariants.
 
-use hermes_sim::{EventQueue, SimRng, Time};
+use hermes_sim::{EventQueue, HeapQueue, SimRng, Time, WheelQueue};
 use proptest::prelude::*;
 
+/// One scripted step against both queue implementations.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Schedule at `now + delay_ns`.
+    ScheduleIn(u64),
+    /// Pop one event (no-op allowed when both queues are empty).
+    Pop,
+}
+
+fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    // Delays mix dense same-instant collisions (0), sub-slot steps,
+    // level-boundary straddles (≈64, ≈4096) and far jumps, so the wheel
+    // exercises direct ready-queue hits, level-0 buckets, and multi-level
+    // cascades in one script.
+    let op = prop_oneof![
+        3 => (0u64..8).prop_map(QueueOp::ScheduleIn),
+        3 => (0u64..200).prop_map(QueueOp::ScheduleIn),
+        2 => (3_500u64..5_000).prop_map(QueueOp::ScheduleIn),
+        1 => (1u64 << 20..1u64 << 34).prop_map(QueueOp::ScheduleIn),
+        4 => Just(QueueOp::Pop),
+    ];
+    proptest::collection::vec(op, 1..400)
+}
+
 proptest! {
+    /// Differential oracle: the timing wheel and the legacy binary heap
+    /// must agree on every pop, peek, `now`, and length for any
+    /// interleaving of schedules and pops — this is what lets the
+    /// `EventQueue` alias flip between them without changing a single
+    /// event trace.
+    #[test]
+    fn wheel_matches_heap_differentially(ops in queue_ops()) {
+        let mut wheel: WheelQueue<usize> = WheelQueue::new();
+        let mut heap: HeapQueue<usize> = HeapQueue::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                QueueOp::ScheduleIn(delay) => {
+                    wheel.schedule_in(Time::from_ns(*delay), i);
+                    heap.schedule_in(Time::from_ns(*delay), i);
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(wheel.pop(), heap.pop());
+                    prop_assert_eq!(wheel.now(), heap.now());
+                }
+            }
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain both to the end; full pop sequences must be identical.
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(w, h);
+            if w.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.scheduled_count(), heap.scheduled_count());
+    }
+
+    /// Equal-time FIFO ordering holds in *both* implementations: events
+    /// scheduled for the same instant pop in scheduling order, even when
+    /// the instants collide across wheel-level boundaries.
+    #[test]
+    fn fifo_among_equal_times_both_schedulers(
+        groups in proptest::collection::vec((0u64..130, 1usize..10), 1..30),
+    ) {
+        let mut wheel: WheelQueue<usize> = WheelQueue::new();
+        let mut heap: HeapQueue<usize> = HeapQueue::new();
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        let mut n = 0usize;
+        for (t, count) in &groups {
+            for _ in 0..*count {
+                wheel.schedule(Time::from_ns(*t), n);
+                heap.schedule(Time::from_ns(*t), n);
+                expected.push((*t, n));
+                n += 1;
+            }
+        }
+        expected.sort_by_key(|&(t, seq)| (t, seq));
+        for (want_t, want_id) in expected {
+            let (wt, wid) = wheel.pop().unwrap();
+            let (ht, hid) = heap.pop().unwrap();
+            prop_assert_eq!((wt.as_ns(), wid), (want_t, want_id));
+            prop_assert_eq!((ht.as_ns(), hid), (want_t, want_id));
+        }
+        prop_assert!(wheel.pop().is_none() && heap.pop().is_none());
+    }
+
     /// Popped timestamps are nondecreasing for any schedule order.
     #[test]
     fn pops_are_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {

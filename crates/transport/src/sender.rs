@@ -21,6 +21,14 @@ use hermes_sim::Time;
 
 use crate::config::TransportCfg;
 
+/// RFC 6298 clock granularity `G`: the floor on the RTO variance term
+/// `max(G, 4·RTTVAR)`. The simulation clock ticks in whole nanoseconds
+/// ([`Time`] is integer ns), so G is one tick — the finest granularity
+/// the RFC's formula is defined over here, and exactly enough that a
+/// perfectly stable RTT (integer truncation drives rttvar to 0) never
+/// yields `rto == srtt`.
+const RTO_GRANULARITY: Time = Time::from_ns(1);
+
 /// An instruction from the sender to the runtime.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SendAction {
@@ -359,14 +367,16 @@ impl Sender {
         self.win_end = self.snd_una + 1;
         self.backoff = (self.backoff + 1).min(10);
         let len = self.segment_len_at(self.snd_una);
-        self.stats.retx_segments += 1;
-        self.stats.segments_sent += 1;
-        self.snd_nxt = self.snd_una + len as u64;
-        out.push(SendAction::Tx {
-            seq: self.snd_una,
-            len,
-            retx: true,
-        });
+        if len > 0 {
+            self.stats.retx_segments += 1;
+            self.stats.segments_sent += 1;
+            self.snd_nxt = self.snd_una + len as u64;
+            out.push(SendAction::Tx {
+                seq: self.snd_una,
+                len,
+                retx: true,
+            });
+        }
         out.push(SendAction::ArmRto {
             deadline: now + self.current_rto(),
         });
@@ -397,12 +407,19 @@ impl Sender {
             }
         }
         let srtt = self.srtt.expect("both arms above set srtt");
-        self.rto = (srtt + self.rttvar * 4).clamp(self.cfg.min_rto, self.cfg.max_rto);
+        // RFC 6298 §2.3: RTO = SRTT + max(G, 4·RTTVAR). Perfectly stable
+        // RTTs drive rttvar to zero; without the clock-granularity floor
+        // the timer would collapse onto srtt itself and fire on the very
+        // next on-time ACK.
+        let var_term = (self.rttvar * 4).max(RTO_GRANULARITY);
+        self.rto = (srtt + var_term).clamp(self.cfg.min_rto, self.cfg.max_rto);
     }
 
-    /// Length of the segment starting at `seq` (full MSS or flow tail).
+    /// Length of the segment starting at `seq` (full MSS, flow tail, or
+    /// zero when `seq` is at/past the end — a spurious-RTO rewind racing
+    /// a late cumulative ACK can ask about such a seq).
     fn segment_len_at(&self, seq: u64) -> u32 {
-        ((self.size - seq).min(self.cfg.mss as u64)) as u32
+        (self.size.saturating_sub(seq).min(self.cfg.mss as u64)) as u32
     }
 
     /// Emit new segments while the window allows.
@@ -413,6 +430,9 @@ impl Sender {
                 break;
             }
             let len = self.segment_len_at(self.snd_nxt);
+            if len == 0 {
+                break; // nothing left to cut a segment from
+            }
             let retx = self.snd_nxt < self.max_sent;
             if retx {
                 self.stats.retx_segments += 1;
@@ -826,6 +846,44 @@ mod tests {
         out.clear();
         s.on_ack(1460, false, None, Time::from_us(60), &mut out);
         assert!(s.finished());
+    }
+
+    #[test]
+    fn segment_len_clamps_at_and_past_flow_end() {
+        // Regression: `size - seq` underflowed (debug panic / wrap in
+        // release) when asked about a seq at or beyond the flow end.
+        let s = sender(10 * MSS);
+        assert_eq!(s.segment_len_at(0) as u64, MSS);
+        assert_eq!(s.segment_len_at(10 * MSS - 100), 100);
+        assert_eq!(s.segment_len_at(10 * MSS), 0, "at end: zero, not underflow");
+        assert_eq!(s.segment_len_at(10 * MSS + 3 * MSS), 0, "past end: zero");
+    }
+
+    #[test]
+    fn stable_rtt_never_collapses_rto_onto_srtt() {
+        // RFC 6298 §2.3: a long run of identical RTT samples decays
+        // rttvar to zero; the granularity floor G must keep the timer
+        // strictly above srtt or every on-time ACK races the RTO.
+        // min_rto = 0 exposes the raw estimator (the default 10ms floor
+        // would mask the collapse).
+        let mut cfg = TransportCfg::dctcp();
+        cfg.min_rto = Time::ZERO;
+        let mut s = Sender::new(cfg, 10_000 * MSS);
+        let mut out = Vec::new();
+        s.start(Time::ZERO, &mut out);
+        let rtt = Time::from_us(100);
+        for i in 1..=1_000u64 {
+            out.clear();
+            s.on_ack(i * MSS, false, Some(rtt), Time::from_us(100) * i, &mut out);
+            let srtt = s.srtt().expect("sample fed");
+            assert!(s.rto > srtt, "rto {} collapsed onto srtt {srtt}", s.rto);
+        }
+        // rttvar is fully decayed by now: only the granularity floor
+        // separates the timer from the estimate.
+        let srtt = s.srtt().expect("sample fed");
+        assert_eq!(srtt, rtt);
+        assert_eq!(s.rttvar, Time::ZERO, "truncation decays rttvar to zero");
+        assert!(s.rto >= srtt + Time::from_ns(1));
     }
 
     #[test]
