@@ -22,6 +22,7 @@ mod perf;
 mod probing;
 mod runner;
 mod table;
+mod trace;
 
 pub use grid::GridSpec;
 pub use perf::{measure_point, peak_rss_kb, perf_point_cfg, PerfSample, PERF_POINTS};
@@ -30,6 +31,7 @@ pub use runner::{
     avg_summaries, run_point, run_point_detailed, DetailedResult, PointCfg, PointResult,
 };
 pub use table::{fmt_ms, fmt_ratio, TextTable};
+pub use trace::{run_trace_point, trace_point, TraceOut, TracePoint, CLEAR, ONSET, TRACE_POINTS};
 
 /// Global flow-count scale from `HERMES_SCALE`.
 pub fn scale() -> f64 {

@@ -30,6 +30,31 @@ use hermes_sim::{SimRng, Time};
 use crate::params::HermesParams;
 use crate::state::{PathState, PathType};
 
+/// Telemetry view of a path's class: the failure phase when suspected,
+/// Algorithm 1's congestion class otherwise. Read-only — tracing must
+/// never tick the sensing state machine.
+fn telem_class(st: &PathState, p: &HermesParams, now: Time) -> hermes_telemetry::PathClass {
+    use hermes_telemetry::PathClass as C;
+    if st.probation() {
+        return C::Probation;
+    }
+    match st.peek_class(p, now) {
+        PathType::Good => C::Good,
+        PathType::Gray => C::Gray,
+        PathType::Congested => C::Congested,
+        PathType::Failed => C::Failed,
+    }
+}
+
+/// Telemetry path encoding: spine index, or -1 for unset/direct.
+fn path_code(p: PathId) -> i64 {
+    if p.is_spine() {
+        i64::from(p.0)
+    } else {
+        -1
+    }
+}
+
 /// Rack-shared sensing state: one `PathState` per (destination rack,
 /// spine path), plus decision counters for diagnostics.
 pub struct RackSensing {
@@ -50,6 +75,10 @@ pub struct RackSensing {
     pub first_failure_at: Option<Time>,
     /// When this rack first re-admitted a path (time-to-readmit).
     pub first_recovery_at: Option<Time>,
+    /// Telemetry only: last class reported per `[dst_leaf][spine]`, so
+    /// [`RackSensing::trace_class`] emits transitions, not every read.
+    /// Untouched unless a telemetry sink is installed.
+    trace_last: Vec<Vec<Option<hermes_telemetry::PathClass>>>,
 }
 
 impl RackSensing {
@@ -68,6 +97,7 @@ impl RackSensing {
             params,
             my_leaf,
             state: vec![vec![PathState::default(); topo.n_spines]; topo.n_leaves],
+            trace_last: vec![vec![None; topo.n_spines]; topo.n_leaves],
             candidates,
             stat_reroutes: 0,
             stat_initial: 0,
@@ -108,7 +138,32 @@ impl RackSensing {
             // detection is noted here as well as in the timeout hook.
             self.note_failure(now);
         }
+        if hermes_telemetry::enabled() {
+            self.trace_path(dst, path, now);
+        }
         t
+    }
+
+    /// Telemetry: emit a `PathTransition` record if `path`'s class
+    /// toward `dst` changed since the last report. Paths start as
+    /// `Gray` (never sampled), matching Algorithm 1's default.
+    fn trace_path(&mut self, dst: LeafId, path: PathId, now: Time) {
+        let p = self.params;
+        let to = telem_class(self.path_state(dst, path), &p, now);
+        let slot = &mut self.trace_last[dst.0 as usize][path.0 as usize];
+        let from = slot.unwrap_or(hermes_telemetry::PathClass::Gray);
+        *slot = Some(to);
+        if from == to {
+            return; // no change (or first observation of the default)
+        }
+        let leaf = u32::from(self.my_leaf.0);
+        hermes_telemetry::emit_with(now, || hermes_telemetry::Record::PathTransition {
+            leaf,
+            dst_leaf: u32::from(dst.0),
+            path: u32::from(path.0),
+            from,
+            to,
+        });
     }
 
     /// Record that some path was just declared failed.
@@ -267,20 +322,36 @@ impl EdgeLb for Hermes {
                 "Algorithm 2 placed a flow on a failed path despite a live alternative"
             );
             let mut sh = self.shared.borrow_mut();
-            if cur_class == Some(PathType::Failed) {
+            let verdict = if cur_class == Some(PathType::Failed) {
                 sh.stat_failovers += 1;
+                hermes_telemetry::RerouteVerdict::Failover
             } else {
                 sh.stat_initial += 1;
-            }
+                if ctx.timed_out {
+                    hermes_telemetry::RerouteVerdict::TimeoutReplace
+                } else {
+                    hermes_telemetry::RerouteVerdict::Initial
+                }
+            };
+            hermes_telemetry::emit_with(now, || hermes_telemetry::Record::Reroute {
+                flow: ctx.flow.0,
+                dst_leaf: u32::from(d.0),
+                from_path: path_code(cur),
+                to_path: path_code(chosen),
+                verdict,
+            });
             return chosen;
         }
 
         // Lines 13–23: reroute off a congested path, cautiously.
         if cur_class == Some(PathType::Congested) && params.enable_reroute {
-            if ctx.bytes_sent > params.size_threshold
-                && ctx.rate_bps < params.rate_threshold_bps
-                && ctx.since_change > params.reroute_cooldown
-            {
+            // The three cautious gates, split out so telemetry can name
+            // the first one that held (plain comparisons: hoisting them
+            // does not change Algorithm 2's behaviour).
+            let big_enough = ctx.bytes_sent > params.size_threshold;
+            let slow_enough = ctx.rate_bps < params.rate_threshold_bps;
+            let cooled_down = ctx.since_change > params.reroute_cooldown;
+            if big_enough && slow_enough && cooled_down {
                 let cur_snapshot = *self.shared.borrow().path_state(d, cur);
                 let notably = |sh: &RackSensing, p: PathId| {
                     notably_better(&params, &cur_snapshot, sh.path_state(d, p))
@@ -309,8 +380,37 @@ impl EdgeLb for Hermes {
                         "cautious reroute chose a failed path"
                     );
                     self.shared.borrow_mut().stat_reroutes += 1;
+                    hermes_telemetry::emit_with(now, || hermes_telemetry::Record::Reroute {
+                        flow: ctx.flow.0,
+                        dst_leaf: u32::from(d.0),
+                        from_path: path_code(cur),
+                        to_path: path_code(p),
+                        verdict: hermes_telemetry::RerouteVerdict::Rerouted,
+                    });
                     return p;
                 }
+                hermes_telemetry::emit_with(now, || hermes_telemetry::Record::Reroute {
+                    flow: ctx.flow.0,
+                    dst_leaf: u32::from(d.0),
+                    from_path: path_code(cur),
+                    to_path: path_code(cur),
+                    verdict: hermes_telemetry::RerouteVerdict::HeldNoMargin,
+                });
+            } else if hermes_telemetry::enabled() {
+                let verdict = if !big_enough {
+                    hermes_telemetry::RerouteVerdict::HeldSize
+                } else if !slow_enough {
+                    hermes_telemetry::RerouteVerdict::HeldRate
+                } else {
+                    hermes_telemetry::RerouteVerdict::HeldCooldown
+                };
+                hermes_telemetry::emit_with(now, || hermes_telemetry::Record::Reroute {
+                    flow: ctx.flow.0,
+                    dst_leaf: u32::from(d.0),
+                    from_path: path_code(cur),
+                    to_path: path_code(cur),
+                    verdict,
+                });
             }
             return cur; // do not reroute
         }
@@ -335,6 +435,9 @@ impl EdgeLb for Hermes {
         if sh.st(ctx.dst_leaf, path).sample(rtt, ecn, &p, now) {
             sh.note_recovery(now);
         }
+        if hermes_telemetry::enabled() {
+            sh.trace_path(ctx.dst_leaf, path, now);
+        }
     }
 
     fn on_timeout(&mut self, ctx: &FlowCtx, path: PathId, now: Time) {
@@ -346,6 +449,9 @@ impl EdgeLb for Hermes {
         if sh.st(ctx.dst_leaf, path).on_timeout(&p, now) {
             sh.note_failure(now);
         }
+        if hermes_telemetry::enabled() {
+            sh.trace_path(ctx.dst_leaf, path, now);
+        }
     }
 
     fn on_retransmit(&mut self, ctx: &FlowCtx, path: PathId, now: Time) {
@@ -355,6 +461,10 @@ impl EdgeLb for Hermes {
         let mut sh = self.shared.borrow_mut();
         let p = sh.params;
         sh.st(ctx.dst_leaf, path).on_retransmit(&p, now);
+        if hermes_telemetry::enabled() {
+            // A retransmission can demote Probation → Failed.
+            sh.trace_path(ctx.dst_leaf, path, now);
+        }
     }
 
     fn on_data_sent(&mut self, ctx: &FlowCtx, path: PathId, bytes: u64, now: Time) {
@@ -409,8 +519,15 @@ impl EdgeLb for Hermes {
             // re-admission latency is bounded by
             // recovery_probe_count × probe_interval.
             for &p in &cands {
-                if sh.st(dst, p).in_probation(&params, now) && !targets.contains(&p) {
-                    targets.push(p);
+                if sh.st(dst, p).in_probation(&params, now) {
+                    if hermes_telemetry::enabled() {
+                        // Probe planning is where Failed ages out into
+                        // Probation — report the transition here.
+                        sh.trace_path(dst, p, now);
+                    }
+                    if !targets.contains(&p) {
+                        targets.push(p);
+                    }
                 }
             }
             plan.extend(targets.into_iter().map(|path| ProbeTarget {
@@ -431,16 +548,20 @@ impl EdgeLb for Hermes {
         if sh.st(dst_leaf, path).sample(Some(rtt), ecn, &p, now) {
             sh.note_recovery(now);
         }
+        if hermes_telemetry::enabled() {
+            sh.trace_path(dst_leaf, path, now);
+        }
     }
 
     fn on_probe_timeout(&mut self, dst_leaf: LeafId, path: PathId, now: Time) {
         if !path.is_spine() {
             return;
         }
-        self.shared
-            .borrow_mut()
-            .st(dst_leaf, path)
-            .on_probe_lost(now);
+        let mut sh = self.shared.borrow_mut();
+        sh.st(dst_leaf, path).on_probe_lost(now);
+        if hermes_telemetry::enabled() {
+            sh.trace_path(dst_leaf, path, now);
+        }
     }
 }
 
@@ -780,6 +901,157 @@ mod tests {
         let mut rng = SimRng::new(2);
         let p = follower.select_path(&ctx_new(), &cands(), now, &mut rng);
         assert_eq!(p, PathId(3));
+    }
+
+    /// Drain the sink and keep only records matching `keep`.
+    fn drained<F: Fn(&hermes_telemetry::Record) -> bool>(keep: F) -> Vec<hermes_telemetry::Record> {
+        hermes_telemetry::drain()
+            .into_iter()
+            .map(|e| e.record)
+            .filter(keep)
+            .collect()
+    }
+
+    #[test]
+    fn telemetry_path_transitions_fire_on_failure_and_recovery() {
+        if !hermes_telemetry::compiled() {
+            return;
+        }
+        use hermes_telemetry::{PathClass, Record};
+        let (_sh, mut h, params) = setup();
+        hermes_telemetry::install(hermes_telemetry::SinkConfig::default());
+        let t0 = Time::from_ms(1);
+        let c0 = ctx_new();
+        for _ in 0..3 {
+            h.on_timeout(&c0, PathId(2), t0);
+        }
+        let tr = drained(|r| matches!(r, Record::PathTransition { .. }));
+        assert_eq!(
+            tr,
+            vec![Record::PathTransition {
+                leaf: 0,
+                dst_leaf: 1,
+                path: 2,
+                from: PathClass::Gray,
+                to: PathClass::Failed,
+            }],
+            "exactly one Gray→Failed transition at the blackhole rule"
+        );
+        // Quiet period → probation (reported from probe planning).
+        let t1 = t0 + params.failure_quiet_period;
+        let mut rng = SimRng::new(1);
+        let _ = h.probe_plan(t1, &mut rng);
+        let tr = drained(|r| matches!(r, Record::PathTransition { .. }));
+        assert!(
+            tr.contains(&Record::PathTransition {
+                leaf: 0,
+                dst_leaf: 1,
+                path: 2,
+                from: PathClass::Failed,
+                to: PathClass::Probation,
+            }),
+            "Failed→Probation must be traced: {tr:?}"
+        );
+        // Successful probes re-admit: Probation → a live class.
+        for k in 0..params.recovery_probe_count {
+            h.on_probe_result(
+                LeafId(1),
+                PathId(2),
+                Time::from_us(60),
+                false,
+                t1 + params.probe_interval * u64::from(k),
+            );
+        }
+        let tr = drained(|r| matches!(r, Record::PathTransition { .. }));
+        assert!(
+            tr.iter().any(|r| matches!(
+                r,
+                Record::PathTransition {
+                    path: 2,
+                    from: PathClass::Probation,
+                    to: PathClass::Good | PathClass::Gray,
+                    ..
+                }
+            )),
+            "re-admission must be traced: {tr:?}"
+        );
+        hermes_telemetry::uninstall();
+    }
+
+    #[test]
+    fn telemetry_reroute_verdicts_cover_algorithm2_branches() {
+        if !hermes_telemetry::compiled() {
+            return;
+        }
+        use hermes_telemetry::{Record, RerouteVerdict};
+        let (sh, mut h, params) = setup();
+        hermes_telemetry::install(hermes_telemetry::SinkConfig::default());
+        let mut rng = SimRng::new(1);
+        let now = Time::from_ms(1);
+        let verdict_of = |r: &Record| match r {
+            Record::Reroute { verdict, .. } => Some(*verdict),
+            _ => None,
+        };
+        // New flow → Initial.
+        let _ = h.select_path(&ctx_new(), &cands(), now, &mut rng);
+        let v: Vec<_> = drained(|r| matches!(r, Record::Reroute { .. }))
+            .iter()
+            .filter_map(verdict_of)
+            .collect();
+        assert_eq!(v, vec![RerouteVerdict::Initial]);
+        // Congested current path, small flow → HeldSize.
+        let hot = params.t_rtt_high + Time::from_us(100);
+        let cold = params.t_rtt_low - Time::from_us(10);
+        feed(&sh, LeafId(1), PathId(0), hot, true, now);
+        feed(&sh, LeafId(1), PathId(4), cold, false, now);
+        let mut c = ctx_new();
+        c.is_new = false;
+        c.current_path = PathId(0);
+        c.bytes_sent = 10;
+        let _ = h.select_path(&c, &cands(), now, &mut rng);
+        let v: Vec<_> = drained(|r| matches!(r, Record::Reroute { .. }))
+            .iter()
+            .filter_map(verdict_of)
+            .collect();
+        assert_eq!(v, vec![RerouteVerdict::HeldSize]);
+        // Gates pass with a notably better path → Rerouted.
+        c.bytes_sent = params.size_threshold + 1;
+        let to = h.select_path(&c, &cands(), now, &mut rng);
+        assert_eq!(to, PathId(4));
+        let rr = drained(|r| matches!(r, Record::Reroute { .. }));
+        assert_eq!(
+            rr,
+            vec![Record::Reroute {
+                flow: 1,
+                dst_leaf: 1,
+                from_path: 0,
+                to_path: 4,
+                verdict: RerouteVerdict::Rerouted,
+            }]
+        );
+        // Failed current path → Failover.
+        for _ in 0..3 {
+            h.on_timeout(&c, PathId(0), now);
+        }
+        let _ = h.select_path(&c, &cands(), now, &mut rng);
+        let v: Vec<_> = drained(|r| matches!(r, Record::Reroute { .. }))
+            .iter()
+            .filter_map(verdict_of)
+            .collect();
+        assert_eq!(v, vec![RerouteVerdict::Failover]);
+        hermes_telemetry::uninstall();
+    }
+
+    #[test]
+    fn telemetry_off_thread_emits_nothing() {
+        // No sink installed on this thread: the same hooks must stay
+        // silent (and the trace_last grid cold).
+        let (_sh, mut h, _params) = setup();
+        let c0 = ctx_new();
+        for _ in 0..3 {
+            h.on_timeout(&c0, PathId(2), Time::from_ms(1));
+        }
+        assert!(hermes_telemetry::drain().is_empty());
     }
 
     #[test]

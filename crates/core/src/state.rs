@@ -139,6 +139,14 @@ impl PathState {
         self.phase != FailPhase::Ok
     }
 
+    /// Whether the path is currently in the probation phase. Read-only
+    /// (no age-out side effect): telemetry's view of the failure state
+    /// machine. Placement and probe planning use [`Self::in_probation`],
+    /// which ages Failed paths out first.
+    pub fn probation(&self) -> bool {
+        self.phase == FailPhase::Probation
+    }
+
     /// Whether the path is in probation, aging it out of Failed first if
     /// the quiet period has elapsed. Probe planning uses this to target
     /// candidate-recovery paths.
@@ -342,6 +350,18 @@ impl PathState {
             PathType::Congested
         } else {
             PathType::Gray
+        }
+    }
+
+    /// Read-only classification: the class [`Self::characterize`]
+    /// would report *right now*, without advancing the failure state
+    /// machine (no age-out, no random-drop check). Telemetry reads
+    /// this so that tracing can never perturb sensing behaviour.
+    pub fn peek_class(&self, p: &HermesParams, now: Time) -> PathType {
+        if self.failed() {
+            PathType::Failed
+        } else {
+            self.congestion_class(p, now)
         }
     }
 

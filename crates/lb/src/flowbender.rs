@@ -58,7 +58,7 @@ impl EdgeLb for FlowBender {
         &mut self,
         ctx: &FlowCtx,
         candidates: &[PathId],
-        _now: Time,
+        now: Time,
         rng: &mut SimRng,
     ) -> PathId {
         let st = self.flows.entry(ctx.flow).or_insert_with(|| FlowState {
@@ -70,6 +70,7 @@ impl EdgeLb for FlowBender {
         let dead = !candidates.contains(&st.path);
         if st.want_reroute || dead {
             st.want_reroute = false;
+            let from = st.path;
             // Re-hash to a *different* live path when possible.
             let others: Vec<PathId> = candidates
                 .iter()
@@ -81,6 +82,14 @@ impl EdgeLb for FlowBender {
             } else {
                 others[rng.below(others.len())]
             };
+            let to = st.path;
+            hermes_telemetry::emit_with(now, || hermes_telemetry::Record::Reroute {
+                flow: ctx.flow.0,
+                dst_leaf: u32::from(ctx.dst_leaf.0),
+                from_path: i64::from(from.0),
+                to_path: i64::from(to.0),
+                verdict: hermes_telemetry::RerouteVerdict::Bounce,
+            });
         }
         st.path
     }
@@ -257,6 +266,39 @@ mod tests {
         let survivors: Vec<PathId> = CANDS.iter().copied().filter(|&c| c != p).collect();
         let q = lb.select_path(&ctx(1), &survivors, Time::ZERO, &mut rng);
         assert!(survivors.contains(&q));
+    }
+
+    #[test]
+    fn telemetry_bounce_records_fire_on_rehash_only() {
+        if !hermes_telemetry::compiled() {
+            return;
+        }
+        use hermes_telemetry::{Record, RerouteVerdict};
+        hermes_telemetry::install(hermes_telemetry::SinkConfig::default());
+        let mut lb = FlowBender::new(FlowBenderCfg::default());
+        let mut rng = SimRng::new(9);
+        // Initial blind pick: no reroute record.
+        let p = lb.select_path(&ctx(1), &CANDS, Time::ZERO, &mut rng);
+        assert!(hermes_telemetry::drain().is_empty());
+        // A fully marked window bounces the flow: exactly one record.
+        for _ in 0..16 {
+            lb.on_ack(&ctx(1), p, None, true, 1460, Time::ZERO);
+        }
+        let q = lb.select_path(&ctx(1), &CANDS, Time::from_us(7), &mut rng);
+        let evs = hermes_telemetry::drain();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(
+            evs[0].record,
+            Record::Reroute {
+                flow: 1,
+                dst_leaf: 1,
+                from_path: i64::from(p.0),
+                to_path: i64::from(q.0),
+                verdict: RerouteVerdict::Bounce,
+            }
+        );
+        assert_eq!(evs[0].at, Time::from_us(7));
+        hermes_telemetry::uninstall();
     }
 
     #[test]

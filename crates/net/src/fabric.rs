@@ -421,6 +421,7 @@ impl Fabric {
         match port.enqueue(pkt) {
             Enqueue::Queued => Self::kick_port(q, node, 0, port),
             Enqueue::Dropped(pkt) => {
+                Self::trace_drop(q.now(), &pkt, hermes_telemetry::DropReason::BufferFull);
                 #[cfg(feature = "audit")]
                 self.ledger.retired(pkt.id);
                 self.pool.recycle(pkt);
@@ -519,6 +520,27 @@ impl Fabric {
         }
     }
 
+    /// Telemetry: record a packet retired without delivery. Must run
+    /// *before* the box goes back to the pool — `recycle` poisons the
+    /// identity fields this record reads.
+    #[inline]
+    fn trace_drop(now: hermes_sim::Time, pkt: &Packet, reason: hermes_telemetry::DropReason) {
+        if !hermes_telemetry::enabled() {
+            return;
+        }
+        let flow = pkt.flow.0;
+        let path = if pkt.path.is_spine() {
+            i64::from(pkt.path.0)
+        } else {
+            -1
+        };
+        hermes_telemetry::emit_with(now, || hermes_telemetry::Record::Drop {
+            flow,
+            path,
+            reason,
+        });
+    }
+
     fn forward_leaf(&mut self, q: &mut EventQueue<Event>, l: LeafId, mut pkt: Box<Packet>) {
         let dst_leaf = self.topo.host_leaf(pkt.dst);
         let src_leaf = self.topo.host_leaf(pkt.src);
@@ -540,6 +562,7 @@ impl Fabric {
             match port.enqueue(pkt) {
                 Enqueue::Queued => Self::kick_port(q, node, slot, port),
                 Enqueue::Dropped(pkt) => {
+                    Self::trace_drop(q.now(), &pkt, hermes_telemetry::DropReason::BufferFull);
                     #[cfg(feature = "audit")]
                     self.ledger.retired(pkt.id);
                     self.pool.recycle(pkt);
@@ -552,6 +575,7 @@ impl Fabric {
         let cands = &self.candidates[l.0 as usize][dst_leaf.0 as usize];
         if cands.is_empty() {
             self.stats.drops_disconnected += 1;
+            Self::trace_drop(q.now(), &pkt, hermes_telemetry::DropReason::Disconnected);
             #[cfg(feature = "audit")]
             self.ledger.retired(pkt.id);
             self.pool.recycle(pkt);
@@ -589,6 +613,7 @@ impl Fabric {
             // uplink. Schemes keep this path in their candidate set and
             // must sense the loss.
             self.stats.drops_failure += 1;
+            Self::trace_drop(q.now(), &pkt, hermes_telemetry::DropReason::LinkDown);
             #[cfg(feature = "audit")]
             self.ledger.retired(pkt.id);
             self.pool.recycle(pkt);
@@ -602,9 +627,26 @@ impl Fabric {
         let port = self.leaf_ports[l.0 as usize][idx]
             .as_mut()
             .expect("candidate paths only cross live uplinks");
+        // Telemetry: detect a CE mark applied by this enqueue via the
+        // port's mark counter (the box is moved into the queue, so the
+        // marked flag itself is no longer visible here).
+        let marks_before = port.stats.ecn_marks;
+        let tel_flow = pkt.flow.0;
         match port.enqueue(pkt) {
-            Enqueue::Queued => Self::kick_port(q, node, idx, port),
+            Enqueue::Queued => {
+                if hermes_telemetry::enabled() && port.stats.ecn_marks > marks_before {
+                    let qbytes = port.low_queue_bytes();
+                    hermes_telemetry::emit_with(q.now(), || hermes_telemetry::Record::EcnMark {
+                        leaf: u32::from(l.0),
+                        spine: u32::from(spine),
+                        qbytes,
+                        flow: tel_flow,
+                    });
+                }
+                Self::kick_port(q, node, idx, port);
+            }
             Enqueue::Dropped(pkt) => {
+                Self::trace_drop(q.now(), &pkt, hermes_telemetry::DropReason::BufferFull);
                 #[cfg(feature = "audit")]
                 self.ledger.retired(pkt.id);
                 self.pool.recycle(pkt);
@@ -616,6 +658,7 @@ impl Fabric {
         let f = self.failures[s.0 as usize];
         if f.random_drop > 0.0 && self.rng.chance(f.random_drop) {
             self.stats.drops_failure += 1;
+            Self::trace_drop(q.now(), &pkt, hermes_telemetry::DropReason::RandomDrop);
             #[cfg(feature = "audit")]
             self.ledger.retired(pkt.id);
             self.pool.recycle(pkt);
@@ -626,6 +669,7 @@ impl Fabric {
             let dst_leaf = self.topo.host_leaf(pkt.dst);
             if bh.matches(pkt.src, pkt.dst, src_leaf, dst_leaf) {
                 self.stats.drops_failure += 1;
+                Self::trace_drop(q.now(), &pkt, hermes_telemetry::DropReason::Blackhole);
                 #[cfg(feature = "audit")]
                 self.ledger.retired(pkt.id);
                 self.pool.recycle(pkt);
@@ -636,6 +680,7 @@ impl Fabric {
         let idx = dst_leaf.0 as usize;
         if self.spine_ports[s.0 as usize][idx].is_none() {
             self.stats.drops_disconnected += 1;
+            Self::trace_drop(q.now(), &pkt, hermes_telemetry::DropReason::Disconnected);
             #[cfg(feature = "audit")]
             self.ledger.retired(pkt.id);
             self.pool.recycle(pkt);
@@ -644,6 +689,7 @@ impl Fabric {
         if self.link_down[idx][s.0 as usize] {
             // Transient failure of the spine→leaf downlink.
             self.stats.drops_failure += 1;
+            Self::trace_drop(q.now(), &pkt, hermes_telemetry::DropReason::LinkDown);
             #[cfg(feature = "audit")]
             self.ledger.retired(pkt.id);
             self.pool.recycle(pkt);
@@ -666,6 +712,7 @@ impl Fabric {
         match port.enqueue(pkt) {
             Enqueue::Queued => Self::kick_port(q, node, idx, port),
             Enqueue::Dropped(pkt) => {
+                Self::trace_drop(q.now(), &pkt, hermes_telemetry::DropReason::BufferFull);
                 #[cfg(feature = "audit")]
                 self.ledger.retired(pkt.id);
                 self.pool.recycle(pkt);
@@ -975,5 +1022,109 @@ mod tests {
             }
         }
         assert!(saw_queue, "3:1 convergence must build uplink queue");
+    }
+
+    #[test]
+    fn telemetry_drop_records_carry_reason_and_identity() {
+        if !hermes_telemetry::compiled() {
+            return;
+        }
+        use hermes_telemetry::{DropReason, Record};
+        hermes_telemetry::install(hermes_telemetry::SinkConfig::default());
+
+        // Blackhole at spine 0 for the (leaf0, leaf1) pair.
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(7));
+        fab.set_spine_failure(
+            SpineId(0),
+            SpineFailure::blackhole(LeafId(0), LeafId(1), 1.0),
+        );
+        let mut q = EventQueue::new();
+        send_data(&mut fab, &mut q, 0, 6, PathId(0));
+        let out = run_to_completion(&mut fab, &mut q);
+        assert!(out.is_empty());
+        let evs = hermes_telemetry::drain();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(
+            evs[0].record,
+            Record::Drop {
+                flow: 1,
+                path: 0,
+                reason: DropReason::Blackhole,
+            }
+        );
+        // The record fires at the spine arrival, not injection time, and
+        // before the box is recycled (identity not poisoned).
+        assert!(evs[0].at > Time::ZERO);
+
+        // Downed uplink → LinkDown reason with the same identity.
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(7));
+        fab.set_link_down(LeafId(0), SpineId(2), true);
+        let mut q = EventQueue::new();
+        send_data(&mut fab, &mut q, 0, 6, PathId(2));
+        run_to_completion(&mut fab, &mut q);
+        let evs = hermes_telemetry::drain();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(
+            evs[0].record,
+            Record::Drop {
+                flow: 1,
+                path: 2,
+                reason: DropReason::LinkDown,
+            }
+        );
+        hermes_telemetry::uninstall();
+    }
+
+    #[test]
+    fn telemetry_ecn_marks_surface_with_queue_depth() {
+        if !hermes_telemetry::compiled() {
+            return;
+        }
+        use hermes_telemetry::Record;
+        hermes_telemetry::install(hermes_telemetry::SinkConfig::default());
+        // 2:1 convergence onto one 30KB-threshold uplink (same setup as
+        // ecn_marked_under_persistent_queue).
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        let mut q = EventQueue::new();
+        for h in [0u32, 1] {
+            for i in 0..40 {
+                let mut p = Packet::data(
+                    FlowId(h as u64),
+                    HostId(h),
+                    HostId(6),
+                    i * 1460,
+                    1460,
+                    false,
+                );
+                p.path = PathId(0);
+                fab.host_send(&mut q, p);
+            }
+        }
+        run_to_completion(&mut fab, &mut q);
+        let marks: Vec<_> = hermes_telemetry::drain()
+            .into_iter()
+            .filter_map(|ev| match ev.record {
+                Record::EcnMark {
+                    leaf,
+                    spine,
+                    qbytes,
+                    flow,
+                } => Some((leaf, spine, qbytes, flow)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            marks.len() as u64,
+            fab.total_ecn_marks(),
+            "one record per counted mark"
+        );
+        assert!(!marks.is_empty());
+        for (leaf, spine, qbytes, flow) in marks {
+            assert_eq!((leaf, spine), (0, 0));
+            assert!(flow == 0 || flow == 1);
+            // Marking requires the data queue above K = 30 KB.
+            assert!(qbytes > 30_000, "mark-time queue {qbytes} must exceed K");
+        }
+        hermes_telemetry::uninstall();
     }
 }

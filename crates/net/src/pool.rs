@@ -92,12 +92,26 @@ impl PacketPool {
         }
     }
 
+    /// Identity stamped on parked boxes: no live packet or flow ever
+    /// carries it, so a stale id surfacing anywhere downstream (a
+    /// ledger entry, a telemetry record) is immediately recognizable
+    /// as a pool bug rather than a plausible-looking misattribution.
+    pub const POISON_ID: u64 = u64::MAX;
+
     /// Return a retired packet's allocation to the free list. Boxes
     /// beyond the capacity bound are freed instead of retained.
+    ///
+    /// The parked packet's identity (`id`, `flow`) is poisoned on the
+    /// way in: `boxed` overwrites the whole struct on reuse, but a
+    /// retired packet's flow id must never be observable between
+    /// recycle and reuse — e.g. by a telemetry or audit hook reading a
+    /// box it should no longer hold (see `tests` for the regression).
     #[inline]
-    pub fn recycle(&mut self, pkt: Box<Packet>) {
+    pub fn recycle(&mut self, mut pkt: Box<Packet>) {
         if self.free.len() < self.cap {
             self.stats.recycled += 1;
+            pkt.id = Self::POISON_ID;
+            pkt.flow = crate::types::FlowId(Self::POISON_ID);
             self.free.push(pkt);
         } else {
             self.stats.discarded += 1;
@@ -153,6 +167,55 @@ mod tests {
         assert_eq!(pool.free_len(), 2);
         let s = pool.stats();
         assert_eq!((s.recycled, s.discarded), (2, 2));
+    }
+
+    #[test]
+    fn recycled_identity_is_poisoned_until_reuse() {
+        // Regression: a retired packet's (id, flow) must not survive on
+        // the free list, where a later hook reading a stale box would
+        // attribute events to the wrong flow.
+        let mut pool = PacketPool::new();
+        let mut a = pool.boxed(pkt(0));
+        a.id = 42;
+        a.flow = FlowId(7);
+        pool.recycle(a);
+        // While parked, the box carries the poison identity, not flow 7.
+        assert_eq!(pool.free[0].id, PacketPool::POISON_ID);
+        assert_eq!(pool.free[0].flow, FlowId(PacketPool::POISON_ID));
+        // Reuse hands out the *new* packet's identity, fully fresh.
+        let mut b = pool.boxed(pkt(3));
+        b.id = 99;
+        assert_eq!(b.flow, FlowId(1));
+        assert_eq!(b.id, 99);
+    }
+
+    #[test]
+    fn dropped_enqueue_recycle_does_not_leak_flow_id() {
+        // The Enqueue::Dropped path hands the rejected box back for
+        // recycling; the next allocation must carry only the fresh
+        // packet's flow id.
+        let mut port = crate::port::Port::new(
+            crate::topology::LinkCfg::new(10_000_000_000, hermes_sim::Time::from_us(1)),
+            1_000_000,
+            100, // buffer smaller than one packet: every enqueue drops
+        );
+        let mut pool = PacketPool::new();
+        let mut doomed = pool.boxed(pkt(5));
+        doomed.flow = FlowId(1234);
+        match port.enqueue(doomed) {
+            crate::port::Enqueue::Dropped(b) => pool.recycle(b),
+            crate::port::Enqueue::Queued => panic!("expected tail drop"),
+        }
+        let reused = pool.boxed(Packet::data(
+            FlowId(2),
+            HostId(0),
+            HostId(1),
+            0,
+            1460,
+            false,
+        ));
+        assert_eq!(reused.flow, FlowId(2), "stale flow id leaked through reuse");
+        assert_ne!(reused.flow, FlowId(1234));
     }
 
     #[test]

@@ -42,6 +42,45 @@ fn unpack(tok: u64) -> (u64, u64, u64) {
     (tok & 7, (tok >> 3) & ((1 << 40) - 1), tok >> 43)
 }
 
+/// Telemetry path encoding: the spine index, or -1 for direct/unset.
+fn telem_path(p: PathId) -> i64 {
+    if p.is_spine() {
+        i64::from(p.0)
+    } else {
+        -1
+    }
+}
+
+/// Telemetry label for an applied fault action.
+fn fault_kind(a: &hermes_net::FaultAction) -> &'static str {
+    use hermes_net::FaultAction;
+    match a {
+        FaultAction::SetSpineFailure { .. } => "set_spine_failure",
+        FaultAction::ClearSpineFailure { .. } => "clear_spine_failure",
+        FaultAction::LinkDown { .. } => "link_down",
+        FaultAction::LinkUp { .. } => "link_up",
+        FaultAction::SetLinkRate { .. } => "set_link_rate",
+        FaultAction::RestoreLinkRate { .. } => "restore_link_rate",
+        FaultAction::SpineDown { .. } => "spine_down",
+        FaultAction::SpineUp { .. } => "spine_up",
+    }
+}
+
+/// Fixed FCT histogram buckets (microseconds): log-ish spacing from
+/// sub-RTT mice to multi-second stragglers, plus the overflow bucket.
+const FCT_EDGES_US: &[f64] = &[
+    100.0,
+    300.0,
+    1_000.0,
+    3_000.0,
+    10_000.0,
+    30_000.0,
+    100_000.0,
+    300_000.0,
+    1_000_000.0,
+    3_000_000.0,
+];
+
 /// Flow ids at or above this are probe pseudo-flows.
 const PROBE_FLOW_BASE: u64 = 1 << 60;
 /// Flow ids at or above this (and below probes) are UDP sources.
@@ -457,6 +496,9 @@ impl Simulation {
         // `now` has already advanced to the event's timestamp.
         hermes_net::audit::digest_event(&mut self.digest, self.q.now(), &ev);
         self.stats.events += 1;
+        if hermes_telemetry::enabled() {
+            self.telemetry_cadence();
+        }
         match ev {
             Event::HostTimer { host: _, token } => self.on_timer(token),
             Event::Global { token } => self.on_global(token),
@@ -486,12 +528,46 @@ impl Simulation {
                     KIND_UDP => self.on_udp_tick(id as usize),
                     KIND_FAULT => {
                         let action = self.faults[id as usize].action;
+                        if hermes_telemetry::enabled() {
+                            let kind = fault_kind(&action);
+                            hermes_telemetry::emit_with(self.q.now(), || {
+                                hermes_telemetry::Record::FaultApplied { kind }
+                            });
+                        }
                         self.fabric.apply_fault(&action);
                     }
                     _ => unreachable!("bad global token {other}"),
                 }
             }
         }
+    }
+
+    /// Telemetry metrics cadence: piggybacks on event dispatch (no
+    /// scheduled events of its own, so the event stream — and with it
+    /// the determinism digest — is identical with telemetry off).
+    fn telemetry_cadence(&mut self) {
+        let now = self.q.now();
+        if !hermes_telemetry::on_cadence(now) {
+            return;
+        }
+        let topo = self.fabric.topology();
+        let (n_leaves, n_spines) = (topo.n_leaves, topo.n_spines);
+        for l in 0..n_leaves {
+            for s in 0..n_spines {
+                let (leaf, spine) = (LeafId(l as u16), SpineId(s as u16));
+                let up_qbytes = self.fabric.leaf_up_qbytes(leaf, spine);
+                let down_qbytes = self.fabric.spine_down_qbytes(spine, leaf);
+                hermes_telemetry::emit_with(now, || hermes_telemetry::Record::QueueSample {
+                    leaf: l as u32,
+                    spine: s as u32,
+                    up_qbytes,
+                    down_qbytes,
+                });
+            }
+        }
+        hermes_telemetry::gauge_set("goodput_bytes", self.goodput_bytes as f64);
+        hermes_telemetry::gauge_set("flows_live", self.flows.len() as f64);
+        hermes_telemetry::sample_metrics(now);
     }
 
     fn on_sampler(&mut self, idx: usize) {
@@ -595,6 +671,17 @@ impl Simulation {
             sender_done: false,
         };
         self.stats.flows_started += 1;
+        if hermes_telemetry::enabled() {
+            // Label the sender so its cwnd/α/RTO snapshots carry the
+            // flow id.
+            f.sender.set_label(spec.id.0);
+            hermes_telemetry::emit_with(now, || hermes_telemetry::Record::FlowStarted {
+                flow: spec.id.0,
+                src: spec.src.0,
+                dst: spec.dst.0,
+                size: spec.size,
+            });
+        }
         let mut buf = std::mem::take(&mut self.send_scratch);
         f.sender.start(now, &mut buf);
         self.flows.insert(spec.id.0, f);
@@ -650,6 +737,16 @@ impl Simulation {
                     if path != loss_path && loss_path.is_spine() && path.is_spine() {
                         f.last_path_change = now;
                         self.stats.path_changes += 1;
+                        if hermes_telemetry::enabled() {
+                            let flow = fid;
+                            hermes_telemetry::emit_with(now, || {
+                                hermes_telemetry::Record::PathChange {
+                                    flow,
+                                    from_path: telem_path(loss_path),
+                                    to_path: telem_path(path),
+                                }
+                            });
+                        }
                     }
                     f.current_path = path;
                     f.bytes_routed += len as u64;
@@ -774,6 +871,19 @@ impl Simulation {
                 RecvAction::Complete => {
                     if let Some(f) = self.flows.get(&fid) {
                         self.records[f.rec_idx].finish = Some(now);
+                        if hermes_telemetry::enabled() {
+                            let fct = now.saturating_sub(self.records[f.rec_idx].start);
+                            let fct_ns = fct.as_ns();
+                            hermes_telemetry::emit_with(now, || {
+                                hermes_telemetry::Record::FlowCompleted { flow: fid, fct_ns }
+                            });
+                            hermes_telemetry::hist_observe(
+                                "fct_us",
+                                FCT_EDGES_US,
+                                fct.as_us() as f64,
+                            );
+                            hermes_telemetry::counter_add("flows_completed", 1);
+                        }
                     }
                     self.visibility.flow_finished(FlowId(fid), now);
                     self.stats.flows_completed += 1;

@@ -1,0 +1,268 @@
+//! Deterministic exporters: trace events to JSONL, sampled metrics to
+//! CSV.
+//!
+//! Hand-rolled like every other serializer in this workspace (no serde
+//! dependency). Field order is fixed per record kind and floats are
+//! printed with Rust's shortest-roundtrip `Display`, so a given event
+//! sequence maps to exactly one byte sequence — the determinism tests
+//! compare exporter output byte-for-byte across same-seed runs.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsRow;
+use crate::record::{Record, TraceEvent};
+
+/// Format an `f64` as a JSON value (non-finite degrades to `null`;
+/// instrumented quantities are always finite in practice).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One trace event as a single-line JSON object. Every line starts
+/// with `seq`, `at_ns` and `kind`; the remaining fields depend on the
+/// record kind and keep a fixed order.
+pub fn event_to_json(ev: &TraceEvent) -> String {
+    let mut s = String::with_capacity(128);
+    let _ = write!(
+        s,
+        "{{\"seq\":{},\"at_ns\":{},\"kind\":\"{}\"",
+        ev.seq,
+        ev.at.as_ns(),
+        ev.record.kind()
+    );
+    match ev.record {
+        Record::PathTransition {
+            leaf,
+            dst_leaf,
+            path,
+            from,
+            to,
+        } => {
+            let _ = write!(
+                s,
+                ",\"leaf\":{leaf},\"dst_leaf\":{dst_leaf},\"path\":{path},\"from\":\"{}\",\"to\":\"{}\"",
+                from.as_str(),
+                to.as_str()
+            );
+        }
+        Record::Reroute {
+            flow,
+            dst_leaf,
+            from_path,
+            to_path,
+            verdict,
+        } => {
+            let _ = write!(
+                s,
+                ",\"flow\":{flow},\"dst_leaf\":{dst_leaf},\"from_path\":{from_path},\"to_path\":{to_path},\"verdict\":\"{}\"",
+                verdict.as_str()
+            );
+        }
+        Record::EcnMark {
+            leaf,
+            spine,
+            qbytes,
+            flow,
+        } => {
+            let _ = write!(
+                s,
+                ",\"leaf\":{leaf},\"spine\":{spine},\"qbytes\":{qbytes},\"flow\":{flow}"
+            );
+        }
+        Record::QueueSample {
+            leaf,
+            spine,
+            up_qbytes,
+            down_qbytes,
+        } => {
+            let _ = write!(
+                s,
+                ",\"leaf\":{leaf},\"spine\":{spine},\"up_qbytes\":{up_qbytes},\"down_qbytes\":{down_qbytes}"
+            );
+        }
+        Record::CwndUpdate {
+            flow,
+            cwnd,
+            alpha,
+            rto_ns,
+        } => {
+            let _ = write!(
+                s,
+                ",\"flow\":{flow},\"cwnd\":{},\"alpha\":{},\"rto_ns\":{rto_ns}",
+                json_f64(cwnd),
+                json_f64(alpha)
+            );
+        }
+        Record::FlowStarted {
+            flow,
+            src,
+            dst,
+            size,
+        } => {
+            let _ = write!(
+                s,
+                ",\"flow\":{flow},\"src\":{src},\"dst\":{dst},\"size\":{size}"
+            );
+        }
+        Record::FlowCompleted { flow, fct_ns } => {
+            let _ = write!(s, ",\"flow\":{flow},\"fct_ns\":{fct_ns}");
+        }
+        Record::PathChange {
+            flow,
+            from_path,
+            to_path,
+        } => {
+            let _ = write!(
+                s,
+                ",\"flow\":{flow},\"from_path\":{from_path},\"to_path\":{to_path}"
+            );
+        }
+        Record::FaultApplied { kind } => {
+            let _ = write!(s, ",\"fault\":\"{kind}\"");
+        }
+        Record::Drop { flow, path, reason } => {
+            let _ = write!(
+                s,
+                ",\"flow\":{flow},\"path\":{path},\"reason\":\"{}\"",
+                reason.as_str()
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Serialize events as JSON Lines: one object per line, trailing
+/// newline after every line.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_to_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize sampled metrics rows as CSV with an `at_ns,name,value`
+/// header. Metric names never contain commas or quotes (static
+/// identifiers plus `{le=...}` suffixes), so no escaping is needed.
+pub fn to_csv(rows: &[MetricsRow]) -> String {
+    let mut out = String::from("at_ns,name,value\n");
+    for r in rows {
+        let _ = writeln!(out, "{},{},{}", r.at.as_ns(), r.name, json_f64(r.value));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use hermes_sim::Time;
+
+    use super::*;
+    use crate::record::{DropReason, PathClass, Record, RerouteVerdict, TraceEvent};
+
+    fn ev(seq: u64, record: Record) -> TraceEvent {
+        TraceEvent {
+            seq,
+            at: Time::from_us(seq + 1),
+            record,
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_have_fixed_shape() {
+        let events = [
+            ev(
+                0,
+                Record::PathTransition {
+                    leaf: 0,
+                    dst_leaf: 3,
+                    path: 2,
+                    from: PathClass::Good,
+                    to: PathClass::Failed,
+                },
+            ),
+            ev(
+                1,
+                Record::Reroute {
+                    flow: 9,
+                    dst_leaf: 3,
+                    from_path: 2,
+                    to_path: 1,
+                    verdict: RerouteVerdict::Failover,
+                },
+            ),
+            ev(
+                2,
+                Record::Drop {
+                    flow: 9,
+                    path: 2,
+                    reason: DropReason::Blackhole,
+                },
+            ),
+        ];
+        let out = to_jsonl(&events);
+        let lines: Vec<_> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"seq\":0,\"at_ns\":1000,\"kind\":\"path_transition\",\"leaf\":0,\"dst_leaf\":3,\"path\":2,\"from\":\"good\",\"to\":\"failed\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"seq\":1,\"at_ns\":2000,\"kind\":\"reroute\",\"flow\":9,\"dst_leaf\":3,\"from_path\":2,\"to_path\":1,\"verdict\":\"failover\"}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"seq\":2,\"at_ns\":3000,\"kind\":\"drop\",\"flow\":9,\"path\":2,\"reason\":\"blackhole\"}"
+        );
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn float_fields_use_shortest_roundtrip_display() {
+        let out = event_to_json(&ev(
+            0,
+            Record::CwndUpdate {
+                flow: 1,
+                cwnd: 14600.0,
+                alpha: 0.0625,
+                rto_ns: 1_000_000,
+            },
+        ));
+        assert!(out.contains("\"cwnd\":14600,"), "{out}");
+        assert!(out.contains("\"alpha\":0.0625,"), "{out}");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rows = vec![crate::metrics::MetricsRow {
+            at: Time::from_ms(1),
+            name: "fct{le=+inf}".to_string(),
+            value: 3.0,
+        }];
+        assert_eq!(to_csv(&rows), "at_ns,name,value\n1000000,fct{le=+inf},3\n");
+    }
+
+    #[test]
+    fn identical_event_slices_serialize_identically() {
+        let events: Vec<_> = (0..50)
+            .map(|i| {
+                ev(
+                    i,
+                    Record::QueueSample {
+                        leaf: (i % 4) as u32,
+                        spine: (i % 3) as u32,
+                        up_qbytes: i * 1460,
+                        down_qbytes: i * 100,
+                    },
+                )
+            })
+            .collect();
+        assert_eq!(to_jsonl(&events), to_jsonl(&events.clone()));
+    }
+}

@@ -1,0 +1,35 @@
+//! # hermes-telemetry — zero-overhead-when-off tracing and metrics
+//!
+//! A structured observation layer for the Hermes reproduction: typed
+//! trace records ([`Record`]) covering path-state sensing, placement
+//! decisions, fabric marks/drops and transport window dynamics; a
+//! bounded ring-buffer sink stamping records with `(sim time, seq)`;
+//! a metrics registry (counters, gauges, fixed-bucket histograms)
+//! snapshotted on a configurable sim-time cadence; and deterministic
+//! JSONL/CSV exporters.
+//!
+//! Two properties are load-bearing (DESIGN.md §12):
+//!
+//! * **Zero overhead when off.** Without the `on` feature every entry
+//!   point is an inline no-op and [`enabled`] is a compile-time
+//!   `false`, so guarded instrumentation sites vanish from the build.
+//!   Instrumented crates expose this as their own `telemetry` feature.
+//! * **Digest neutrality when on.** The sink observes; it never
+//!   schedules events, consumes randomness, or feeds back into
+//!   simulation state. A telemetry-on run produces the same
+//!   `hermes-net::audit` event-trace digest as a telemetry-off run
+//!   (enforced by `tests/telemetry.rs` against the conformance
+//!   goldens).
+
+mod export;
+mod metrics;
+mod record;
+mod sink;
+
+pub use export::{event_to_json, to_csv, to_jsonl};
+pub use metrics::{Histogram, Metrics, MetricsRow};
+pub use record::{DropReason, PathClass, Record, RerouteVerdict, TraceEvent};
+pub use sink::{
+    compiled, counter, counter_add, drain, dropped, emit_with, enabled, gauge_set, hist,
+    hist_observe, install, on_cadence, sample_metrics, take_metric_rows, uninstall, SinkConfig,
+};

@@ -33,4 +33,4 @@ pub use check::{CheckClass, Failure};
 pub use run::{run_grid, RunOutcome};
 pub use selftest::{run_self_test, self_test_passed};
 pub use spec::{load_dir, load_file, parse_scenario, ScenarioSpec, SpecError};
-pub use suite::{bless, run_conformance, ConformanceReport, DIGESTS_FILE};
+pub use suite::{bless, load_goldens, run_conformance, ConformanceReport, DIGESTS_FILE};

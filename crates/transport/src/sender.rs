@@ -97,6 +97,9 @@ pub struct Sender {
     rto: Time,
     backoff: u32,
     finished: bool,
+    /// Telemetry label (the runtime's flow id); 0 until assigned. Only
+    /// read when emitting trace records — never drives transport logic.
+    label: u64,
     pub stats: SenderStats,
 }
 
@@ -129,8 +132,27 @@ impl Sender {
             rto: cfg.min_rto,
             backoff: 0,
             finished: false,
+            label: 0,
             stats: SenderStats::default(),
         }
+    }
+
+    /// Attach the flow id used to label this sender's trace records.
+    pub fn set_label(&mut self, label: u64) {
+        self.label = label;
+    }
+
+    /// Telemetry: emit a window/α/RTO snapshot.
+    #[inline]
+    fn trace_cwnd(&self, now: Time) {
+        let (flow, cwnd, alpha) = (self.label, self.cwnd, self.alpha);
+        let rto_ns = self.current_rto().as_ns();
+        hermes_telemetry::emit_with(now, || hermes_telemetry::Record::CwndUpdate {
+            flow,
+            cwnd,
+            alpha,
+            rto_ns,
+        });
     }
 
     /// Current congestion window in bytes.
@@ -297,6 +319,11 @@ impl Sender {
             self.win_acked = 0;
             self.win_marked = 0;
             self.win_end = self.snd_nxt.max(self.snd_una + 1);
+            if hermes_telemetry::enabled() {
+                // One snapshot per DCTCP observation window: α just
+                // rolled, and the window may have been cut.
+                self.trace_cwnd(now);
+            }
         }
         if self.snd_una >= self.size {
             self.finished = true;
@@ -366,6 +393,10 @@ impl Sender {
         self.win_marked = 0;
         self.win_end = self.snd_una + 1;
         self.backoff = (self.backoff + 1).min(10);
+        if hermes_telemetry::enabled() {
+            // Window collapsed to one MSS and the RTO backed off.
+            self.trace_cwnd(now);
+        }
         let len = self.segment_len_at(self.snd_una);
         if len > 0 {
             self.stats.retx_segments += 1;
@@ -748,6 +779,45 @@ mod tests {
         out.clear();
         s.on_ack(MSS, true, None, Time::from_us(60), &mut out);
         assert!((s.alpha() - 1.0 / 16.0).abs() < 1e-9, "alpha {}", s.alpha());
+    }
+
+    #[test]
+    fn telemetry_snapshots_window_rollover_and_rto() {
+        if !hermes_telemetry::compiled() {
+            return;
+        }
+        use hermes_telemetry::Record;
+        hermes_telemetry::install(hermes_telemetry::SinkConfig::default());
+        let mut s = sender(10_000 * MSS);
+        s.set_label(42);
+        let mut out = Vec::new();
+        s.start(Time::ZERO, &mut out);
+        // Marked first ACK rolls the degenerate first window: α = 1/16.
+        s.on_ack(MSS, true, None, Time::from_us(60), &mut out);
+        let evs: Vec<_> = hermes_telemetry::drain();
+        let cw: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e.record {
+                Record::CwndUpdate {
+                    flow, alpha, cwnd, ..
+                } => Some((flow, alpha, cwnd)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cw.len(), 1, "one snapshot per window rollover: {evs:?}");
+        assert_eq!(cw[0].0, 42, "labelled with the flow id");
+        assert!((cw[0].1 - 1.0 / 16.0).abs() < 1e-9);
+        // RTO: window collapses to one MSS, snapshot carries backoff.
+        s.on_rto(Time::from_ms(10), &mut out);
+        let rto_snap: Vec<_> = hermes_telemetry::drain()
+            .into_iter()
+            .filter_map(|e| match e.record {
+                Record::CwndUpdate { flow, cwnd, .. } => Some((flow, cwnd)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rto_snap, vec![(42, MSS as f64)]);
+        hermes_telemetry::uninstall();
     }
 
     #[test]

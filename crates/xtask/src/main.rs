@@ -60,6 +60,7 @@ const SIM_CRATES: &[&str] = &[
     "lb",
     "runtime",
     "workload",
+    "telemetry",
 ];
 
 /// Crate directories the scanner skips entirely: vendored stand-ins for
@@ -180,11 +181,15 @@ fn main() -> ExitCode {
             conformance()
         }
         Some("bless") => bless_goldens(),
-        Some("perf") => perf(args.iter().any(|a| a == "--quick")),
+        Some("perf") => perf(
+            args.iter().any(|a| a == "--quick"),
+            args.iter().any(|a| a == "--gate"),
+        ),
+        Some("trace") => trace(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- <lint [--self-test] | conformance [--self-test] | \
-                 bless | perf [--quick]>"
+                 bless | perf [--quick] [--gate] | trace <point> --out <dir>>"
             );
             ExitCode::FAILURE
         }
@@ -328,15 +333,99 @@ const PERF_SCHEDULERS: &[(&str, &[&str])] = &[
 /// perf trajectory headline.
 const PERF_HEADLINE_POINT: &str = "fig12_baseline";
 
+/// `trace <point> --out <dir>`: rebuild `hermes-bench` with the
+/// `telemetry` feature and run its `trace_point` bin, which writes
+/// `<point>.trace.jsonl` (event trace) and `<point>.metrics.csv`
+/// (cadence-sampled metrics) into `<dir>`.
+fn trace(args: &[String]) -> ExitCode {
+    let mut point: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().map(String::as_str),
+            p if point.is_none() && !p.starts_with('-') => point = Some(p),
+            other => {
+                eprintln!("xtask trace: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(point), Some(out)) = (point, out) else {
+        eprintln!("usage: cargo run -p xtask -- trace <point> --out <dir>");
+        return ExitCode::FAILURE;
+    };
+    let root = workspace_root();
+    let status = std::process::Command::new("cargo")
+        .current_dir(&root)
+        .args(["run", "--release", "-q", "-p", "hermes-bench"])
+        .args(["--features", "hermes-bench/telemetry"])
+        .args(["--bin", "trace_point", "--"])
+        .args(["--point", point, "--out", out])
+        .status();
+    match status {
+        Ok(st) if st.success() => ExitCode::SUCCESS,
+        Ok(st) => {
+            eprintln!("xtask trace: trace_point exited with {st}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask trace: spawning cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Wall-clock runs per (point, scheduler); the minimum is reported
 /// (standard practice: the min is the least noise-contaminated sample).
 const PERF_RUNS_FULL: usize = 3;
 
+/// CI regression tolerance on the headline improvement, in percentage
+/// points. The improvement is a *relative* metric (heap vs wheel on the
+/// same machine, same mode), so it is comparable across machines and
+/// between `--quick` and full runs in a way raw wall-clock is not.
+const PERF_GATE_TOLERANCE_PCT: f64 = 5.0;
+
+/// Extract `"wall_improvement_pct"` from the `"headline"` object of a
+/// `BENCH_perf.json` document (hand-rolled: the workspace vendors no
+/// serde, and the file is our own fixed-shape output).
+fn parse_headline_improvement(json: &str) -> Option<f64> {
+    let h = json.split("\"headline\"").nth(1)?;
+    let v = h.split("\"wall_improvement_pct\":").nth(1)?;
+    let v = v.trim_start();
+    let end = v
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+'))
+        .unwrap_or(v.len());
+    v[..end].parse().ok()
+}
+
 /// Build and run the `perf_point` binary once per scheduler per named
 /// point, check the event-trace digests agree across schedulers, and
 /// write the comparison to `BENCH_perf.json` at the workspace root.
-fn perf(quick: bool) -> ExitCode {
+///
+/// With `gate`, the committed `BENCH_perf.json` is read *first* and the
+/// run fails if the fresh headline improvement falls more than
+/// [`PERF_GATE_TOLERANCE_PCT`] points below it.
+fn perf(quick: bool, gate: bool) -> ExitCode {
     let root = workspace_root();
+    let baseline = if gate {
+        let committed = fs::read_to_string(root.join("BENCH_perf.json"))
+            .ok()
+            .as_deref()
+            .and_then(parse_headline_improvement);
+        match committed {
+            Some(v) => Some(v),
+            None => {
+                eprintln!(
+                    "xtask perf: --gate needs a committed BENCH_perf.json with a headline \
+                     improvement"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     let runs = if quick { 1 } else { PERF_RUNS_FULL };
     let points = match perf_point_names(&root) {
         Ok(p) => p,
@@ -399,16 +488,39 @@ fn perf(quick: bool) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("xtask perf: wrote {}", out.display());
+    let mut headline_now = None;
     if let Some((_, reps)) = results.iter().find(|(p, _)| p == PERF_HEADLINE_POINT) {
         let (wheel, heap) = (&reps[0], &reps[1]);
         let improvement =
             perf_improvement_pct(perf_f64(heap, "wall_ms"), perf_f64(wheel, "wall_ms"));
+        headline_now = Some(improvement);
         println!(
             "xtask perf: {PERF_HEADLINE_POINT}: wheel {:.1} ms vs heap {:.1} ms — {improvement:.1}% \
              wall-clock improvement",
             perf_f64(wheel, "wall_ms"),
             perf_f64(heap, "wall_ms"),
         );
+    }
+    if let Some(committed) = baseline {
+        match headline_now {
+            Some(now) if now + PERF_GATE_TOLERANCE_PCT >= committed => {
+                println!(
+                    "xtask perf: gate OK — headline improvement {now:.1}% vs committed \
+                     {committed:.1}% (tolerance {PERF_GATE_TOLERANCE_PCT:.0} pts)"
+                );
+            }
+            Some(now) => {
+                eprintln!(
+                    "xtask perf: GATE FAILED — headline improvement {now:.1}% fell more than \
+                     {PERF_GATE_TOLERANCE_PCT:.0} pts below committed {committed:.1}%"
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("xtask perf: GATE FAILED — headline point missing from this run");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if digests_ok {
         println!("xtask perf: same-seed digests identical across schedulers");
@@ -923,6 +1035,20 @@ fn self_test() -> ExitCode {
             failures += 1;
         }
     }
+    // The telemetry crate records *sim* time: wall-clock use inside it
+    // would silently wreck trace determinism, so the rule must cover
+    // its files like any other simulation crate.
+    let telem = FileClass {
+        krate: "telemetry".to_string(),
+        kind: Kind::Lib,
+    };
+    let src = "fn stamp() -> u128 { std::time::Instant::now().elapsed().as_nanos() }\n";
+    let mut v = Vec::new();
+    scan_source(src, &telem, Path::new("fixture.rs"), &mut v);
+    if !v.iter().any(|x| x.rule == "wall-clock") {
+        eprintln!("self-test FAILED: [wall-clock] not detected in crates/telemetry fixture");
+        failures += 1;
+    }
     if failures == 0 {
         println!(
             "xtask self-test: {} bad + {} clean fixtures OK",
@@ -1057,6 +1183,60 @@ mod tests {
         let c = classify(Path::new("tests/scenarios.rs")).expect("classifies");
         assert_eq!(c.kind, Kind::TestOrExample);
         assert!(classify(Path::new("README.md")).is_none());
+    }
+
+    #[test]
+    fn telemetry_crate_is_lint_covered() {
+        // The tracing layer stamps sim time into every record: a
+        // wall-clock read anywhere inside it must trip the lint, and
+        // the real sources must currently be clean.
+        assert!(scan_as(
+            "telemetry",
+            Kind::Lib,
+            "fn f() { let _t = std::time::Instant::now(); }\n"
+        )
+        .contains(&"wall-clock"));
+        let dir = workspace_root().join("crates/telemetry/src");
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files);
+        assert!(!files.is_empty(), "telemetry sources exist");
+        for path in files {
+            let rel = path
+                .strip_prefix(workspace_root())
+                .expect("under the workspace root")
+                .to_path_buf();
+            let class = classify(&rel).expect("recognized layout");
+            assert!(
+                is_sim_crate(&class),
+                "{} must be lint-covered",
+                rel.display()
+            );
+            let src = fs::read_to_string(&path).expect("readable source");
+            let mut v = Vec::new();
+            scan_source(&src, &class, &rel, &mut v);
+            let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
+            assert!(v.is_empty(), "{} violates {rules:?}", rel.display());
+        }
+    }
+
+    #[test]
+    fn headline_improvement_parses_from_committed_json() {
+        let doc = r#"{
+  "mode": "full",
+  "headline": {"point": "fig12_baseline", "wall_improvement_pct": 50.90},
+  "points": []
+}"#;
+        assert_eq!(parse_headline_improvement(doc), Some(50.90));
+        assert_eq!(parse_headline_improvement("{}"), None);
+        assert_eq!(
+            parse_headline_improvement("{\"headline\": null}"),
+            None,
+            "a null headline must not gate"
+        );
+        // The real committed file parses too.
+        let committed = fs::read_to_string(workspace_root().join("BENCH_perf.json"))
+            .expect("committed BENCH_perf.json");
+        assert!(parse_headline_improvement(&committed).is_some());
     }
 
     #[test]
