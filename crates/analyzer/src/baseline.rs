@@ -1,0 +1,249 @@
+//! The committed unsafe inventory: `analyzer_baseline.json` at the
+//! workspace root.
+//!
+//! The file is the reviewed set of `unsafe` sites the workspace is
+//! allowed to contain. The analyzer diffs the tree's current inventory
+//! against it both ways — a site in the tree but not the baseline is a
+//! finding ("new unsafe: review it, then `--update-baseline`"), and a
+//! baseline entry with no matching site is a finding too (stale entries
+//! would let unsafe creep back silently). Entries are keyed by content
+//! (file, context line, SAFETY text), never line numbers, so pure code
+//! motion does not churn the file.
+//!
+//! Hand-rolled JSON both ways: the workspace deliberately vendors no
+//! serde, and the document is our own fixed-shape output.
+
+use crate::rules::{Finding, UnsafeSite};
+use std::path::Path;
+
+pub const BASELINE_FILE: &str = "analyzer_baseline.json";
+
+/// Serialize an inventory to the committed JSON shape.
+pub fn to_json(sites: &[UnsafeSite]) -> String {
+    let mut entries = Vec::new();
+    for s in sites {
+        entries.push(format!(
+            "    {{\"file\": \"{}\", \"context\": \"{}\", \"safety\": \"{}\"}}",
+            esc(&s.file),
+            esc(&s.context),
+            esc(&s.safety)
+        ));
+    }
+    format!(
+        "{{\n  \"comment\": \"Reviewed unsafe inventory; regenerate with `cargo run -p xtask -- \
+         analyze --update-baseline` after review. Every entry's safety field is its reason.\",\n  \
+         \"unsafe_sites\": {}\n}}\n",
+        if entries.is_empty() {
+            String::from("[]")
+        } else {
+            format!("[\n{}\n  ]", entries.join(",\n"))
+        }
+    )
+}
+
+/// Parse the committed baseline. A missing file is an empty baseline;
+/// a malformed one is an error (refuse to guess what was reviewed).
+pub fn load(root: &Path) -> Result<Vec<UnsafeSite>, String> {
+    let path = root.join(BASELINE_FILE);
+    let Ok(doc) = std::fs::read_to_string(&path) else {
+        return Ok(Vec::new());
+    };
+    parse(&doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Diff the tree inventory against the baseline, as findings.
+pub fn diff(current: &[UnsafeSite], baseline: &[UnsafeSite]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for s in current {
+        if !baseline.contains(s) {
+            out.push(Finding {
+                file: s.file.clone(),
+                line: 0,
+                rule: "unsafe-inventory",
+                text: format!(
+                    "new unsafe site not in {BASELINE_FILE} (review, then --update-baseline): {}",
+                    s.context
+                ),
+            });
+        }
+    }
+    for s in baseline {
+        if !current.contains(s) {
+            out.push(Finding {
+                file: s.file.clone(),
+                line: 0,
+                rule: "unsafe-inventory",
+                text: format!(
+                    "stale {BASELINE_FILE} entry with no matching source site: {}",
+                    s.context
+                ),
+            });
+        }
+    }
+    out
+}
+
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('u') => {
+                // `esc` writes exactly four hex digits, no braces.
+                let hex: String = it.by_ref().take(4).collect();
+                if let Ok(v) = u32::from_str_radix(&hex, 16) {
+                    if let Some(ch) = char::from_u32(v) {
+                        out.push(ch);
+                    }
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Minimal parser for the one shape `to_json` writes: an object with an
+/// `unsafe_sites` array of flat string-field objects.
+fn parse(doc: &str) -> Result<Vec<UnsafeSite>, String> {
+    let arr = doc
+        .split("\"unsafe_sites\"")
+        .nth(1)
+        .ok_or("missing \"unsafe_sites\" key")?;
+    let open = arr.find('[').ok_or("missing [ after unsafe_sites")?;
+    let mut sites = Vec::new();
+    let mut rest = &arr[open + 1..];
+    while let Some(obj_open) = rest.find('{') {
+        // A `]` before the next `{` ends the array.
+        if rest[..obj_open].contains(']') {
+            break;
+        }
+        let (fields, after) = parse_object(&rest[obj_open + 1..])?;
+        let get = |k: &str| -> Result<String, String> {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("entry missing \"{k}\""))
+        };
+        sites.push(UnsafeSite {
+            file: get("file")?,
+            context: get("context")?,
+            safety: get("safety")?,
+        });
+        rest = after;
+    }
+    Ok(sites)
+}
+
+/// The string fields of one parsed object, as `(key, value)` pairs.
+type Fields = Vec<(String, String)>;
+
+/// Parse `"k": "v", …}` returning the fields and the text after `}`.
+fn parse_object(s: &str) -> Result<(Fields, &str), String> {
+    let mut fields = Vec::new();
+    let mut rest = s;
+    loop {
+        let rest_trim = rest.trim_start();
+        if let Some(after) = rest_trim.strip_prefix('}') {
+            return Ok((fields, after));
+        }
+        let rest2 = rest_trim
+            .strip_prefix(',')
+            .unwrap_or(rest_trim)
+            .trim_start();
+        let (key, after_key) = parse_string(rest2)?;
+        let after_colon = after_key
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or("expected : after key")?;
+        let (val, after_val) = parse_string(after_colon.trim_start())?;
+        fields.push((key, val));
+        rest = after_val;
+    }
+}
+
+/// Parse a leading `"…"` (with escapes), returning it unescaped plus
+/// the remaining text.
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let body = s.strip_prefix('"').ok_or("expected string")?;
+    let b = body.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return Ok((unesc(&body[..i]), &body[i + 1..])),
+            _ => i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(file: &str, context: &str, safety: &str) -> UnsafeSite {
+        UnsafeSite {
+            file: file.into(),
+            context: context.into(),
+            safety: safety.into(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let sites = vec![
+            site(
+                "crates/net/src/pool.rs",
+                "unsafe { slot.assume_init() } // SAFETY: written above",
+                "written above, index \"checked\"",
+            ),
+            site("crates/sim/src/x.rs", "unsafe fn y()", "caller\ncontract"),
+        ];
+        let doc = to_json(&sites);
+        assert_eq!(parse(&doc).expect("parses"), sites);
+    }
+
+    #[test]
+    fn empty_inventory_round_trips() {
+        let doc = to_json(&[]);
+        assert_eq!(parse(&doc).expect("parses"), Vec::<UnsafeSite>::new());
+        assert!(doc.contains("\"unsafe_sites\": []"));
+    }
+
+    #[test]
+    fn diff_reports_both_directions() {
+        let a = site("f.rs", "unsafe { a() }", "a ok");
+        let b = site("f.rs", "unsafe { b() }", "b ok");
+        let d = diff(std::slice::from_ref(&a), std::slice::from_ref(&b));
+        assert_eq!(d.len(), 2);
+        assert!(d[0].text.contains("new unsafe site"), "{}", d[0].text);
+        assert!(d[1].text.contains("stale"), "{}", d[1].text);
+        assert!(diff(std::slice::from_ref(&a), std::slice::from_ref(&a)).is_empty());
+    }
+}

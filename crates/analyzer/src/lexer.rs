@@ -1,0 +1,532 @@
+//! A dependency-free Rust lexer, sufficient for source-level analysis.
+//!
+//! Produces a flat token stream with 1-based line numbers. It is not a
+//! full grammar — no parse tree — but it gets every *lexical* boundary
+//! right that a scanner can trip over: nested block comments, raw
+//! strings (`r"…"`, `r#"…"#`, and byte variants), byte strings and byte
+//! chars, char literals vs lifetimes, raw identifiers (`r#match`),
+//! float literals vs range expressions (`1.0` vs `1..2`), and
+//! multi-character operators (so a bare `=` token really is an
+//! assignment, never half of `==`/`=>`/`<=`).
+//!
+//! Comments are kept as tokens rather than discarded: the rule engine
+//! reads them for `// SAFETY:` justifications and
+//! `// ANALYZER: allow(rule, reason)` suppressions.
+
+/// Lexical class of one token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Integer literal (any base, with suffix/underscores).
+    Int,
+    /// Floating-point literal (`1.0`, `1e9`, `2f64`, …).
+    Float,
+    /// Any string-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// One operator or delimiter (multi-char ops are single tokens).
+    Punct,
+    /// `// …` comment, including doc comments (`///`, `//!`).
+    LineComment,
+    /// `/* … */` comment (nesting handled), including `/** … */`.
+    BlockComment,
+}
+
+/// One token: class, exact source text, and the line it starts on.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok<'_> {
+    /// Whether this token is a comment (trivia for most rules).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so prefixes never shadow.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Unterminated literals and comments are tolerated
+/// (the token simply runs to end of input): the analyzer must degrade
+/// gracefully on code mid-edit, not panic.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    Lexer {
+        src,
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Tok<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok<'a>> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.try_prefixed_literal() => {}
+                _ if is_ident_start(c) => self.ident(),
+                b'"' => self.string(self.i),
+                b'\'' => self.quote(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out.push(Tok {
+            kind,
+            text: &self.src[start..self.i],
+            line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.push(TokKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let mut depth = 0usize;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.i += 1;
+            }
+        }
+        self.push(TokKind::BlockComment, start, line);
+        self.count_lines_range(start, self.i);
+    }
+
+    /// Advance the line counter over the newlines a multi-line token's
+    /// body contained (its characters were consumed by index
+    /// arithmetic, bypassing the main loop's `\n` handling).
+    fn count_lines_range(&mut self, start: usize, end: usize) {
+        self.line += self.b[start..end].iter().filter(|&&c| c == b'\n').count() as u32;
+    }
+
+    /// `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, `r#ident`. Returns
+    /// false (consuming nothing) when the `r`/`b` is an ordinary ident
+    /// start (`ready`, `bytes`).
+    fn try_prefixed_literal(&mut self) -> bool {
+        let c = self.b[self.i];
+        // b'…' — byte char.
+        if c == b'b' && self.peek(1) == Some(b'\'') {
+            let (start, line) = (self.i, self.line);
+            self.i += 1; // consume b, then reuse the char scanner
+            self.char_literal(start, line);
+            return true;
+        }
+        // b"…" — byte string.
+        if c == b'b' && self.peek(1) == Some(b'"') {
+            let start = self.i;
+            self.i += 1;
+            self.string(start);
+            return true;
+        }
+        // r / br raw forms.
+        let hash_from = match (c, self.peek(1)) {
+            (b'r', _) => self.i + 1,
+            (b'b', Some(b'r')) => self.i + 2,
+            _ => return false,
+        };
+        let mut j = hash_from;
+        while self.b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        if self.b.get(j) == Some(&b'"') {
+            // Raw (byte) string with `j - hash_from` hashes.
+            let hashes = j - hash_from;
+            let (start, line) = (self.i, self.line);
+            self.i = j + 1;
+            while self.i < self.b.len() {
+                if self.b[self.i] == b'"' {
+                    let mut h = 0;
+                    while h < hashes && self.b.get(self.i + 1 + h) == Some(&b'#') {
+                        h += 1;
+                    }
+                    if h == hashes {
+                        self.i += 1 + hashes;
+                        self.push(TokKind::Str, start, line);
+                        self.count_lines_range(start, self.i);
+                        return true;
+                    }
+                }
+                self.i += 1;
+            }
+            self.push(TokKind::Str, start, line);
+            self.count_lines_range(start, self.i);
+            return true;
+        }
+        // r#ident — raw identifier.
+        if c == b'r'
+            && hash_from == self.i + 1
+            && self.b.get(hash_from) == Some(&b'#')
+            && self
+                .b
+                .get(hash_from + 1)
+                .copied()
+                .is_some_and(is_ident_start)
+        {
+            let (start, line) = (self.i, self.line);
+            self.i = hash_from + 1;
+            while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                self.i += 1;
+            }
+            self.push(TokKind::Ident, start, line);
+            return true;
+        }
+        false
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.i, self.line);
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+
+    /// Scan a `"…"` body starting at the opening quote (`self.i` points
+    /// at `"`); `start` may be earlier to include a `b` prefix.
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i = (self.i + 2).min(self.b.len()),
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Str, start, line);
+        self.count_lines_range(start, self.i);
+    }
+
+    /// A `'`: char literal or lifetime.
+    fn quote(&mut self) {
+        let (start, line) = (self.i, self.line);
+        match self.peek(1) {
+            // Escaped char literal: '\n', '\'', '\u{1F600}'.
+            Some(b'\\') => self.char_literal(start, line),
+            Some(n) if is_ident_continue(n) => {
+                // Run of ident chars: 'a' closes into a char literal,
+                // 'abc / 'static stays a lifetime.
+                let mut j = self.i + 2;
+                while j < self.b.len() && is_ident_continue(self.b[j]) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') {
+                    self.i = j + 1;
+                    self.push(TokKind::Char, start, line);
+                } else {
+                    self.i = j;
+                    self.push(TokKind::Lifetime, start, line);
+                }
+            }
+            // Non-ident char literal: '(' , ' ' , '$'.
+            Some(_) => self.char_literal(start, line),
+            None => {
+                self.i += 1;
+                self.push(TokKind::Punct, start, line);
+            }
+        }
+    }
+
+    /// Consume from an opening `'` at `self.i` to the closing `'`.
+    fn char_literal(&mut self, start: usize, line: u32) {
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i = (self.i + 2).min(self.b.len()),
+                b'\'' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => break, // unterminated; don't eat the file
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Char, start, line);
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.i, self.line);
+        // Leading digit/alnum run covers hex/octal/binary bodies,
+        // exponents without signs, and type suffixes.
+        self.alnum_run();
+        // Signed exponent: `1e-9` — the run stalls on the sign.
+        self.signed_exponent();
+        let mut float = false;
+        // A `.` continues the literal only when it is not `..` (range),
+        // and not a method/field access (`1.max(2)`, tuple `.0` comes
+        // from a separate Int token so it never reaches here).
+        if self.b.get(self.i) == Some(&b'.')
+            && self.peek(1) != Some(b'.')
+            && !self.peek(1).is_some_and(is_ident_start)
+        {
+            float = true;
+            self.i += 1;
+            self.alnum_run();
+            self.signed_exponent();
+        }
+        let text = &self.src[start..self.i];
+        let hexish = text.starts_with("0x") || text.starts_with("0X");
+        let kind = if float
+            || (!hexish && (text.contains('e') || text.contains('E')))
+            || (!hexish && (text.ends_with("f32") || text.ends_with("f64")))
+        {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        self.push(kind, start, line);
+    }
+
+    fn alnum_run(&mut self) {
+        while self.i < self.b.len()
+            && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+        {
+            self.i += 1;
+        }
+    }
+
+    fn signed_exponent(&mut self) {
+        let last = self.i.checked_sub(1).map(|k| self.b[k]);
+        if matches!(last, Some(b'e' | b'E'))
+            && matches!(self.b.get(self.i), Some(b'+' | b'-'))
+            && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+        {
+            self.i += 1;
+            self.alnum_run();
+        }
+    }
+
+    fn punct(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let rest = &self.src[self.i..];
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                self.i += p.len();
+                self.push(TokKind::Punct, start, line);
+                return;
+            }
+        }
+        // Single char (multi-byte UTF-8 outside literals is unusual but
+        // must not split a code point).
+        let ch_len = rest.chars().next().map_or(1, char::len_utf8);
+        self.i += ch_len;
+        self.push(TokKind::Punct, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn sig(src: &str) -> Vec<&str> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.is_comment())
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "a"),
+                (TokKind::BlockComment, "/* outer /* inner */ still outer */"),
+                (TokKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comment_lines_advance() {
+        let toks = lex("/* a\nb\nc */ x");
+        assert_eq!(toks[1].text, "x");
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn raw_strings_with_quotes_and_slashes() {
+        let toks = kinds(r##"let s = r#"has "quotes" and // not a comment"#; done"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("not a comment")));
+        assert_eq!(toks.last().unwrap().1, "done");
+        // And nothing inside was lexed as a comment.
+        assert!(!toks
+            .iter()
+            .any(|(k, _)| matches!(k, TokKind::LineComment | TokKind::BlockComment)));
+    }
+
+    #[test]
+    fn raw_string_hash_count_must_match() {
+        // The inner "# does not close a two-hash raw string.
+        let toks = kinds("r##\"one \"# inside\"## after");
+        assert_eq!(toks[0], (TokKind::Str, "r##\"one \"# inside\"##"));
+        assert_eq!(toks[1], (TokKind::Ident, "after"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"b"bytes" b'x' br"raw" normal"#);
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Str, r#"b"bytes""#),
+                (TokKind::Char, "b'x'"),
+                (TokKind::Str, r#"br"raw""#),
+                (TokKind::Ident, "normal"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            kinds("fn f<'a>(x: &'a u8) -> char { 'a' }")
+                .into_iter()
+                .filter(|(k, _)| matches!(k, TokKind::Lifetime | TokKind::Char))
+                .collect::<Vec<_>>(),
+            vec![
+                (TokKind::Lifetime, "'a"),
+                (TokKind::Lifetime, "'a"),
+                (TokKind::Char, "'a'"),
+            ]
+        );
+        assert_eq!(kinds("'static").first().unwrap().0, TokKind::Lifetime);
+        assert_eq!(kinds(r"'\n'").first().unwrap().0, TokKind::Char);
+        assert_eq!(kinds("'('").first().unwrap(), &(TokKind::Char, "'('"));
+    }
+
+    #[test]
+    fn floats_vs_ranges_vs_method_calls() {
+        assert_eq!(sig("1.0"), vec!["1.0"]);
+        assert_eq!(lex("1.0")[0].kind, TokKind::Float);
+        assert_eq!(sig("0..10"), vec!["0", "..", "10"]);
+        assert_eq!(lex("0..10")[0].kind, TokKind::Int);
+        assert_eq!(sig("1.max(2)"), vec!["1", ".", "max", "(", "2", ")"]);
+        assert_eq!(lex("2.5e-3")[0].kind, TokKind::Float);
+        assert_eq!(lex("1e9")[0].kind, TokKind::Float);
+        assert_eq!(lex("3f64")[0].kind, TokKind::Float);
+        assert_eq!(
+            lex("0x1f64")[0].kind,
+            TokKind::Int,
+            "hex digits, not a suffix"
+        );
+        assert_eq!(lex("1_000")[0].kind, TokKind::Int);
+        assert_eq!(
+            lex("x.0").iter().map(|t| t.kind).collect::<Vec<_>>(),
+            vec![TokKind::Ident, TokKind::Punct, TokKind::Int]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(kinds("r#match")[0], (TokKind::Ident, "r#match"));
+        // …but r"…" is still a string and `ready` still an ident.
+        assert_eq!(kinds("ready")[0], (TokKind::Ident, "ready"));
+    }
+
+    #[test]
+    fn multichar_ops_are_single_tokens() {
+        assert_eq!(
+            sig("a == b => c <= d != e"),
+            vec!["a", "==", "b", "=>", "c", "<=", "d", "!=", "e"]
+        );
+        assert_eq!(
+            sig("x += 1; y <<= 2; z = 3"),
+            vec!["x", "+=", "1", ";", "y", "<<=", "2", ";", "z", "=", "3"]
+        );
+        assert_eq!(sig("a..=b"), vec!["a", "..=", "b"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_strings_and_comments() {
+        let src = "a\n\"two\nline string\"\n// comment\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 5);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let toks = kinds(r#""a \" b" c"#);
+        assert_eq!(toks[0], (TokKind::Str, r#""a \" b""#));
+        assert_eq!(toks[1], (TokKind::Ident, "c"));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "r#\"open", "'", "b'"] {
+            let _ = lex(src);
+        }
+    }
+}

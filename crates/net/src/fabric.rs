@@ -656,6 +656,7 @@ impl Fabric {
 
     fn forward_spine(&mut self, q: &mut EventQueue<Event>, s: SpineId, mut pkt: Box<Packet>) {
         let f = self.failures[s.0 as usize];
+        // ANALYZER: allow(float-determinism, random_drop is a FaultPlan constant compared against a seeded draw; nothing accumulates)
         if f.random_drop > 0.0 && self.rng.chance(f.random_drop) {
             self.stats.drops_failure += 1;
             Self::trace_drop(q.now(), &pkt, hermes_telemetry::DropReason::RandomDrop);

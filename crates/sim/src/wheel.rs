@@ -202,19 +202,23 @@ impl<E> WheelQueue<E> {
         let level = ((63 - xor.leading_zeros()) / BITS) as usize;
         let slot = ((at >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
         let idx = level * SLOTS + slot;
+        // ANALYZER: allow(panic-surface, level = msb(xor)/6 <= 10 < LEVELS since msb <= 63)
         self.occupied[level] |= 1 << slot;
+        // ANALYZER: allow(panic-surface, idx < LEVELS*SLOTS: level bounded above and slot is masked to SLOTS-1)
         if e.at < self.slot_min[idx] {
+            // ANALYZER: allow(panic-surface, same idx bound as the read above)
             self.slot_min[idx] = e.at;
         }
-        self.slots[idx].push(e);
+        self.slots[idx].push(e); // ANALYZER: allow(panic-surface, same idx bound as slot_min)
     }
 
     /// Minimum due time across all bucketed events (excludes `ready`).
     fn wheel_min(&self) -> Option<Time> {
         for level in 0..LEVELS {
-            let occ = self.occupied[level];
+            let occ = self.occupied[level]; // ANALYZER: allow(panic-surface, level ranges over 0..LEVELS)
             if occ != 0 {
                 let slot = occ.trailing_zeros() as usize;
+                // ANALYZER: allow(panic-surface, occ != 0 so slot <= 63 < SLOTS; level < LEVELS)
                 return Some(self.slot_min[level * SLOTS + slot]);
             }
         }
@@ -233,14 +237,17 @@ impl<E> WheelQueue<E> {
         for level in (0..LEVELS).rev() {
             let pos = ((now_ns >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
             let bit = 1u64 << pos;
+            // ANALYZER: allow(panic-surface, level ranges over 0..LEVELS)
             if self.occupied[level] & bit == 0 {
                 continue;
             }
-            self.occupied[level] &= !bit;
+            self.occupied[level] &= !bit; // ANALYZER: allow(panic-surface, level ranges over 0..LEVELS)
             let idx = level * SLOTS + pos;
+            // ANALYZER: allow(panic-surface, idx < LEVELS*SLOTS: pos is masked to SLOTS-1)
             self.slot_min[idx] = Time::MAX;
             // Swap the bucket's buffer out (scratch is empty here), so
             // both allocations survive and rotate instead of churning.
+            // ANALYZER: allow(panic-surface, same idx bound as slot_min)
             std::mem::swap(&mut self.slots[idx], &mut scratch);
             for e in scratch.drain(..) {
                 if e.at == self.now {

@@ -27,7 +27,7 @@ mod record;
 mod sink;
 
 pub use export::{event_to_json, to_csv, to_jsonl};
-pub use metrics::{Histogram, Metrics, MetricsRow};
+pub use metrics::{Histogram, Metrics, MetricsRow, FCT_EDGES_US};
 pub use record::{DropReason, PathClass, Record, RerouteVerdict, TraceEvent};
 pub use sink::{
     compiled, counter, counter_add, drain, dropped, emit_with, enabled, gauge_set, hist,

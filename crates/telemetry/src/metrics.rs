@@ -11,6 +11,23 @@ use std::collections::BTreeMap;
 
 use hermes_sim::Time;
 
+/// Fixed FCT histogram buckets (microseconds): log-ish spacing from
+/// sub-RTT mice to multi-second stragglers, plus the overflow bucket.
+/// Lives with the histogram type (observability layer) so the
+/// sim-facing runtime holds no float tables of its own.
+pub const FCT_EDGES_US: &[f64] = &[
+    100.0,
+    300.0,
+    1_000.0,
+    3_000.0,
+    10_000.0,
+    30_000.0,
+    100_000.0,
+    300_000.0,
+    1_000_000.0,
+    3_000_000.0,
+];
+
 /// A fixed-bucket histogram.
 ///
 /// Bucket `i` counts samples with `v <= edges[i]` (and `v > edges[i-1]`

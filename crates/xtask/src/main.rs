@@ -1,7 +1,18 @@
 //! Workspace tasks. Subcommands:
 //!
-//! * `cargo run -p xtask -- lint [--self-test]` — the determinism lint
-//!   pass described below;
+//! * `cargo run -p xtask -- analyze [--self-test] [--json <out>]
+//!   [--update-baseline]` — the token-level determinism &
+//!   concurrency-readiness analyzer (`hermes-analyzer`, DESIGN.md §13):
+//!   the five original lint rules (wall-clock, hash-order, stray-rng,
+//!   lib-unwrap, fault-mutation) plus float-determinism, panic-surface,
+//!   unsafe-inventory, concurrency-readiness and telemetry-hygiene,
+//!   all scoped per (crate, kind, file) over a real token stream.
+//!   `--self-test` proves every rule class trips on its bad fixtures
+//!   and stays quiet on the clean ones; `--json` writes the machine
+//!   report CI uploads; `--update-baseline` rewrites the reviewed
+//!   `analyzer_baseline.json` unsafe inventory.
+//! * `cargo run -p xtask -- lint [--self-test]` — deprecated alias for
+//!   `analyze`, kept one release so downstream scripts don't break;
 //! * `cargo run -p xtask -- conformance [--self-test]` — run the full
 //!   scenario conformance grid (`tests/scenarios/` plus the extended
 //!   directory) through `hermes-testkit`, or prove each checker class
@@ -18,161 +29,26 @@
 //! determines every packet of a run. That promise dies quietly: one
 //! `Instant::now()` in a code path, one iteration over a `HashMap`, one
 //! stray `thread_rng()`, and runs stop reproducing without any test
-//! necessarily failing. This binary scans the workspace sources for
-//! exactly those patterns:
-//!
-//! * **wall-clock** — `std::time` / `Instant::now` / `SystemTime`
-//!   anywhere in the simulation crates (`sim`, `net`, `transport`,
-//!   `core`, `lb`, `runtime`, `workload`). Only `hermes-bench` may time
-//!   real execution; simulated time is `hermes_sim::Time`.
-//! * **hash-order** — `HashMap` / `HashSet` in the simulation crates.
-//!   Their iteration order is randomized per process, so any map that
-//!   feeds the event queue or the RNG must be a `BTreeMap`/`Vec`.
-//! * **stray-rng** — `thread_rng`, `rand::random`, `from_entropy`,
-//!   `OsRng` anywhere. All randomness must flow from `SimRng` so the
-//!   master seed reaches every consumer.
-//! * **lib-unwrap** — `.unwrap()` in library code (crate `src/`
-//!   excluding `src/bin/` and `#[cfg(test)]` regions). Library code
-//!   must use `expect` with an invariant message, or handle the `None`.
-//! * **fault-mutation** — direct fabric mutation (`apply_fault`,
-//!   `set_spine_failure`, `set_link_down`, …) outside `hermes-net`
-//!   (which defines the operations) and `hermes-runtime` (which
-//!   dispatches them from scheduled `FaultPlan` events). Anywhere else,
-//!   a mid-run mutation would bypass the event queue — undigested by
-//!   the trace fingerprint and invisible to the determinism self-check.
-//!
-//! The scanner masks comments, string literals, and `#[cfg(test)]`
-//! blocks before matching, so a rule name in a doc comment or an
-//! `.unwrap()` inside a unit test never trips it. Exit status is
-//! non-zero iff violations are found; `--self-test` runs the embedded
-//! fixtures through the same engine.
+//! necessarily failing. The analyzer scans the workspace sources for
+//! exactly those patterns — see `crates/analyzer` for the lexer, the
+//! rule scopes, the `// ANALYZER: allow(rule, reason)` suppression
+//! grammar and the committed unsafe baseline. Exit status is non-zero
+//! iff findings remain.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Crates whose behavior must be a pure function of (config, seed).
-const SIM_CRATES: &[&str] = &[
-    "sim",
-    "net",
-    "transport",
-    "core",
-    "lb",
-    "runtime",
-    "workload",
-    "telemetry",
-];
-
-/// Crate directories the scanner skips entirely: vendored stand-ins for
-/// third-party crates (not our code) and this tool itself.
-const SKIP_CRATES: &[&str] = &["proptest", "criterion", "xtask"];
-
-/// What part of a crate a file belongs to.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Kind {
-    /// `src/` excluding `src/bin/` — code other crates can link.
-    Lib,
-    /// `src/bin/` or `src/main.rs` — executable entry points.
-    Bin,
-    /// `tests/`, `examples/`, `benches/` — never shipped.
-    TestOrExample,
-}
-
-/// Where a source file sits in the workspace.
-#[derive(Clone, Debug)]
-struct FileClass {
-    /// Crate directory name (`"sim"`, `"bench"`, …); `"root"` for the
-    /// top-level `hermes-repro` package.
-    krate: String,
-    kind: Kind,
-}
-
-#[derive(Clone, Copy, Debug)]
-struct Rule {
-    name: &'static str,
-    tokens: &'static [&'static str],
-    why: &'static str,
-    applies: fn(&FileClass) -> bool,
-}
-
-fn is_sim_crate(c: &FileClass) -> bool {
-    SIM_CRATES.contains(&c.krate.as_str())
-}
-
-fn everywhere(_: &FileClass) -> bool {
-    true
-}
-
-fn lib_code(c: &FileClass) -> bool {
-    c.kind == Kind::Lib
-}
-
-/// Simulation crates other than the two that legitimately own fault
-/// application: `net` defines the fabric operations, `runtime` invokes
-/// them from `FaultPlan` events popped off the queue.
-fn sim_crate_outside_fault_core(c: &FileClass) -> bool {
-    is_sim_crate(c) && c.krate != "net" && c.krate != "runtime"
-}
-
-const RULES: &[Rule] = &[
-    Rule {
-        name: "wall-clock",
-        tokens: &["std::time", "Instant::now", "SystemTime"],
-        why: "simulation crates must use hermes_sim::Time; only hermes-bench times real execution",
-        applies: is_sim_crate,
-    },
-    Rule {
-        name: "hash-order",
-        tokens: &["HashMap", "HashSet"],
-        why: "hash iteration order is per-process random; use BTreeMap/BTreeSet/Vec so event and \
-              RNG order is reproducible",
-        applies: is_sim_crate,
-    },
-    Rule {
-        name: "stray-rng",
-        tokens: &["thread_rng", "rand::random", "from_entropy", "OsRng"],
-        why: "all randomness must derive from SimRng so the master seed determines every draw",
-        applies: everywhere,
-    },
-    Rule {
-        name: "lib-unwrap",
-        tokens: &[".unwrap()"],
-        why: "library code must expect() with an invariant message or handle the None/Err",
-        applies: lib_code,
-    },
-    Rule {
-        name: "fault-mutation",
-        tokens: &[
-            "set_spine_failure",
-            "set_link_down",
-            "set_link_rate",
-            "restore_link_rate",
-            "set_spine_down",
-            "apply_fault",
-        ],
-        why: "mid-run fabric mutation must be scheduled via a FaultPlan so it flows through the \
-              event queue (digested, deterministic); only hermes-net defines these operations \
-              and only hermes-runtime dispatches them",
-        applies: sim_crate_outside_fault_core,
-    },
-];
-
-struct Violation {
-    path: PathBuf,
-    line: usize,
-    rule: &'static str,
-    text: String,
-}
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
         Some("lint") => {
-            if args.iter().any(|a| a == "--self-test") {
-                return self_test();
-            }
-            let root = workspace_root();
-            lint(&root)
+            eprintln!(
+                "xtask: `lint` is a deprecated alias for `analyze` and will be removed next \
+                 release"
+            );
+            analyze(&args[1..])
         }
         Some("conformance") => {
             if args.iter().any(|a| a == "--self-test") {
@@ -188,11 +64,96 @@ fn main() -> ExitCode {
         Some("trace") => trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint [--self-test] | conformance [--self-test] | \
-                 bless | perf [--quick] [--gate] | trace <point> --out <dir>>"
+                "usage: cargo run -p xtask -- <analyze [--self-test] [--json <out>] \
+                 [--update-baseline] | conformance [--self-test] | bless | perf [--quick] \
+                 [--gate] | trace <point> --out <dir>>"
             );
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `analyze`: run `hermes-analyzer` over the tree (or its fixture
+/// corpus with `--self-test`), optionally writing the JSON report.
+fn analyze(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--self-test") {
+        return analyze_self_test();
+    }
+    let mut json_out: Option<&str> = None;
+    let mut update_baseline = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_out = it.next().map(String::as_str),
+            "--update-baseline" => update_baseline = true,
+            other => {
+                eprintln!("xtask analyze: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = workspace_root();
+    let analysis = match hermes_analyzer::analyze_workspace(&root, update_baseline) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(out) = json_out {
+        if let Err(e) = fs::write(out, hermes_analyzer::report_json(&analysis)) {
+            eprintln!("xtask analyze: writing {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("xtask analyze: wrote {out}");
+    }
+    if analysis.baseline_written {
+        println!(
+            "xtask analyze: rewrote analyzer_baseline.json with {} unsafe site(s)",
+            analysis.inventory.len()
+        );
+    }
+    if analysis.clean() {
+        println!("xtask analyze: {} files clean", analysis.scanned);
+        return ExitCode::SUCCESS;
+    }
+    for f in &analysis.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.text);
+    }
+    println!(
+        "\nxtask analyze: {} finding(s) in {} files",
+        analysis.findings.len(),
+        analysis.scanned
+    );
+    let mut named: Vec<&str> = analysis.findings.iter().map(|f| f.rule).collect();
+    named.sort_unstable();
+    named.dedup();
+    for rule in named {
+        println!("  [{rule}] {}", hermes_analyzer::rule_why(rule));
+    }
+    ExitCode::FAILURE
+}
+
+/// `analyze --self-test`: every rule class must trip on its bad
+/// fixtures and stay quiet on the clean ones.
+fn analyze_self_test() -> ExitCode {
+    let outcomes = hermes_analyzer::self_test();
+    let mut ok = true;
+    for o in &outcomes {
+        println!(
+            "  [{}] {:<60} {}",
+            if o.ok { "ok" } else { "FAILED" },
+            o.label,
+            o.detail
+        );
+        ok &= o.ok;
+    }
+    if ok {
+        println!("xtask analyze --self-test: {} fixtures OK", outcomes.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask analyze --self-test: fixture failures (see above)");
+        ExitCode::FAILURE
     }
 }
 
@@ -700,524 +661,9 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn lint(root: &Path) -> ExitCode {
-    let mut files = Vec::new();
-    collect_rs_files(root, &mut files);
-    let mut violations = Vec::new();
-    let mut scanned = 0usize;
-    for path in &files {
-        let rel = path.strip_prefix(root).unwrap_or(path);
-        let Some(class) = classify(rel) else { continue };
-        if SKIP_CRATES.contains(&class.krate.as_str()) {
-            continue;
-        }
-        let Ok(source) = fs::read_to_string(path) else {
-            eprintln!("xtask: unreadable file {}", path.display());
-            continue;
-        };
-        scanned += 1;
-        scan_source(&source, &class, rel, &mut violations);
-    }
-    if violations.is_empty() {
-        println!("xtask lint: {scanned} files clean");
-        return ExitCode::SUCCESS;
-    }
-    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    for v in &violations {
-        println!("{}:{}: [{}] {}", v.path.display(), v.line, v.rule, v.text);
-    }
-    println!(
-        "\nxtask lint: {} violation(s) in {scanned} files",
-        violations.len()
-    );
-    let mut named: Vec<&str> = violations.iter().map(|v| v.rule).collect();
-    named.sort_unstable();
-    named.dedup();
-    for rule in RULES.iter().filter(|r| named.contains(&r.name)) {
-        println!("  [{}] {}", rule.name, rule.why);
-    }
-    ExitCode::FAILURE
-}
-
-/// Recursively gather `.rs` files, in sorted order for stable output.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(rd) = fs::read_dir(dir) else { return };
-    let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
-    entries.sort();
-    for p in entries {
-        if p.is_dir() {
-            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            collect_rs_files(&p, out);
-        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
-            out.push(p);
-        }
-    }
-}
-
-/// Map a workspace-relative path to its crate and kind. Returns `None`
-/// for files outside any crate layout we recognize.
-fn classify(rel: &Path) -> Option<FileClass> {
-    let parts: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
-    let (krate, rest) = match parts.as_slice() {
-        ["crates", name, rest @ ..] => ((*name).to_string(), rest),
-        rest => ("root".to_string(), rest),
-    };
-    let kind = match rest {
-        ["src", "bin", ..] | ["src", "main.rs"] => Kind::Bin,
-        ["src", ..] => Kind::Lib,
-        ["tests", ..] | ["examples", ..] | ["benches", ..] => Kind::TestOrExample,
-        _ => return None,
-    };
-    Some(FileClass { krate, kind })
-}
-
-/// Run every applicable rule over one masked source file.
-fn scan_source(source: &str, class: &FileClass, rel: &Path, out: &mut Vec<Violation>) {
-    let active: Vec<&Rule> = RULES.iter().filter(|r| (r.applies)(class)).collect();
-    if active.is_empty() {
-        return;
-    }
-    let masked = mask_cfg_test(&mask_comments_and_strings(source));
-    let originals: Vec<&str> = source.lines().collect();
-    for (i, line) in masked.lines().enumerate() {
-        for rule in &active {
-            if rule.tokens.iter().any(|t| line.contains(t)) {
-                out.push(Violation {
-                    path: rel.to_path_buf(),
-                    line: i + 1,
-                    rule: rule.name,
-                    text: originals.get(i).map_or("", |l| l.trim()).to_string(),
-                });
-            }
-        }
-    }
-}
-
-/// Replace comments and string/char literal contents with spaces,
-/// preserving newlines so line numbers survive. Handles nested block
-/// comments, escapes, raw strings (`r"…"`, `r#"…"#`, byte variants),
-/// and distinguishes char literals from lifetimes.
-fn mask_comments_and_strings(src: &str) -> String {
-    let b: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        // Line comment.
-        if c == '/' && b.get(i + 1) == Some(&'/') {
-            while i < b.len() && b[i] != '\n' {
-                out.push(' ');
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment (nested).
-        if c == '/' && b.get(i + 1) == Some(&'*') {
-            let mut depth = 0usize;
-            while i < b.len() {
-                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    out.push_str("  ");
-                    i += 2;
-                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    out.push_str("  ");
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw (byte) string: r"…", r#"…"#, br"…", …
-        if c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')) {
-            let quote_search = if c == 'b' { i + 2 } else { i + 1 };
-            let mut j = quote_search;
-            while b.get(j) == Some(&'#') {
-                j += 1;
-            }
-            if b.get(j) == Some(&'"') {
-                let hashes = j - quote_search;
-                for _ in i..=j {
-                    out.push(' ');
-                }
-                i = j + 1;
-                while i < b.len() {
-                    if b[i] == '"' {
-                        let mut h = 0;
-                        while h < hashes && b.get(i + 1 + h) == Some(&'#') {
-                            h += 1;
-                        }
-                        if h == hashes {
-                            for _ in 0..=hashes {
-                                out.push(' ');
-                            }
-                            i += 1 + hashes;
-                            break;
-                        }
-                    }
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-                continue;
-            }
-        }
-        // Ordinary string literal (covers b"…" via the 'b' falling
-        // through to here on the next iteration's '"').
-        if c == '"' {
-            out.push(' ');
-            i += 1;
-            while i < b.len() {
-                if b[i] == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if b[i] == '"' {
-                    out.push(' ');
-                    i += 1;
-                    break;
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime.
-        if c == '\'' {
-            if b.get(i + 1) == Some(&'\\') {
-                // Escaped char literal: blank through the closing quote.
-                out.push(' ');
-                i += 1;
-                while i < b.len() && b[i] != '\'' {
-                    out.push_str("  ");
-                    i += 2;
-                }
-                if i < b.len() {
-                    out.push(' ');
-                    i += 1;
-                }
-                continue;
-            }
-            if b.get(i + 2) == Some(&'\'') && b.get(i + 1).is_some_and(|&ch| ch != '\'') {
-                out.push_str("   ");
-                i += 3;
-                continue;
-            }
-            // A lifetime: keep the tick, it can't contain rule tokens.
-            out.push('\'');
-            i += 1;
-            continue;
-        }
-        out.push(c);
-        i += 1;
-    }
-    out
-}
-
-/// Blank out `#[cfg(test)] … { … }` regions (attribute through the
-/// matching close brace). Must run on already comment/string-masked
-/// text so braces inside literals don't confuse the depth count.
-fn mask_cfg_test(masked: &str) -> String {
-    let b: Vec<char> = masked.chars().collect();
-    let mut out = b.clone();
-    let pat: Vec<char> = "#[cfg(test)]".chars().collect();
-    let mut i = 0;
-    while i + pat.len() <= b.len() {
-        if b[i..i + pat.len()] != pat[..] {
-            i += 1;
-            continue;
-        }
-        // Find the gated item's opening brace (skipping further
-        // attributes and the item header); a `;` first means a
-        // braceless item — nothing more to mask.
-        let mut j = i + pat.len();
-        while j < b.len() && b[j] != '{' && b[j] != ';' {
-            j += 1;
-        }
-        if j >= b.len() || b[j] == ';' {
-            i = j;
-            continue;
-        }
-        let mut depth = 0usize;
-        let mut k = j;
-        while k < b.len() {
-            match b[k] {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            k += 1;
-        }
-        let end = k.min(b.len().saturating_sub(1));
-        for cell in out.iter_mut().take(end + 1).skip(i) {
-            if *cell != '\n' {
-                *cell = ' ';
-            }
-        }
-        i = end + 1;
-    }
-    out.into_iter().collect()
-}
-
-// ---- self-test fixtures -------------------------------------------
-
-/// (rule expected to fire, fixture source). Each fixture is scanned as
-/// library code of a simulation crate, where every rule applies.
-const BAD_FIXTURES: &[(&str, &str)] = &[
-    (
-        "wall-clock",
-        "fn f() { let _t = std::time::Instant::now(); }\n",
-    ),
-    ("wall-clock", "fn f() { let _t = SystemTime::now(); }\n"),
-    (
-        "hash-order",
-        "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> u32 { m.len() as u32 }\n",
-    ),
-    ("stray-rng", "fn f() -> u64 { rand::random() }\n"),
-    ("stray-rng", "fn f() { let mut _r = thread_rng(); }\n"),
-    ("lib-unwrap", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n"),
-    (
-        "fault-mutation",
-        "fn f(fab: &mut Fabric) { fab.set_spine_down(SpineId(0), true); }\n",
-    ),
-    (
-        "fault-mutation",
-        "fn f(fab: &mut Fabric, a: &FaultAction) { fab.apply_fault(a); }\n",
-    ),
-];
-
-/// Sources that must NOT fire: the forbidden tokens appear only in
-/// comments, strings, or `#[cfg(test)]` regions.
-const CLEAN_FIXTURES: &[&str] = &[
-    "// std::time::Instant::now() is banned here\nfn f() {}\n",
-    "fn f() -> &'static str { \"HashMap iteration order\" }\n",
-    "/* thread_rng() would break determinism */\nfn f() {}\n",
-    "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n",
-    "fn lifetime<'a>(x: &'a u64) -> &'a u64 { x }\n",
-    "// never call apply_fault directly; schedule it via a FaultPlan\nfn f() {}\n",
-];
-
-fn self_test() -> ExitCode {
-    let class = FileClass {
-        krate: "sim".to_string(),
-        kind: Kind::Lib,
-    };
-    let mut failures = 0;
-    for (rule, src) in BAD_FIXTURES {
-        let mut v = Vec::new();
-        scan_source(src, &class, Path::new("fixture.rs"), &mut v);
-        if !v.iter().any(|x| x.rule == *rule) {
-            eprintln!("self-test FAILED: [{rule}] not detected in fixture:\n{src}");
-            failures += 1;
-        }
-    }
-    for src in CLEAN_FIXTURES {
-        let mut v = Vec::new();
-        scan_source(src, &class, Path::new("fixture.rs"), &mut v);
-        if let Some(x) = v.first() {
-            eprintln!(
-                "self-test FAILED: false positive [{}] in clean fixture:\n{src}",
-                x.rule
-            );
-            failures += 1;
-        }
-    }
-    // The telemetry crate records *sim* time: wall-clock use inside it
-    // would silently wreck trace determinism, so the rule must cover
-    // its files like any other simulation crate.
-    let telem = FileClass {
-        krate: "telemetry".to_string(),
-        kind: Kind::Lib,
-    };
-    let src = "fn stamp() -> u128 { std::time::Instant::now().elapsed().as_nanos() }\n";
-    let mut v = Vec::new();
-    scan_source(src, &telem, Path::new("fixture.rs"), &mut v);
-    if !v.iter().any(|x| x.rule == "wall-clock") {
-        eprintln!("self-test FAILED: [wall-clock] not detected in crates/telemetry fixture");
-        failures += 1;
-    }
-    if failures == 0 {
-        println!(
-            "xtask self-test: {} bad + {} clean fixtures OK",
-            BAD_FIXTURES.len(),
-            CLEAN_FIXTURES.len()
-        );
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn scan_as(krate: &str, kind: Kind, src: &str) -> Vec<&'static str> {
-        let class = FileClass {
-            krate: krate.to_string(),
-            kind,
-        };
-        let mut v = Vec::new();
-        scan_source(src, &class, Path::new("t.rs"), &mut v);
-        v.into_iter().map(|x| x.rule).collect()
-    }
-
-    #[test]
-    fn bad_fixtures_all_fire() {
-        for (rule, src) in BAD_FIXTURES {
-            assert!(
-                scan_as("sim", Kind::Lib, src).contains(rule),
-                "fixture for [{rule}] not flagged"
-            );
-        }
-    }
-
-    #[test]
-    fn clean_fixtures_stay_clean() {
-        for src in CLEAN_FIXTURES {
-            assert!(
-                scan_as("sim", Kind::Lib, src).is_empty(),
-                "false positive on:\n{src}"
-            );
-        }
-    }
-
-    #[test]
-    fn bench_may_use_wall_clock() {
-        let src = "fn f() { let _t = std::time::Instant::now(); }\n";
-        assert!(scan_as("bench", Kind::Lib, src).is_empty());
-        assert!(scan_as("runtime", Kind::Lib, src).contains(&"wall-clock"));
-    }
-
-    #[test]
-    fn unwrap_allowed_in_bins_and_tests() {
-        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
-        assert!(scan_as("sim", Kind::Bin, src).is_empty());
-        assert!(scan_as("sim", Kind::TestOrExample, src).is_empty());
-        assert!(scan_as("sim", Kind::Lib, src).contains(&"lib-unwrap"));
-    }
-
-    #[test]
-    fn fault_mutation_exempts_the_fault_core() {
-        let src = "fn f(fab: &mut Fabric, a: &FaultAction) { fab.apply_fault(a); }\n";
-        // net defines the operations, runtime dispatches FaultPlan
-        // events, bench isn't a simulation crate: all exempt.
-        assert!(scan_as("net", Kind::Lib, src).is_empty());
-        assert!(scan_as("runtime", Kind::Lib, src).is_empty());
-        assert!(scan_as("runtime", Kind::TestOrExample, src).is_empty());
-        assert!(scan_as("bench", Kind::Lib, src).is_empty());
-        // Everywhere else in the simulation stack the rule fires.
-        assert!(scan_as("lb", Kind::Lib, src).contains(&"fault-mutation"));
-        assert!(scan_as("core", Kind::TestOrExample, src).contains(&"fault-mutation"));
-    }
-
-    #[test]
-    fn stray_rng_applies_everywhere() {
-        let src = "fn f() { let _ = thread_rng(); }\n";
-        assert!(scan_as("bench", Kind::TestOrExample, src).contains(&"stray-rng"));
-    }
-
-    #[test]
-    fn masking_keeps_line_numbers() {
-        let src = "fn a() {}\n/* multi\nline */ let x = std::time::Instant::now();\n";
-        let class = FileClass {
-            krate: "sim".to_string(),
-            kind: Kind::Lib,
-        };
-        let mut v = Vec::new();
-        scan_source(src, &class, Path::new("t.rs"), &mut v);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].line, 3);
-    }
-
-    #[test]
-    fn raw_strings_are_masked() {
-        let src = "fn f() -> &'static str { r#\"HashMap \"quoted\" inside\"# }\n";
-        assert!(scan_as("sim", Kind::Lib, src).is_empty());
-    }
-
-    #[test]
-    fn cfg_test_masking_is_brace_matched() {
-        let src = "fn live() { let _m: HashMap<u8, u8> = HashMap::new(); }\n\
-                   #[cfg(test)]\nmod tests {\n  fn inner() { Some(1).unwrap(); }\n}\n\
-                   fn also_live(x: Option<u8>) -> u8 { x.unwrap() }\n";
-        let rules = scan_as("sim", Kind::Lib, src);
-        assert!(
-            rules.contains(&"hash-order"),
-            "code before the test mod must scan"
-        );
-        assert!(
-            rules.contains(&"lib-unwrap"),
-            "code after the test mod must scan"
-        );
-        assert_eq!(
-            rules.iter().filter(|r| **r == "lib-unwrap").count(),
-            1,
-            "the unwrap inside #[cfg(test)] must not count"
-        );
-    }
-
-    #[test]
-    fn classify_maps_workspace_layout() {
-        let c = classify(Path::new("crates/net/src/fabric.rs")).expect("classifies");
-        assert_eq!(c.krate, "net");
-        assert_eq!(c.kind, Kind::Lib);
-        let c = classify(Path::new("crates/bench/src/bin/fig9.rs")).expect("classifies");
-        assert_eq!(c.kind, Kind::Bin);
-        let c = classify(Path::new("src/bin/hermes-cli.rs")).expect("classifies");
-        assert_eq!(c.krate, "root");
-        assert_eq!(c.kind, Kind::Bin);
-        let c = classify(Path::new("tests/scenarios.rs")).expect("classifies");
-        assert_eq!(c.kind, Kind::TestOrExample);
-        assert!(classify(Path::new("README.md")).is_none());
-    }
-
-    #[test]
-    fn telemetry_crate_is_lint_covered() {
-        // The tracing layer stamps sim time into every record: a
-        // wall-clock read anywhere inside it must trip the lint, and
-        // the real sources must currently be clean.
-        assert!(scan_as(
-            "telemetry",
-            Kind::Lib,
-            "fn f() { let _t = std::time::Instant::now(); }\n"
-        )
-        .contains(&"wall-clock"));
-        let dir = workspace_root().join("crates/telemetry/src");
-        let mut files = Vec::new();
-        collect_rs_files(&dir, &mut files);
-        assert!(!files.is_empty(), "telemetry sources exist");
-        for path in files {
-            let rel = path
-                .strip_prefix(workspace_root())
-                .expect("under the workspace root")
-                .to_path_buf();
-            let class = classify(&rel).expect("recognized layout");
-            assert!(
-                is_sim_crate(&class),
-                "{} must be lint-covered",
-                rel.display()
-            );
-            let src = fs::read_to_string(&path).expect("readable source");
-            let mut v = Vec::new();
-            scan_source(&src, &class, &rel, &mut v);
-            let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
-            assert!(v.is_empty(), "{} violates {rules:?}", rel.display());
-        }
-    }
 
     #[test]
     fn headline_improvement_parses_from_committed_json() {
@@ -1237,27 +683,6 @@ mod tests {
         let committed = fs::read_to_string(workspace_root().join("BENCH_perf.json"))
             .expect("committed BENCH_perf.json");
         assert!(parse_headline_improvement(&committed).is_some());
-    }
-
-    #[test]
-    fn wheel_and_pool_modules_are_lint_covered() {
-        // The timing wheel and packet arena are hot-path simulation
-        // code added for the perf work: the determinism rules (no
-        // wall-clock, no hash-order iteration, …) must apply to their
-        // files, and the real files must currently be clean.
-        for rel in ["crates/sim/src/wheel.rs", "crates/net/src/pool.rs"] {
-            let class = classify(Path::new(rel)).expect("recognized layout");
-            assert!(
-                is_sim_crate(&class),
-                "{rel} must be in a lint-covered crate"
-            );
-            assert_eq!(class.kind, Kind::Lib, "{rel} is library code");
-            let src = fs::read_to_string(workspace_root().join(rel)).expect("module exists");
-            let mut v = Vec::new();
-            scan_source(&src, &class, Path::new(rel), &mut v);
-            let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
-            assert!(v.is_empty(), "{rel} violates {rules:?}");
-        }
     }
 
     #[test]
@@ -1312,31 +737,18 @@ mod tests {
     }
 
     #[test]
-    fn whole_workspace_is_clean() {
-        // The real tree must pass its own lint: run the full scan
-        // in-process and demand zero violations.
-        let root = workspace_root();
-        let mut files = Vec::new();
-        collect_rs_files(&root, &mut files);
-        assert!(!files.is_empty(), "workspace sources not found");
-        let mut violations = Vec::new();
-        for path in &files {
-            let rel = path.strip_prefix(&root).unwrap_or(path);
-            let Some(class) = classify(rel) else { continue };
-            if SKIP_CRATES.contains(&class.krate.as_str()) {
-                continue;
-            }
-            let source = fs::read_to_string(path).expect("readable source");
-            scan_source(&source, &class, rel, &mut violations);
-        }
-        let report: Vec<String> = violations
+    fn analyzer_runs_clean_via_the_xtask_root() {
+        // The path xtask hands to hermes-analyzer must be the same
+        // workspace root the analyzer's own tests use, and the tree
+        // must be clean through this entry point too.
+        let a = hermes_analyzer::analyze_workspace(&workspace_root(), false)
+            .expect("analyzable workspace");
+        assert!(a.scanned > 0);
+        let report: Vec<String> = a
+            .findings
             .iter()
-            .map(|v| format!("{}:{}: [{}] {}", v.path.display(), v.line, v.rule, v.text))
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.text))
             .collect();
-        assert!(
-            violations.is_empty(),
-            "lint violations:\n{}",
-            report.join("\n")
-        );
+        assert!(a.clean(), "findings:\n{}", report.join("\n"));
     }
 }

@@ -20,6 +20,10 @@ cd "$(dirname "$0")/.."
 outdir=${1:-bench_results}
 mkdir -p "$outdir"
 
+# Fail fast on a determinism/concurrency violation (DESIGN.md §13)
+# before spending wall-clock on the full sweep.
+cargo run -q -p xtask -- analyze
+
 cargo build --release -p hermes-bench
 
 for src in crates/bench/src/bin/*.rs; do
