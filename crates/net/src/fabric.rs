@@ -154,6 +154,13 @@ impl Fabric {
     /// Inject a failure at a spine switch.
     pub fn set_spine_failure(&mut self, spine: SpineId, f: SpineFailure) {
         self.failures[spine.0 as usize] = f;
+        // ECN mute lives at the muted switch's egress ports — only its
+        // own marking engine goes quiet; leaf ports downstream keep
+        // marking normally (which is why the mute is not modeled by
+        // clearing the packet's ecn_capable bit).
+        for port in self.spine_ports[spine.0 as usize].iter_mut().flatten() {
+            port.marking = !f.ecn_mute;
+        }
     }
 
     /// Current failure state of a spine switch.
@@ -243,6 +250,27 @@ impl Fabric {
             }
             FaultAction::ClearSpineFailure { spine } => {
                 self.set_spine_failure(spine, SpineFailure::healthy());
+            }
+            // The gray-failure actions merge into the spine's existing
+            // state (read-modify-write) so concurrent windows of
+            // different failure modes on one switch compose instead of
+            // clobbering each other.
+            FaultAction::FlowBlackhole {
+                spine,
+                victim_fraction,
+            } => {
+                let f = self
+                    .spine_failure(spine)
+                    .with_flow_blackhole(victim_fraction);
+                self.set_spine_failure(spine, f);
+            }
+            FaultAction::EcnMute { spine } => {
+                let f = self.spine_failure(spine).with_ecn_mute(true);
+                self.set_spine_failure(spine, f);
+            }
+            FaultAction::EcnUnmute { spine } => {
+                let f = self.spine_failure(spine).with_ecn_mute(false);
+                self.set_spine_failure(spine, f);
             }
             FaultAction::LinkDown { leaf, spine } => self.set_link_down(leaf, spine, true),
             FaultAction::LinkUp { leaf, spine } => self.set_link_down(leaf, spine, false),
@@ -677,6 +705,16 @@ impl Fabric {
                 return;
             }
         }
+        if let Some(fb) = f.flow_blackhole {
+            if fb.matches(pkt.flow) {
+                self.stats.drops_failure += 1;
+                Self::trace_drop(q.now(), &pkt, hermes_telemetry::DropReason::FlowBlackhole);
+                #[cfg(feature = "audit")]
+                self.ledger.retired(pkt.id);
+                self.pool.recycle(pkt);
+                return;
+            }
+        }
         let dst_leaf = self.topo.host_leaf(pkt.dst);
         let idx = dst_leaf.0 as usize;
         if self.spine_ports[s.0 as usize][idx].is_none() {
@@ -817,6 +855,98 @@ mod tests {
         let out = run_to_completion(&mut fab, &mut q);
         assert_eq!(out.len(), 2);
         assert_eq!(fab.stats.drops_failure, 1);
+    }
+
+    #[test]
+    fn flow_blackhole_drops_victim_flows_everywhere() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(7));
+        fab.apply_fault(&FaultAction::FlowBlackhole {
+            spine: SpineId(0),
+            victim_fraction: 1.0,
+        });
+        let mut q = EventQueue::new();
+        // Any flow through the failed spine is a victim, both rack
+        // directions — unlike the pair blackhole, which is directional.
+        send_data(&mut fab, &mut q, 0, 6, PathId(0));
+        send_data(&mut fab, &mut q, 6, 0, PathId(0));
+        // Healthy spine: delivered.
+        send_data(&mut fab, &mut q, 0, 7, PathId(1));
+        let out = run_to_completion(&mut fab, &mut q);
+        assert_eq!(out.len(), 1);
+        assert_eq!(fab.stats.drops_failure, 2);
+        // Clearing by merging fraction 0 normalizes to healthy.
+        fab.apply_fault(&FaultAction::FlowBlackhole {
+            spine: SpineId(0),
+            victim_fraction: 0.0,
+        });
+        assert!(!fab.spine_failure(SpineId(0)).is_failed());
+        send_data(&mut fab, &mut q, 0, 6, PathId(0));
+        assert_eq!(run_to_completion(&mut fab, &mut q).len(), 1);
+    }
+
+    #[test]
+    fn gray_failures_merge_instead_of_replacing() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(7));
+        fab.apply_fault(&FaultAction::SetSpineFailure {
+            spine: SpineId(2),
+            failure: SpineFailure::random_drops(0.05),
+        });
+        fab.apply_fault(&FaultAction::FlowBlackhole {
+            spine: SpineId(2),
+            victim_fraction: 0.3,
+        });
+        fab.apply_fault(&FaultAction::EcnMute { spine: SpineId(2) });
+        let f = fab.spine_failure(SpineId(2));
+        assert_eq!(f.random_drop, 0.05, "merge keeps the drop window");
+        assert!(f.flow_blackhole.is_some());
+        assert!(f.ecn_mute);
+        // Unmuting leaves the other overlapping failures in place.
+        fab.apply_fault(&FaultAction::EcnUnmute { spine: SpineId(2) });
+        let f = fab.spine_failure(SpineId(2));
+        assert!(!f.ecn_mute);
+        assert_eq!(f.random_drop, 0.05);
+        assert!(f.flow_blackhole.is_some());
+        // ClearSpineFailure still wipes everything at once.
+        fab.apply_fault(&FaultAction::ClearSpineFailure { spine: SpineId(2) });
+        assert!(!fab.spine_failure(SpineId(2)).is_failed());
+    }
+
+    #[test]
+    fn ecn_mute_disables_marking_on_the_spines_ports_only() {
+        let mut fab = Fabric::new(Topology::testbed(), SimRng::new(0));
+        fab.apply_fault(&FaultAction::EcnMute { spine: SpineId(1) });
+        for l in 0..fab.topo.n_leaves {
+            assert!(
+                !fab.spine_ports[1][l]
+                    .as_ref()
+                    .expect("testbed is full mesh")
+                    .marking,
+                "muted spine's downlink {l} must stop marking"
+            );
+            assert!(
+                fab.spine_ports[0][l]
+                    .as_ref()
+                    .expect("testbed is full mesh")
+                    .marking,
+                "other spines keep marking"
+            );
+        }
+        // Leaf ports (host-facing and uplinks) are untouched: the mute
+        // is local to the broken switch.
+        for ports in &fab.leaf_ports {
+            for p in ports.iter().flatten() {
+                assert!(p.marking);
+            }
+        }
+        fab.apply_fault(&FaultAction::EcnUnmute { spine: SpineId(1) });
+        for l in 0..fab.topo.n_leaves {
+            assert!(
+                fab.spine_ports[1][l]
+                    .as_ref()
+                    .expect("testbed is full mesh")
+                    .marking
+            );
+        }
     }
 
     #[test]

@@ -20,13 +20,15 @@
 //! fabric from anywhere else bypasses the event trace and is flagged by
 //! the workspace lint (`fault-mutation`).
 
+use std::collections::BTreeMap;
+
 use hermes_sim::Time;
 
 use crate::failure::SpineFailure;
 use crate::types::{LeafId, SpineId};
 
 /// One atomic change to the fabric's health.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultAction {
     /// Install (or replace) a spine's failure mode.
     SetSpineFailure {
@@ -35,6 +37,20 @@ pub enum FaultAction {
     },
     /// Restore a spine to [`SpineFailure::healthy`].
     ClearSpineFailure { spine: SpineId },
+    /// Merge a per-victim-flow partial blackhole into a spine's failure
+    /// state, leaving its other failure modes (random drops, pair
+    /// blackhole, ECN mute) untouched — unlike `SetSpineFailure`, which
+    /// replaces the whole state. This is what lets sampled chaos plans
+    /// overlay independent gray failures on one switch.
+    FlowBlackhole {
+        spine: SpineId,
+        victim_fraction: f64,
+    },
+    /// Merge ECN mute into a spine's failure state: the switch keeps
+    /// forwarding but stops CE-marking (sensing deprivation).
+    EcnMute { spine: SpineId },
+    /// Clear only the ECN mute, leaving other failure modes in place.
+    EcnUnmute { spine: SpineId },
     /// Sever one leaf↔spine link (both directions); packets forwarded
     /// onto it are destroyed until the matching [`FaultAction::LinkUp`].
     LinkDown { leaf: LeafId, spine: SpineId },
@@ -56,7 +72,7 @@ pub enum FaultAction {
 }
 
 /// A fault action bound to a simulation instant.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultEvent {
     pub at: Time,
     pub action: FaultAction,
@@ -70,10 +86,84 @@ pub struct FaultEvent {
 /// ramps, flapping) into plain event lists at build time, so the
 /// resulting plan is a static, auditable value — printable, cloneable,
 /// and identical on every run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
 }
+
+/// Why a [`FaultPlan`] is not applicable to any fabric — returned by
+/// [`FaultPlan::validate`]. Each variant names the first offending
+/// event's time so a generated plan can be triaged by reading it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PlanError {
+    /// A `LinkUp` with no preceding `LinkDown` on that link.
+    LinkUpWithoutDown {
+        leaf: LeafId,
+        spine: SpineId,
+        at: Time,
+    },
+    /// A `LinkDown` on a link that is already down — two contradictory
+    /// overlapping windows on the same link (the matching `LinkUp` of
+    /// the first window would half-revert the second).
+    LinkAlreadyDown {
+        leaf: LeafId,
+        spine: SpineId,
+        at: Time,
+    },
+    /// A `SpineUp` with no preceding `SpineDown` on that spine.
+    SpineUpWithoutDown { spine: SpineId, at: Time },
+    /// A `SpineDown` on a spine that is already out of service.
+    SpineAlreadyDown { spine: SpineId, at: Time },
+    /// A probability/fraction outside `[0, 1]` (`what` names the field).
+    FractionOutOfRange {
+        what: &'static str,
+        value: f64,
+        at: Time,
+    },
+    /// A `SetLinkRate` to 0 bps — a dead link must use `LinkDown`.
+    ZeroLinkRate {
+        leaf: LeafId,
+        spine: SpineId,
+        at: Time,
+    },
+}
+
+impl core::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            PlanError::LinkUpWithoutDown { leaf, spine, at } => write!(
+                f,
+                "LinkUp at {at} for leaf {} / spine {} without a prior LinkDown",
+                leaf.0, spine.0
+            ),
+            PlanError::LinkAlreadyDown { leaf, spine, at } => write!(
+                f,
+                "LinkDown at {at} for leaf {} / spine {} overlaps an earlier down window",
+                leaf.0, spine.0
+            ),
+            PlanError::SpineUpWithoutDown { spine, at } => write!(
+                f,
+                "SpineUp at {at} for spine {} without a prior SpineDown",
+                spine.0
+            ),
+            PlanError::SpineAlreadyDown { spine, at } => write!(
+                f,
+                "SpineDown at {at} for spine {} overlaps an earlier outage",
+                spine.0
+            ),
+            PlanError::FractionOutOfRange { what, value, at } => {
+                write!(f, "{what} = {value} at {at} is outside [0, 1]")
+            }
+            PlanError::ZeroLinkRate { leaf, spine, at } => write!(
+                f,
+                "SetLinkRate to 0 bps at {at} for leaf {} / spine {}; use LinkDown for a dead link",
+                leaf.0, spine.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 impl FaultPlan {
     /// An empty plan.
@@ -232,6 +322,152 @@ impl FaultPlan {
         self.at(down_at, FaultAction::SpineDown { spine })
             .at(up_at, FaultAction::SpineUp { spine })
     }
+
+    /// A per-victim-flow partial blackhole on `spine` over
+    /// `[onset, clear)`. The clear merges `victim_fraction = 0` back in
+    /// rather than wiping the spine's whole failure state, so an
+    /// overlapping window of a different failure mode survives.
+    pub fn flow_blackhole_window(
+        self,
+        spine: SpineId,
+        victim_fraction: f64,
+        onset: Time,
+        clear: Time,
+    ) -> FaultPlan {
+        assert!(onset < clear, "fault window must have positive length");
+        assert!(
+            (0.0..=1.0).contains(&victim_fraction),
+            "victim_fraction out of range"
+        );
+        self.at(
+            onset,
+            FaultAction::FlowBlackhole {
+                spine,
+                victim_fraction,
+            },
+        )
+        .at(
+            clear,
+            FaultAction::FlowBlackhole {
+                spine,
+                victim_fraction: 0.0,
+            },
+        )
+    }
+
+    /// An ECN mute on `spine` over `[onset, clear)`: the switch keeps
+    /// forwarding but stops CE-marking until the window closes.
+    pub fn ecn_mute_window(self, spine: SpineId, onset: Time, clear: Time) -> FaultPlan {
+        assert!(onset < clear, "fault window must have positive length");
+        self.at(onset, FaultAction::EcnMute { spine })
+            .at(clear, FaultAction::EcnUnmute { spine })
+    }
+
+    /// Check the plan is applicable to *some* fabric: link and spine
+    /// up/down events pair correctly (no `LinkUp` without a prior
+    /// `LinkDown`, no contradictory overlapping down windows on the
+    /// same link or spine) and every probability/fraction/rate is in
+    /// range. Events are checked in the order the runtime will apply
+    /// them: by time, insertion order within an instant.
+    ///
+    /// The chainable builders already enforce these shapes, but a plan
+    /// assembled from raw [`FaultPlan::at`] calls — or sampled and
+    /// mutated by the chaos shrinker — can violate them; until now such
+    /// plans were silently accepted and produced nonsense runs. The
+    /// runtime calls this when a plan is installed and refuses invalid
+    /// plans.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let mut order: Vec<&FaultEvent> = self.events.iter().collect();
+        order.sort_by_key(|e| e.at); // stable: insertion order within an instant
+        let mut link_down: BTreeMap<(u16, u16), bool> = BTreeMap::new();
+        let mut spine_down: BTreeMap<u16, bool> = BTreeMap::new();
+        let frac_ok = |v: f64| (0.0..=1.0).contains(&v);
+        for ev in order {
+            let at = ev.at;
+            match ev.action {
+                FaultAction::SetSpineFailure { failure, .. } => {
+                    if !frac_ok(failure.random_drop) {
+                        return Err(PlanError::FractionOutOfRange {
+                            what: "random_drop",
+                            value: failure.random_drop,
+                            at,
+                        });
+                    }
+                    if let Some(bh) = failure.blackhole {
+                        if !frac_ok(bh.pair_fraction) {
+                            return Err(PlanError::FractionOutOfRange {
+                                what: "pair_fraction",
+                                value: bh.pair_fraction,
+                                at,
+                            });
+                        }
+                    }
+                    if let Some(fb) = failure.flow_blackhole {
+                        if !frac_ok(fb.victim_fraction) {
+                            return Err(PlanError::FractionOutOfRange {
+                                what: "victim_fraction",
+                                value: fb.victim_fraction,
+                                at,
+                            });
+                        }
+                    }
+                }
+                FaultAction::FlowBlackhole {
+                    victim_fraction, ..
+                } => {
+                    if !frac_ok(victim_fraction) {
+                        return Err(PlanError::FractionOutOfRange {
+                            what: "victim_fraction",
+                            value: victim_fraction,
+                            at,
+                        });
+                    }
+                }
+                FaultAction::LinkDown { leaf, spine } => {
+                    let down = link_down.entry((leaf.0, spine.0)).or_insert(false);
+                    if *down {
+                        return Err(PlanError::LinkAlreadyDown { leaf, spine, at });
+                    }
+                    *down = true;
+                }
+                FaultAction::LinkUp { leaf, spine } => {
+                    let down = link_down.entry((leaf.0, spine.0)).or_insert(false);
+                    if !*down {
+                        return Err(PlanError::LinkUpWithoutDown { leaf, spine, at });
+                    }
+                    *down = false;
+                }
+                FaultAction::SetLinkRate {
+                    leaf,
+                    spine,
+                    rate_bps,
+                } => {
+                    if rate_bps == 0 {
+                        return Err(PlanError::ZeroLinkRate { leaf, spine, at });
+                    }
+                }
+                FaultAction::SpineDown { spine } => {
+                    let down = spine_down.entry(spine.0).or_insert(false);
+                    if *down {
+                        return Err(PlanError::SpineAlreadyDown { spine, at });
+                    }
+                    *down = true;
+                }
+                FaultAction::SpineUp { spine } => {
+                    let down = spine_down.entry(spine.0).or_insert(false);
+                    if !*down {
+                        return Err(PlanError::SpineUpWithoutDown { spine, at });
+                    }
+                    *down = false;
+                }
+                FaultAction::ClearSpineFailure { .. }
+                | FaultAction::EcnMute { .. }
+                | FaultAction::EcnUnmute { .. }
+                | FaultAction::RestoreLinkRate { .. } => {}
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +556,247 @@ mod tests {
             0.02,
             Time::from_ms(5),
             Time::from_ms(5),
+        );
+    }
+
+    #[test]
+    fn gray_failure_windows_expand_and_validate() {
+        let plan = FaultPlan::new()
+            .flow_blackhole_window(SpineId(1), 0.4, Time::from_ms(5), Time::from_ms(20))
+            .ecn_mute_window(SpineId(2), Time::from_ms(8), Time::from_ms(30));
+        assert_eq!(plan.len(), 4);
+        assert!(matches!(
+            plan.events()[0].action,
+            FaultAction::FlowBlackhole {
+                spine: SpineId(1),
+                ..
+            }
+        ));
+        let FaultAction::FlowBlackhole {
+            victim_fraction, ..
+        } = plan.events()[1].action
+        else {
+            panic!("window must clear by merging fraction 0");
+        };
+        assert_eq!(victim_fraction, 0.0);
+        assert!(matches!(
+            plan.events()[2].action,
+            FaultAction::EcnMute { spine: SpineId(2) }
+        ));
+        assert!(matches!(
+            plan.events()[3].action,
+            FaultAction::EcnUnmute { spine: SpineId(2) }
+        ));
+        assert_eq!(plan.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_accepts_every_builder_shape() {
+        let plan = FaultPlan::new()
+            .blackhole_window(
+                SpineId(0),
+                LeafId(0),
+                LeafId(1),
+                1.0,
+                Time::from_ms(1),
+                Time::from_ms(9),
+            )
+            .drop_rate_ramp(SpineId(1), 0.08, Time::from_ms(2), Time::from_ms(12), 4)
+            .link_flap(
+                LeafId(0),
+                SpineId(2),
+                Time::from_ms(3),
+                Time::from_ms(1),
+                Time::from_ms(4),
+                Time::from_ms(15),
+            )
+            .link_degrade_window(
+                LeafId(1),
+                SpineId(3),
+                1_000_000_000,
+                Time::from_ms(2),
+                Time::from_ms(10),
+            )
+            .spine_outage(SpineId(3), Time::from_ms(20), Time::from_ms(25))
+            .flow_blackhole_window(SpineId(2), 0.5, Time::from_ms(6), Time::from_ms(18))
+            .ecn_mute_window(SpineId(0), Time::from_ms(10), Time::from_ms(20));
+        assert_eq!(plan.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_link_up_without_down() {
+        let plan = FaultPlan::new().at(
+            Time::from_ms(5),
+            FaultAction::LinkUp {
+                leaf: LeafId(0),
+                spine: SpineId(1),
+            },
+        );
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::LinkUpWithoutDown {
+                leaf: LeafId(0),
+                spine: SpineId(1),
+                at: Time::from_ms(5),
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_down_windows_on_one_link() {
+        // Two flap windows on the same link that interleave: the second
+        // LinkDown lands while the first window is still open.
+        let plan = FaultPlan::new()
+            .at(
+                Time::from_ms(1),
+                FaultAction::LinkDown {
+                    leaf: LeafId(0),
+                    spine: SpineId(0),
+                },
+            )
+            .at(
+                Time::from_ms(2),
+                FaultAction::LinkDown {
+                    leaf: LeafId(0),
+                    spine: SpineId(0),
+                },
+            )
+            .at(
+                Time::from_ms(3),
+                FaultAction::LinkUp {
+                    leaf: LeafId(0),
+                    spine: SpineId(0),
+                },
+            );
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::LinkAlreadyDown {
+                leaf: LeafId(0),
+                spine: SpineId(0),
+                at: Time::from_ms(2),
+            })
+        );
+        // Distinct links may overlap freely.
+        let ok = FaultPlan::new()
+            .link_flap(
+                LeafId(0),
+                SpineId(0),
+                Time::from_ms(1),
+                Time::from_ms(2),
+                Time::from_ms(5),
+                Time::from_ms(20),
+            )
+            .link_flap(
+                LeafId(1),
+                SpineId(0),
+                Time::from_ms(2),
+                Time::from_ms(2),
+                Time::from_ms(5),
+                Time::from_ms(20),
+            );
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_orders_by_time_not_insertion() {
+        // Inserted up-before-down, but the *times* pair correctly.
+        let plan = FaultPlan::new()
+            .at(
+                Time::from_ms(9),
+                FaultAction::LinkUp {
+                    leaf: LeafId(2),
+                    spine: SpineId(1),
+                },
+            )
+            .at(
+                Time::from_ms(4),
+                FaultAction::LinkDown {
+                    leaf: LeafId(2),
+                    spine: SpineId(1),
+                },
+            );
+        assert_eq!(plan.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_spine_outage_mismatches() {
+        let up_first =
+            FaultPlan::new().at(Time::from_ms(2), FaultAction::SpineUp { spine: SpineId(0) });
+        assert_eq!(
+            up_first.validate(),
+            Err(PlanError::SpineUpWithoutDown {
+                spine: SpineId(0),
+                at: Time::from_ms(2),
+            })
+        );
+        let double_down = FaultPlan::new()
+            .at(
+                Time::from_ms(1),
+                FaultAction::SpineDown { spine: SpineId(3) },
+            )
+            .at(
+                Time::from_ms(2),
+                FaultAction::SpineDown { spine: SpineId(3) },
+            );
+        assert_eq!(
+            double_down.validate(),
+            Err(PlanError::SpineAlreadyDown {
+                spine: SpineId(3),
+                at: Time::from_ms(2),
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_rates() {
+        let bad_drop = FaultPlan::new().at(
+            Time::from_ms(1),
+            FaultAction::SetSpineFailure {
+                spine: SpineId(0),
+                failure: SpineFailure {
+                    random_drop: 1.5,
+                    ..SpineFailure::default()
+                },
+            },
+        );
+        assert_eq!(
+            bad_drop.validate(),
+            Err(PlanError::FractionOutOfRange {
+                what: "random_drop",
+                value: 1.5,
+                at: Time::from_ms(1),
+            })
+        );
+        let bad_victim = FaultPlan::new().at(
+            Time::from_ms(2),
+            FaultAction::FlowBlackhole {
+                spine: SpineId(1),
+                victim_fraction: -0.25,
+            },
+        );
+        assert_eq!(
+            bad_victim.validate(),
+            Err(PlanError::FractionOutOfRange {
+                what: "victim_fraction",
+                value: -0.25,
+                at: Time::from_ms(2),
+            })
+        );
+        let zero_rate = FaultPlan::new().at(
+            Time::from_ms(3),
+            FaultAction::SetLinkRate {
+                leaf: LeafId(1),
+                spine: SpineId(2),
+                rate_bps: 0,
+            },
+        );
+        assert_eq!(
+            zero_rate.validate(),
+            Err(PlanError::ZeroLinkRate {
+                leaf: LeafId(1),
+                spine: SpineId(2),
+                at: Time::from_ms(3),
+            })
         );
     }
 

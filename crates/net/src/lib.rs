@@ -32,8 +32,8 @@ mod types;
 
 pub use audit::{ConservationReport, FnvDigest};
 pub use fabric::{Event, Fabric, FabricStats};
-pub use failure::{pair_unit, Blackhole, SpineFailure};
-pub use faultplan::{FaultAction, FaultEvent, FaultPlan};
+pub use failure::{flow_unit, pair_unit, Blackhole, FlowBlackhole, SpineFailure};
+pub use faultplan::{FaultAction, FaultEvent, FaultPlan, PlanError};
 pub use lbapi::{EdgeLb, FabricLb, FlowCtx, LinkRef, PinnedPath, ProbeTarget, Uplinks};
 pub use packet::{AckInfo, LbMeta, Packet, PacketKind, ACK_SIZE, HDR, MSS, PROBE_SIZE};
 pub use pool::{PacketPool, PoolStats};

@@ -41,6 +41,13 @@ pub struct Port {
     /// scheduler pulls a frame (see DESIGN.md §11). A port can therefore
     /// hold up to `buf_limit` queued bytes plus one in-flight packet.
     pub buf_limit: u64,
+    /// Whether CE marking is enabled at all. Healthy ports mark; a port
+    /// on an ECN-muted switch ([`SpineFailure::ecn_mute`]) forwards
+    /// normally but never marks, starving congestion-sensing LBs of
+    /// signal while the queue silently grows.
+    ///
+    /// [`SpineFailure::ecn_mute`]: crate::SpineFailure
+    pub marking: bool,
     high: VecDeque<Box<Packet>>,
     low: VecDeque<Box<Packet>>,
     high_bytes: u64,
@@ -75,6 +82,7 @@ impl Port {
             link,
             ecn_threshold,
             buf_limit,
+            marking: true,
             high: VecDeque::new(),
             low: VecDeque::new(),
             high_bytes: 0,
@@ -121,8 +129,9 @@ impl Port {
             Priority::Low => {
                 self.low_bytes += sz;
                 // DCTCP marking: CE when the instantaneous data queue
-                // (including this arrival) exceeds K.
-                if pkt.ecn_capable && self.low_bytes > self.ecn_threshold {
+                // (including this arrival) exceeds K — unless the
+                // switch's marking engine is muted (gray failure).
+                if self.marking && pkt.ecn_capable && self.low_bytes > self.ecn_threshold {
                     pkt.ecn_marked = true;
                     self.stats.ecn_marks += 1;
                 }
@@ -264,6 +273,28 @@ mod tests {
         let c = p.complete_tx();
         assert!(c.ecn_marked, "third packet queued above threshold");
         assert_eq!(p.stats.ecn_marks, 1);
+    }
+
+    #[test]
+    fn muted_port_never_marks_but_still_forwards() {
+        let mut p = Port::new(link(), 3_000, 1_000_000);
+        p.marking = false;
+        for _ in 0..5 {
+            assert!(p.enqueue(data(1460)).is_queued(), "mute must not drop");
+        }
+        assert_eq!(p.stats.ecn_marks, 0, "muted marking engine stays silent");
+        let mut drained = 0;
+        while p.begin_tx().is_some() {
+            assert!(!p.complete_tx().ecn_marked);
+            drained += 1;
+        }
+        assert_eq!(drained, 5);
+        // Re-enabling marking restores DCTCP behavior.
+        p.marking = true;
+        p.enqueue(data(1460));
+        p.enqueue(data(1460));
+        p.enqueue(data(1460));
+        assert_eq!(p.stats.ecn_marks, 1, "third arrival crosses K again");
     }
 
     #[test]

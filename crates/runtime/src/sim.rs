@@ -57,6 +57,9 @@ fn fault_kind(a: &hermes_net::FaultAction) -> &'static str {
     match a {
         FaultAction::SetSpineFailure { .. } => "set_spine_failure",
         FaultAction::ClearSpineFailure { .. } => "clear_spine_failure",
+        FaultAction::FlowBlackhole { .. } => "flow_blackhole",
+        FaultAction::EcnMute { .. } => "ecn_mute",
+        FaultAction::EcnUnmute { .. } => "ecn_unmute",
         FaultAction::LinkDown { .. } => "link_down",
         FaultAction::LinkUp { .. } => "link_up",
         FaultAction::SetLinkRate { .. } => "set_link_rate",
@@ -310,7 +313,14 @@ impl Simulation {
     /// through the shared queue at its instant (so fault injection is
     /// part of the digested event trace). Entries whose time already
     /// passed apply at the current instant, in plan order.
+    ///
+    /// Panics if [`FaultPlan::validate`] rejects the plan — an invalid
+    /// schedule (unpaired `LinkUp`, contradictory overlapping windows,
+    /// out-of-range rates) would otherwise run to a nonsense result.
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
         for ev in plan.events() {
             let idx = self.faults.len() as u64;
             self.faults.push(*ev);

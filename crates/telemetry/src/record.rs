@@ -96,6 +96,8 @@ pub enum DropReason {
     RandomDrop,
     /// Deterministic blackhole match.
     Blackhole,
+    /// Deterministic per-victim-flow blackhole match (gray failure).
+    FlowBlackhole,
     /// Link administratively down (fault plan).
     LinkDown,
     /// No connected uplink/downlink remained.
@@ -109,6 +111,7 @@ impl DropReason {
             DropReason::BufferFull => "buffer_full",
             DropReason::RandomDrop => "random_drop",
             DropReason::Blackhole => "blackhole",
+            DropReason::FlowBlackhole => "flow_blackhole",
             DropReason::LinkDown => "link_down",
             DropReason::Disconnected => "disconnected",
         }

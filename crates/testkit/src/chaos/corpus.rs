@@ -1,0 +1,392 @@
+//! The committed counterexample corpus.
+//!
+//! Every plan the chaos campaign ever shrank to a minimal
+//! counterexample is committed under `tests/chaos/corpus/` as a small
+//! TOML file — the plan itself plus the seed, the SLO class it
+//! originally tripped, and a human description of what it caught.
+//! CI replays the whole corpus on every push: each entry must run
+//! *green* under the current SLO defaults, turning yesterday's
+//! failures into tomorrow's regression tests (entries are mined with
+//! deliberately strict thresholds or against since-fixed bugs; see
+//! DESIGN.md §14).
+//!
+//! The format round-trips exactly — `entry_from_toml(plan_to_toml(e))`
+//! reproduces the same [`FaultPlan`] value — which the property tests
+//! in `tests/properties.rs` pin down across the whole sampled grammar.
+
+use std::fs;
+use std::path::Path;
+
+use hermes_net::{Blackhole, FaultAction, FaultPlan, LeafId, SpineFailure, SpineId};
+use hermes_sim::Time;
+
+use super::slo::{check_cell, SloCfg, SloViolation};
+use crate::toml::{self, Table, Value};
+
+/// One corpus file: a shrunk plan plus its provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusEntry {
+    /// What this counterexample caught, in one sentence.
+    pub description: String,
+    /// Workload seed the violation reproduced under.
+    pub seed: u64,
+    /// SLO class originally tripped (stable name, see
+    /// [`super::slo::SloClass::as_str`]).
+    pub slo: String,
+    /// Cell the violation was observed in (`hermes`, `conga`, `ecmp`,
+    /// or `cross` for cross-LB checks).
+    pub lb: String,
+    pub plan: FaultPlan,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialize one entry to the corpus TOML format.
+pub fn plan_to_toml(entry: &CorpusEntry) -> String {
+    let mut out = String::new();
+    out.push_str("# Shrunk chaos counterexample; replayed by `xtask chaos` and CI.\n");
+    out.push_str(&format!("description = \"{}\"\n", esc(&entry.description)));
+    out.push_str(&format!("seed = {}\n", entry.seed));
+    out.push_str(&format!("slo = \"{}\"\n", esc(&entry.slo)));
+    out.push_str(&format!("lb = \"{}\"\n", esc(&entry.lb)));
+    for ev in entry.plan.events() {
+        out.push_str("\n[[event]]\n");
+        out.push_str(&format!("at_ns = {}\n", ev.at.as_ns()));
+        out.push_str(&action_to_toml(&ev.action));
+    }
+    out
+}
+
+fn action_to_toml(a: &FaultAction) -> String {
+    match *a {
+        FaultAction::SetSpineFailure { spine, failure } => {
+            let mut s = format!(
+                "kind = \"set_spine_failure\"\nspine = {}\nrandom_drop = {:?}\n",
+                spine.0, failure.random_drop
+            );
+            if let Some(bh) = failure.blackhole {
+                s.push_str(&format!(
+                    "bh_src_leaf = {}\nbh_dst_leaf = {}\nbh_pair_fraction = {:?}\n",
+                    bh.src_leaf.0, bh.dst_leaf.0, bh.pair_fraction
+                ));
+            }
+            if let Some(fb) = failure.flow_blackhole {
+                s.push_str(&format!("victim_fraction = {:?}\n", fb.victim_fraction));
+            }
+            if failure.ecn_mute {
+                s.push_str("ecn_mute = true\n");
+            }
+            s
+        }
+        FaultAction::ClearSpineFailure { spine } => {
+            format!("kind = \"clear_spine_failure\"\nspine = {}\n", spine.0)
+        }
+        FaultAction::FlowBlackhole {
+            spine,
+            victim_fraction,
+        } => format!(
+            "kind = \"flow_blackhole\"\nspine = {}\nvictim_fraction = {:?}\n",
+            spine.0, victim_fraction
+        ),
+        FaultAction::EcnMute { spine } => format!("kind = \"ecn_mute\"\nspine = {}\n", spine.0),
+        FaultAction::EcnUnmute { spine } => {
+            format!("kind = \"ecn_unmute\"\nspine = {}\n", spine.0)
+        }
+        FaultAction::LinkDown { leaf, spine } => format!(
+            "kind = \"link_down\"\nleaf = {}\nspine = {}\n",
+            leaf.0, spine.0
+        ),
+        FaultAction::LinkUp { leaf, spine } => {
+            format!(
+                "kind = \"link_up\"\nleaf = {}\nspine = {}\n",
+                leaf.0, spine.0
+            )
+        }
+        FaultAction::SetLinkRate {
+            leaf,
+            spine,
+            rate_bps,
+        } => format!(
+            "kind = \"set_link_rate\"\nleaf = {}\nspine = {}\nrate_bps = {}\n",
+            leaf.0, spine.0, rate_bps
+        ),
+        FaultAction::RestoreLinkRate { leaf, spine } => format!(
+            "kind = \"restore_link_rate\"\nleaf = {}\nspine = {}\n",
+            leaf.0, spine.0
+        ),
+        FaultAction::SpineDown { spine } => format!("kind = \"spine_down\"\nspine = {}\n", spine.0),
+        FaultAction::SpineUp { spine } => format!("kind = \"spine_up\"\nspine = {}\n", spine.0),
+    }
+}
+
+fn str_field(t: &Table, key: &str) -> Result<String, String> {
+    t.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string `{key}`"))
+}
+
+fn int_field(t: &Table, key: &str) -> Result<i64, String> {
+    t.get(key)
+        .and_then(Value::as_int)
+        .ok_or_else(|| format!("missing or non-integer `{key}`"))
+}
+
+fn float_field(t: &Table, key: &str) -> Result<f64, String> {
+    t.get(key)
+        .and_then(Value::as_float)
+        .ok_or_else(|| format!("missing or non-float `{key}`"))
+}
+
+fn spine_field(t: &Table) -> Result<SpineId, String> {
+    Ok(SpineId(int_field(t, "spine")? as u16))
+}
+
+fn leaf_field(t: &Table) -> Result<LeafId, String> {
+    Ok(LeafId(int_field(t, "leaf")? as u16))
+}
+
+fn action_from_table(t: &Table) -> Result<FaultAction, String> {
+    let kind = str_field(t, "kind")?;
+    match kind.as_str() {
+        "set_spine_failure" => {
+            let mut failure = SpineFailure {
+                random_drop: float_field(t, "random_drop")?,
+                ..SpineFailure::default()
+            };
+            if t.contains_key("bh_src_leaf") {
+                failure.blackhole = Some(Blackhole {
+                    src_leaf: LeafId(int_field(t, "bh_src_leaf")? as u16),
+                    dst_leaf: LeafId(int_field(t, "bh_dst_leaf")? as u16),
+                    pair_fraction: float_field(t, "bh_pair_fraction")?,
+                });
+            }
+            if t.contains_key("victim_fraction") {
+                failure = failure.with_flow_blackhole(float_field(t, "victim_fraction")?);
+            }
+            if let Some(m) = t.get("ecn_mute").and_then(Value::as_bool) {
+                failure = failure.with_ecn_mute(m);
+            }
+            Ok(FaultAction::SetSpineFailure {
+                spine: spine_field(t)?,
+                failure,
+            })
+        }
+        "clear_spine_failure" => Ok(FaultAction::ClearSpineFailure {
+            spine: spine_field(t)?,
+        }),
+        "flow_blackhole" => Ok(FaultAction::FlowBlackhole {
+            spine: spine_field(t)?,
+            victim_fraction: float_field(t, "victim_fraction")?,
+        }),
+        "ecn_mute" => Ok(FaultAction::EcnMute {
+            spine: spine_field(t)?,
+        }),
+        "ecn_unmute" => Ok(FaultAction::EcnUnmute {
+            spine: spine_field(t)?,
+        }),
+        "link_down" => Ok(FaultAction::LinkDown {
+            leaf: leaf_field(t)?,
+            spine: spine_field(t)?,
+        }),
+        "link_up" => Ok(FaultAction::LinkUp {
+            leaf: leaf_field(t)?,
+            spine: spine_field(t)?,
+        }),
+        "set_link_rate" => Ok(FaultAction::SetLinkRate {
+            leaf: leaf_field(t)?,
+            spine: spine_field(t)?,
+            rate_bps: int_field(t, "rate_bps")? as u64,
+        }),
+        "restore_link_rate" => Ok(FaultAction::RestoreLinkRate {
+            leaf: leaf_field(t)?,
+            spine: spine_field(t)?,
+        }),
+        "spine_down" => Ok(FaultAction::SpineDown {
+            spine: spine_field(t)?,
+        }),
+        "spine_up" => Ok(FaultAction::SpineUp {
+            spine: spine_field(t)?,
+        }),
+        other => Err(format!("unknown event kind `{other}`")),
+    }
+}
+
+/// Parse one corpus file. The embedded plan must validate.
+pub fn entry_from_toml(src: &str) -> Result<CorpusEntry, String> {
+    let table = toml::parse(src).map_err(|e| format!("corpus TOML: {e}"))?;
+    let mut plan = FaultPlan::new();
+    if let Some(events) = table.get("event") {
+        let list = events
+            .as_array()
+            .ok_or_else(|| "`event` must be an array of tables".to_string())?;
+        for (i, ev) in list.iter().enumerate() {
+            let t = ev
+                .as_table()
+                .ok_or_else(|| format!("event #{i} is not a table"))?;
+            let at = Time::from_ns(int_field(t, "at_ns")? as u64);
+            let action = action_from_table(t).map_err(|e| format!("event #{i}: {e}"))?;
+            plan = plan.at(at, action);
+        }
+    }
+    plan.validate()
+        .map_err(|e| format!("corpus plan invalid: {e}"))?;
+    Ok(CorpusEntry {
+        description: str_field(&table, "description")?,
+        seed: int_field(&table, "seed")? as u64,
+        slo: str_field(&table, "slo")?,
+        lb: str_field(&table, "lb")?,
+        plan,
+    })
+}
+
+/// Load every `*.toml` under `dir`, sorted by file name (the replay
+/// order, and hence the report, is independent of directory order).
+pub fn load_corpus(dir: &Path) -> Result<Vec<(String, CorpusEntry)>, String> {
+    let mut names: Vec<String> = Vec::new();
+    let iter = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for de in iter {
+        let de = de.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let name = de.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".toml") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    let mut out = Vec::new();
+    for name in names {
+        let path = dir.join(&name);
+        let src = fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let entry = entry_from_toml(&src).map_err(|e| format!("{name}: {e}"))?;
+        out.push((name, entry));
+    }
+    Ok(out)
+}
+
+/// Outcome of replaying the committed corpus.
+#[derive(Clone, Debug)]
+pub struct CorpusReplay {
+    /// Files replayed, in order.
+    pub files: Vec<String>,
+    /// Violations under the *current* SLO defaults — must be empty;
+    /// corpus entries are regressions that stay fixed.
+    pub violations: Vec<SloViolation>,
+}
+
+/// Replay every corpus entry under the current SLO config. Green means
+/// the behaviors those counterexamples once caught are still fixed.
+pub fn replay_corpus(dir: &Path, slo: &SloCfg, quick: bool) -> Result<CorpusReplay, String> {
+    let entries = load_corpus(dir)?;
+    let mut files = Vec::new();
+    let mut violations = Vec::new();
+    for (name, entry) in entries {
+        let stem = name.trim_end_matches(".toml");
+        let label = format!("corpus/{stem}");
+        let runs = super::run_cells(&entry.plan, entry.seed, quick);
+        violations.extend(check_cell(&label, &runs, entry.plan.end_time(), slo));
+        files.push(name);
+    }
+    Ok(CorpusReplay { files, violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> CorpusEntry {
+        CorpusEntry {
+            description: "two overlapping gray failures".to_string(),
+            seed: 11,
+            slo: "recovery".to_string(),
+            lb: "hermes".to_string(),
+            plan: FaultPlan::new()
+                .flow_blackhole_window(SpineId(1), 0.37, Time::from_ms(3), Time::from_ms(18))
+                .ecn_mute_window(SpineId(2), Time::from_ms(5), Time::from_ms(25))
+                .at(
+                    Time::from_ms(4),
+                    FaultAction::SetSpineFailure {
+                        spine: SpineId(0),
+                        failure: SpineFailure::blackhole(LeafId(0), LeafId(1), 0.75)
+                            .with_ecn_mute(true),
+                    },
+                )
+                .at(
+                    Time::from_ms(9),
+                    FaultAction::ClearSpineFailure { spine: SpineId(0) },
+                ),
+        }
+    }
+
+    #[test]
+    fn corpus_format_round_trips_exactly() {
+        let entry = sample_entry();
+        let text = plan_to_toml(&entry);
+        let back = entry_from_toml(&text).expect("round-trip parse");
+        assert_eq!(back, entry);
+        // And a second serialization is byte-identical.
+        assert_eq!(plan_to_toml(&back), text);
+    }
+
+    #[test]
+    fn every_action_kind_round_trips() {
+        let plan = FaultPlan::new()
+            .blackhole_window(
+                SpineId(0),
+                LeafId(0),
+                LeafId(1),
+                0.5,
+                Time::from_ms(1),
+                Time::from_ms(2),
+            )
+            .random_drop_window(SpineId(1), 0.0625, Time::from_ms(1), Time::from_ms(2))
+            .link_flap(
+                LeafId(0),
+                SpineId(2),
+                Time::from_ms(1),
+                Time::from_us(200),
+                Time::from_ms(1),
+                Time::from_ms(3),
+            )
+            .link_degrade_window(
+                LeafId(1),
+                SpineId(3),
+                250_000_000,
+                Time::from_ms(1),
+                Time::from_ms(2),
+            )
+            .spine_outage(SpineId(1), Time::from_ms(5), Time::from_ms(6))
+            .flow_blackhole_window(SpineId(2), 0.33, Time::from_ms(7), Time::from_ms(8))
+            .ecn_mute_window(SpineId(3), Time::from_ms(7), Time::from_ms(8));
+        let entry = CorpusEntry {
+            description: "grammar coverage".to_string(),
+            seed: 1,
+            slo: "drain".to_string(),
+            lb: "ecmp".to_string(),
+            plan,
+        };
+        let back = entry_from_toml(&plan_to_toml(&entry)).expect("parse");
+        assert_eq!(back, entry);
+    }
+
+    #[test]
+    fn invalid_plans_and_unknown_kinds_are_rejected() {
+        let orphan = "description = \"x\"\nseed = 1\nslo = \"drain\"\nlb = \"ecmp\"\n\n\
+                      [[event]]\nat_ns = 5\nkind = \"link_up\"\nleaf = 0\nspine = 0\n";
+        let err = entry_from_toml(orphan).expect_err("orphan LinkUp must be rejected");
+        assert!(err.contains("invalid"), "got: {err}");
+        let unknown = "description = \"x\"\nseed = 1\nslo = \"drain\"\nlb = \"ecmp\"\n\n\
+                       [[event]]\nat_ns = 5\nkind = \"meteor_strike\"\nspine = 0\n";
+        let err = entry_from_toml(unknown).expect_err("unknown kind must be rejected");
+        assert!(err.contains("meteor_strike"), "got: {err}");
+    }
+
+    #[test]
+    fn descriptions_with_quotes_survive() {
+        let mut entry = sample_entry();
+        entry.description = "the \"gray\" case with a back\\slash".to_string();
+        let back = entry_from_toml(&plan_to_toml(&entry)).expect("parse");
+        assert_eq!(back.description, entry.description);
+    }
+}

@@ -1,0 +1,156 @@
+//! Seeded fault-plan sampler over the full fault grammar.
+//!
+//! One campaign seed maps to one [`FaultPlan`]: a composition of 1–3
+//! fault primitives drawn from every shape the grammar offers — pair
+//! blackholes, silent random drops, drop-rate ramps, link flapping,
+//! link degrades, whole-spine outages, per-victim-flow partial
+//! blackholes, and ECN mutes. Primitives get *distinct* spines (so a
+//! later `SetSpineFailure` cannot clobber an earlier primitive's
+//! state) but freely *overlapping windows in time* — the concurrent
+//! gray-failure compositions nothing else in the tree exercises.
+//!
+//! Sampling is pure: the same `(seed, GenCfg)` always yields the same
+//! plan, byte for byte, and every sampled plan passes
+//! [`FaultPlan::validate`] by construction (distinct spines mean link
+//! and spine down/up windows can never contradict each other).
+
+use hermes_net::{FaultPlan, LeafId, SpineId};
+use hermes_sim::{SimRng, Time};
+
+/// The sampling space: fabric dimensions plus timing bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct GenCfg {
+    pub n_leaves: u16,
+    pub n_spines: u16,
+    /// Healthy leaf↔spine link rate; degrades sample a fraction of it.
+    pub link_rate_bps: u64,
+}
+
+impl GenCfg {
+    /// Matches [`hermes_net::Topology::testbed`] (2 leaves, 4 spines,
+    /// 1 Gbps links) — the fabric every campaign cell runs on.
+    pub fn testbed() -> GenCfg {
+        GenCfg {
+            n_leaves: 2,
+            n_spines: 4,
+            link_rate_bps: 1_000_000_000,
+        }
+    }
+}
+
+/// RNG stream label for plan sampling (distinct from the workload's
+/// `0x6E4` and the fabric's failure streams).
+const GEN_STREAM: u64 = 0xC4A0_5000;
+
+/// Sample one fault plan. Deterministic in `(seed, cfg)`; the result
+/// always validates and always ends well before a 1-second drain.
+pub fn sample_plan(seed: u64, cfg: &GenCfg) -> FaultPlan {
+    let mut rng = SimRng::new(seed).split(GEN_STREAM);
+    let n_primitives = 1 + rng.below(3);
+    let spines = rng.sample_distinct(cfg.n_spines as usize, n_primitives);
+    let mut plan = FaultPlan::new();
+    for spine_idx in spines {
+        let spine = SpineId(spine_idx as u16);
+        let kind = rng.below(8);
+        // Windows: onset in [2, 22) ms, length in [4, 30) ms, so every
+        // fault clears by 52 ms — far inside the quick drain budget.
+        let onset = Time::from_us(2_000 + rng.below(20_000) as u64);
+        let clear = onset + Time::from_us(4_000 + rng.below(26_000) as u64);
+        let leaf = LeafId(rng.below(cfg.n_leaves as usize) as u16);
+        plan = match kind {
+            0 => {
+                let src = LeafId(rng.below(cfg.n_leaves as usize) as u16);
+                let dst = LeafId((src.0 + 1) % cfg.n_leaves);
+                let frac = 0.5 + 0.5 * rng.below(2) as f64;
+                plan.blackhole_window(spine, src, dst, frac, onset, clear)
+            }
+            1 => plan.random_drop_window(spine, 0.02 + 0.10 * rng.f64(), onset, clear),
+            2 => {
+                let peak = 0.05 + 0.15 * rng.f64();
+                let steps = 2 + rng.below(3) as u32;
+                plan.drop_rate_ramp(spine, peak, onset, clear, steps)
+            }
+            3 => {
+                let downtime = Time::from_us(500 + rng.below(1_500) as u64);
+                let period = downtime + Time::from_us(1_000 + rng.below(4_000) as u64);
+                plan.link_flap(leaf, spine, onset, downtime, period, clear)
+            }
+            4 => {
+                let divisor = 4 + rng.below(7) as u64;
+                plan.link_degrade_window(leaf, spine, cfg.link_rate_bps / divisor, onset, clear)
+            }
+            5 => plan.spine_outage(spine, onset, clear),
+            6 => plan.flow_blackhole_window(spine, 0.2 + 0.6 * rng.f64(), onset, clear),
+            _ => plan.ecn_mute_window(spine, onset, clear),
+        };
+    }
+    debug_assert!(plan.validate().is_ok(), "sampled plan must validate");
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_always_valid() {
+        let cfg = GenCfg::testbed();
+        for seed in 0..200 {
+            let a = sample_plan(seed, &cfg);
+            let b = sample_plan(seed, &cfg);
+            assert_eq!(a, b, "seed {seed} must resample identically");
+            assert_eq!(a.validate(), Ok(()), "seed {seed} sampled an invalid plan");
+            assert!(!a.is_empty(), "seed {seed} sampled an empty plan");
+            assert!(
+                a.end_time() <= Time::from_ms(60),
+                "seed {seed} plan runs past the window bound"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_covers_the_grammar_and_overlaps_windows() {
+        let cfg = GenCfg::testbed();
+        let mut multi_primitive = 0;
+        let mut max_events = 0;
+        for seed in 0..200 {
+            let plan = sample_plan(seed, &cfg);
+            max_events = max_events.max(plan.len());
+            // Distinct spines referenced => multiple primitives live in
+            // one plan, and their windows share the [2, 52) ms band, so
+            // concurrent faults are the common case, not the corner.
+            let mut spines: Vec<u16> = plan
+                .events()
+                .iter()
+                .filter_map(|e| spine_of(&e.action))
+                .collect();
+            spines.sort_unstable();
+            spines.dedup();
+            if spines.len() >= 2 {
+                multi_primitive += 1;
+            }
+        }
+        assert!(
+            multi_primitive > 50,
+            "expected many multi-primitive plans, got {multi_primitive}/200"
+        );
+        assert!(max_events >= 6, "flaps/ramps should expand to many events");
+    }
+
+    fn spine_of(a: &hermes_net::FaultAction) -> Option<u16> {
+        use hermes_net::FaultAction as A;
+        match *a {
+            A::SetSpineFailure { spine, .. }
+            | A::ClearSpineFailure { spine }
+            | A::FlowBlackhole { spine, .. }
+            | A::EcnMute { spine }
+            | A::EcnUnmute { spine }
+            | A::LinkDown { spine, .. }
+            | A::LinkUp { spine, .. }
+            | A::SetLinkRate { spine, .. }
+            | A::RestoreLinkRate { spine, .. }
+            | A::SpineDown { spine }
+            | A::SpineUp { spine } => Some(spine.0),
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //! grid lives in the repo-root `tests/conformance.rs`; the extended
 //! grid runs via `cargo run -p xtask -- conformance`.
 
+pub mod chaos;
 pub mod check;
 pub mod run;
 pub mod selftest;

@@ -53,18 +53,46 @@ pub struct DegradationReport {
     pub stranded: usize,
 }
 
+impl DegradationReport {
+    /// `dip_min_bps / baseline_bps`, clamped to `[0, 1]` and safe when
+    /// the baseline is zero.
+    ///
+    /// A fuzzer-generated plan can put the fault onset before any
+    /// goodput flowed (or the probe series can be empty), making the
+    /// baseline 0 — the naive ratio is then 0/0 = NaN, which poisons
+    /// every comparison downstream. With no baseline there is no
+    /// measurable dip, so this reports 1.0 ("goodput at baseline").
+    pub fn dip_fraction(&self) -> f64 {
+        if self.baseline_bps > 0.0 {
+            (self.dip_min_bps / self.baseline_bps).clamp(0.0, 1.0)
+        } else {
+            1.0
+        }
+    }
+}
+
 /// Analyze a cumulative goodput series against a fault `onset` time.
 ///
 /// `series` is `(sample time, cumulative bytes)` in time order, as a
 /// `TotalGoodput` sampler records it. Needs at least one full bin
 /// before `onset` to establish a baseline; with no pre-onset bins the
-/// baseline is 0 and no impact can be detected.
+/// baseline is 0 and no impact can be detected (see
+/// [`DegradationReport::dip_fraction`] for the safe ratio).
+///
+/// An `onset` at or past the last sample — a fault window extending
+/// beyond the probe timeline, which sampled chaos plans routinely
+/// produce — is clamped to the series' end: the baseline covers every
+/// complete bin, there are no post-onset bins to judge, and the report
+/// degenerates to "no impact observed" instead of fabricating a dip
+/// from an empty window.
 pub fn degradation_report(
     series: &[(Time, u64)],
     onset: Time,
     cfg: &DegradationCfg,
     stranded: usize,
 ) -> DegradationReport {
+    // Clamp a fault window that extends past the probe timeline.
+    let onset = onset.min(series.last().map_or(Time::ZERO, |&(t, _)| t));
     // Per-bin rates: (bin start, bin end, bits/s).
     let bins: Vec<(Time, Time, f64)> = series
         .windows(2)
@@ -186,6 +214,38 @@ mod tests {
         let rep = degradation_report(&s, Time::from_ms(4), &DegradationCfg::default(), 0);
         assert_eq!(rep.time_to_impact, Some(Time::ZERO));
         assert!(rep.time_to_recover.is_none());
+    }
+
+    #[test]
+    fn zero_baseline_dip_fraction_is_not_nan() {
+        // All goodput arrives after onset: baseline 0.
+        let s = series(&[0, 0, 100, 100]);
+        let rep = degradation_report(&s, Time::from_ms(2), &DegradationCfg::default(), 0);
+        assert_eq!(rep.baseline_bps, 0.0);
+        assert!(!rep.dip_fraction().is_nan(), "0/0 must not leak out");
+        assert_eq!(rep.dip_fraction(), 1.0, "no baseline ⇒ no measurable dip");
+        // Empty series: same guarantee.
+        let rep = degradation_report(&[], Time::ZERO, &DegradationCfg::default(), 0);
+        assert_eq!(rep.dip_fraction(), 1.0);
+        // With a real baseline the fraction is the plain clamped ratio.
+        let s = series(&[100, 100, 100, 100, 50, 50, 50]);
+        let rep = degradation_report(&s, Time::from_ms(4), &DegradationCfg::default(), 0);
+        assert!((rep.dip_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn onset_past_the_probe_timeline_is_clamped() {
+        let s = series(&[100, 100, 100, 100]);
+        let beyond = degradation_report(&s, Time::from_secs(999), &DegradationCfg::default(), 0);
+        // Clamped to the series end: full-series baseline, no post bins,
+        // no fabricated impact, dip reported at baseline.
+        let at_end = degradation_report(&s, Time::from_ms(4), &DegradationCfg::default(), 0);
+        assert_eq!(beyond.baseline_bps, at_end.baseline_bps);
+        assert!(beyond.baseline_bps > 0.0);
+        assert_eq!(beyond.dip_min_bps, beyond.baseline_bps);
+        assert!(beyond.time_to_impact.is_none());
+        assert!(beyond.time_to_recover.is_none());
+        assert_eq!(beyond.dip_fraction(), 1.0);
     }
 
     #[test]

@@ -24,6 +24,16 @@
 //!   `hermes-sim/heap-queue`), fail on any cross-scheduler digest
 //!   mismatch, and write the wall-clock / throughput / peak-RSS
 //!   comparison to `BENCH_perf.json` at the workspace root.
+//! * `cargo run -p xtask -- chaos [--seeds N] [--quick] [--shrink]
+//!   [--self-test]` — the chaos campaign engine (DESIGN.md §14):
+//!   replay the committed counterexample corpus
+//!   (`tests/chaos/corpus/`), then sample N seeded fault plans from
+//!   the full fault grammar and judge hermes/conga/ecmp against the
+//!   graceful-degradation SLOs; `--shrink` delta-debugs failing plans
+//!   to minimal counterexamples (`--emit-shrunk <dir>` writes them in
+//!   corpus format), `--recovery-frac` tightens the recovery SLO for
+//!   corpus mining, and `--self-test` proves each SLO checker and the
+//!   shrinker trip on planted fixtures.
 //!
 //! The simulator's core promise is that a (config, seed) pair fully
 //! determines every packet of a run. That promise dies quietly: one
@@ -62,11 +72,14 @@ fn main() -> ExitCode {
             args.iter().any(|a| a == "--gate"),
         ),
         Some("trace") => trace(&args[1..]),
+        Some("chaos") => chaos(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- <analyze [--self-test] [--json <out>] \
                  [--update-baseline] | conformance [--self-test] | bless | perf [--quick] \
-                 [--gate] | trace <point> --out <dir>>"
+                 [--gate] | trace <point> --out <dir> | chaos [--seeds N] [--seed-base N] \
+                 [--quick] [--shrink] [--self-test] [--no-corpus] [--recovery-frac F] \
+                 [--out <json>] [--emit-shrunk <dir>]>"
             );
             ExitCode::FAILURE
         }
@@ -652,6 +665,220 @@ fn perf_json(quick: bool, results: &[(String, Vec<PerfReport>)], digests_ok: boo
 }
 
 /// The workspace root, two levels above this crate's manifest.
+/// `chaos`: replay the committed counterexample corpus, then run a
+/// seeded fault-space fuzzing campaign under the degradation SLOs
+/// (DESIGN.md §14). `--self-test` proves every SLO checker and the
+/// shrinker trip on planted fixtures instead.
+fn chaos(args: &[String]) -> ExitCode {
+    use hermes_testkit::chaos;
+
+    let mut cfg = chaos::CampaignCfg {
+        quick: false,
+        ..Default::default()
+    };
+    let mut json_out: Option<&str> = None;
+    let mut emit_shrunk: Option<&str> = None;
+    let mut self_test = false;
+    let mut skip_corpus = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.seeds = n,
+                None => return chaos_usage("--seeds needs a count"),
+            },
+            "--seed-base" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.seed_base = n,
+                None => return chaos_usage("--seed-base needs a seed"),
+            },
+            "--recovery-frac" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) => cfg.slo.recovery_frac = f,
+                None => return chaos_usage("--recovery-frac needs a fraction"),
+            },
+            "--recovery-slack-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => cfg.slo.recovery_slack = hermes_sim::Time::from_ms(ms),
+                None => return chaos_usage("--recovery-slack-ms needs a duration"),
+            },
+            "--stranded-slack-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => cfg.slo.stranded_slack = hermes_sim::Time::from_ms(ms),
+                None => return chaos_usage("--stranded-slack-ms needs a duration"),
+            },
+            "--quick" => cfg.quick = true,
+            "--shrink" => cfg.shrink = true,
+            "--self-test" => self_test = true,
+            "--no-corpus" => skip_corpus = true,
+            "--out" => json_out = it.next().map(String::as_str),
+            "--emit-shrunk" => emit_shrunk = it.next().map(String::as_str),
+            other => return chaos_usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    if self_test {
+        return chaos_self_test();
+    }
+
+    // Phase 1: the committed corpus must replay green — every entry is
+    // a shrunk counterexample of a since-fixed behavior.
+    let corpus_dir = workspace_root().join("tests/chaos/corpus");
+    if !skip_corpus && corpus_dir.is_dir() {
+        match chaos::replay_corpus(&corpus_dir, &cfg.slo, cfg.quick) {
+            Ok(replay) => {
+                for v in &replay.violations {
+                    eprintln!(
+                        "  [REGRESSED] {} {}: {}",
+                        v.class.as_str(),
+                        v.cell,
+                        v.detail
+                    );
+                }
+                if !replay.violations.is_empty() {
+                    eprintln!(
+                        "xtask chaos: corpus replay FAILED ({} violation(s))",
+                        replay.violations.len()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "xtask chaos: corpus replay green ({} entr{})",
+                    replay.files.len(),
+                    if replay.files.len() == 1 { "y" } else { "ies" }
+                );
+            }
+            Err(e) => {
+                eprintln!("xtask chaos: corpus: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Phase 2: the sampled campaign.
+    let report = chaos::run_campaign(&cfg);
+    for o in &report.outcomes {
+        println!(
+            "  [{}] seed={:<4} plan: {:>2} event(s) ending {}",
+            if o.violations.is_empty() {
+                "ok"
+            } else {
+                "VIOLATION"
+            },
+            o.seed,
+            o.plan.len(),
+            o.plan.end_time(),
+        );
+        for v in &o.violations {
+            println!("      {} {}: {}", v.class.as_str(), v.cell, v.detail);
+        }
+        for sh in &o.shrunk {
+            println!(
+                "      shrunk {} -> {} event(s) in {} eval(s) [{}]",
+                sh.from_events,
+                sh.plan.len(),
+                sh.evals,
+                sh.class.as_str()
+            );
+        }
+    }
+    if let Some(dir) = emit_shrunk {
+        if let Err(e) = write_shrunk(&report, Path::new(dir)) {
+            eprintln!("xtask chaos: --emit-shrunk: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(out) = json_out {
+        if let Err(e) = fs::write(out, report.to_json()) {
+            eprintln!("xtask chaos: writing {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("xtask chaos: wrote {out}");
+    }
+    let violations = report.total_violations();
+    println!(
+        "xtask chaos: {} seed(s), {} violation(s), campaign digest {:#018x}",
+        report.outcomes.len(),
+        violations,
+        report.digest()
+    );
+    if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Write each shrunk counterexample as a corpus-format TOML file for
+/// triage (and, if it earns it, committing to `tests/chaos/corpus/`).
+fn write_shrunk(report: &hermes_testkit::chaos::CampaignReport, dir: &Path) -> Result<(), String> {
+    use hermes_testkit::chaos;
+
+    fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let mut written = 0;
+    for o in &report.outcomes {
+        for sh in &o.shrunk {
+            let entry = chaos::CorpusEntry {
+                description: format!(
+                    "shrunk from seed {} ({} -> {} events); tripped {} in {}",
+                    o.seed,
+                    sh.from_events,
+                    sh.plan.len(),
+                    sh.class.as_str(),
+                    sh.cell
+                ),
+                seed: o.seed,
+                slo: sh.class.as_str().to_string(),
+                lb: sh
+                    .cell
+                    .rsplit_once('/')
+                    .map_or("cross", |(_, lb)| lb)
+                    .to_string(),
+                plan: sh.plan.clone(),
+            };
+            let path = dir.join(format!("seed{}-{}.toml", o.seed, sh.class.as_str()));
+            fs::write(&path, chaos::plan_to_toml(&entry))
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            written += 1;
+        }
+    }
+    println!(
+        "xtask chaos: wrote {written} shrunk plan(s) to {}",
+        dir.display()
+    );
+    Ok(())
+}
+
+fn chaos_usage(msg: &str) -> ExitCode {
+    eprintln!("xtask chaos: {msg}");
+    eprintln!(
+        "usage: cargo run -p xtask -- chaos [--seeds N] [--seed-base N] [--quick] [--shrink] \
+         [--self-test] [--no-corpus] [--recovery-frac F] [--out <json>] [--emit-shrunk <dir>]"
+    );
+    ExitCode::FAILURE
+}
+
+/// Prove every chaos SLO checker and the plan shrinker trip on their
+/// planted fixtures (mirrors `conformance --self-test`).
+fn chaos_self_test() -> ExitCode {
+    let cases = hermes_testkit::chaos::run_chaos_self_test();
+    let mut ok = true;
+    for case in &cases {
+        println!(
+            "  [{}] {:<32} {}",
+            if case.ok { "ok" } else { "MISSED" },
+            case.name,
+            case.detail
+        );
+        ok &= case.ok;
+    }
+    if ok {
+        println!(
+            "xtask chaos --self-test: all {} fixtures behaved (checkers trip, shrinker minimizes)",
+            cases.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask chaos --self-test: a planted fixture did not trip its checker");
+        ExitCode::FAILURE
+    }
+}
+
 fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest

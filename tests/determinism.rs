@@ -152,6 +152,76 @@ fn chaos_schedule_is_deterministic_and_conserves_packets() {
     );
 }
 
+/// A gray-failure scenario on the rack0 → rack7 workload: the fault
+/// plan is supplied by the caller so the same harness exercises each
+/// gray-failure model.
+fn gray_failure_sim(plan: FaultPlan) -> Simulation {
+    let topo = Topology::sim_baseline();
+    let scheme = Scheme::Hermes(HermesParams::from_topology(&topo));
+    let mut sim = Simulation::new(
+        SimConfig::new(topo.clone(), scheme)
+            .with_seed(3)
+            .with_fault_plan(plan),
+    );
+    let mut gen = FlowGen::new(&topo, FlowSizeDist::web_search(), 0.4, None, SimRng::new(9));
+    let mut flows = Vec::new();
+    while flows.len() < 40 {
+        let f = gen.next_flow();
+        if topo.host_leaf(f.src) == LeafId(0) && topo.host_leaf(f.dst) == LeafId(7) {
+            flows.push(f);
+        }
+    }
+    for (i, f) in flows.iter_mut().enumerate() {
+        f.start = Time::from_us(400 * i as u64);
+    }
+    sim.add_flows(flows);
+    sim
+}
+
+/// Per-victim-flow partial blackhole (the gray failure where a switch
+/// silently eats *some* flows): same seed ⇒ same digest, packets are
+/// actually destroyed, and every flow finishes once the window clears.
+#[test]
+fn flow_blackhole_plan_is_deterministic_and_recovers() {
+    let plan = FaultPlan::new().flow_blackhole_window(
+        SpineId(5),
+        0.6,
+        Time::from_ms(3),
+        Time::from_ms(12),
+    );
+    let fp = selfcheck::assert_deterministic(|| gray_failure_sim(plan.clone()), Time::from_secs(5));
+    assert!(
+        fp.conservation.dropped() > 0,
+        "the partial blackhole must destroy victim-flow packets: {}",
+        fp.conservation
+    );
+    assert!(
+        fp.fcts.iter().all(|&(_, f)| f.is_some()),
+        "every flow must finish once the blackhole clears"
+    );
+}
+
+/// ECN mute (sensing deprivation: the switch forwards but stops
+/// CE-marking): the fault itself never destroys a packet — any loss
+/// shows up as buffer-full congestion drops from the un-signalled
+/// queue buildup — the run stays digest-identical across same-seed
+/// replays, and all flows complete.
+#[test]
+fn ecn_mute_plan_is_deterministic_and_lossless() {
+    let plan = FaultPlan::new().ecn_mute_window(SpineId(2), Time::from_ms(2), Time::from_ms(14));
+    let fp = selfcheck::assert_deterministic(|| gray_failure_sim(plan.clone()), Time::from_secs(5));
+    assert_eq!(
+        fp.conservation.drops_failure, 0,
+        "ECN mute must not destroy packets itself: {}",
+        fp.conservation
+    );
+    assert!(
+        fp.fcts.iter().all(|&(_, f)| f.is_some()),
+        "every flow must finish under ECN mute"
+    );
+    assert!(fp.events > 0);
+}
+
 #[test]
 fn conservation_balances_for_every_scheme() {
     let topo = Topology::testbed();

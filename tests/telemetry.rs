@@ -10,10 +10,14 @@
 use std::path::PathBuf;
 
 use hermes_bench::{run_trace_point, trace_point, CLEAR, ONSET};
-use hermes_sim::Time;
-use hermes_telemetry::{PathClass, Record, RerouteVerdict};
+use hermes_core::HermesParams;
+use hermes_net::{FaultPlan, LeafId, SpineId, Topology};
+use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_sim::{SimRng, Time};
+use hermes_telemetry::{DropReason, PathClass, Record, RerouteVerdict};
 use hermes_testkit::load_goldens;
 use hermes_testkit::ScenarioSpec;
+use hermes_workload::{FlowGen, FlowSizeDist};
 
 fn scenario_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/scenarios")
@@ -183,6 +187,73 @@ fn fig17_trace_tells_the_failure_story() {
     for w in evs.windows(2) {
         assert!(w[1].at >= w[0].at);
     }
+}
+
+/// The chaos engine's gray-failure actions surface in the trace — and
+/// observing them costs nothing: the same run with the sink off
+/// produces the identical trace digest (A/B digest neutrality).
+#[test]
+fn gray_failure_faults_are_traced_and_digest_neutral() {
+    if !hermes_telemetry::compiled() {
+        return;
+    }
+    let run = || {
+        let topo = Topology::sim_baseline();
+        let scheme = Scheme::Hermes(HermesParams::from_topology(&topo));
+        let plan = FaultPlan::new()
+            .flow_blackhole_window(SpineId(5), 0.6, Time::from_ms(3), Time::from_ms(12))
+            .ecn_mute_window(SpineId(2), Time::from_ms(2), Time::from_ms(14));
+        let mut sim = Simulation::new(
+            SimConfig::new(topo.clone(), scheme)
+                .with_seed(3)
+                .with_fault_plan(plan),
+        );
+        let mut gen = FlowGen::new(&topo, FlowSizeDist::web_search(), 0.4, None, SimRng::new(9));
+        let mut flows = Vec::new();
+        while flows.len() < 40 {
+            let f = gen.next_flow();
+            if topo.host_leaf(f.src) == LeafId(0) && topo.host_leaf(f.dst) == LeafId(7) {
+                flows.push(f);
+            }
+        }
+        for (i, f) in flows.iter_mut().enumerate() {
+            f.start = Time::from_us(400 * i as u64);
+        }
+        sim.add_flows(flows);
+        sim.run_to_completion(Time::from_secs(5));
+        sim.trace_digest()
+    };
+
+    // A: sink off — the baseline digest nothing may perturb.
+    hermes_telemetry::uninstall();
+    let base = run();
+
+    // B: sink on — same digest, plus the gray-failure narrative.
+    hermes_telemetry::install(hermes_telemetry::SinkConfig::default());
+    let traced = run();
+    let evs = hermes_telemetry::drain();
+    hermes_telemetry::uninstall();
+    assert_eq!(
+        traced, base,
+        "installing the telemetry sink perturbed the simulation"
+    );
+    for want in ["flow_blackhole", "ecn_mute", "ecn_unmute"] {
+        assert!(
+            evs.iter()
+                .any(|e| matches!(e.record, Record::FaultApplied { kind } if kind == want)),
+            "fault action `{want}` must surface as a FaultApplied record"
+        );
+    }
+    assert!(
+        evs.iter().any(|e| matches!(
+            e.record,
+            Record::Drop {
+                reason: DropReason::FlowBlackhole,
+                ..
+            }
+        )),
+        "victim-flow packets must surface as flow_blackhole drops"
+    );
 }
 
 /// Same seed ⇒ byte-identical exports: the JSONL/CSV a trace point
