@@ -1,0 +1,183 @@
+//! **Collective stall** — ring-allreduce time-to-completion under a
+//! mid-run link degrade: an 8-rank ring (round-robin across both racks
+//! of the 1G testbed) runs 6 chunked steps of 256 KB while the
+//! leaf-0↔spine-0 link silently drops to 5 Mb/s just after the
+//! collective starts.
+//!
+//! The barrier structure makes this the worst case for an oblivious
+//! scheme: the ring advances at the pace of its slowest rank, so *one*
+//! flow hashed onto the degraded link stalls all eight ranks for the
+//! whole chunk — and ECMP rehashes a fresh victim every step. A
+//! congestion-aware scheme senses the crawling path (queue build-up,
+//! ECN, RTT inflation) and steers the ring around it, so the collective
+//! finishes near the healthy-fabric time.
+//!
+//! What to look for:
+//! * a 5 Mb/s crawl is slow enough to fire retransmission timeouts, so
+//!   Hermes *senses* the sick path (paper §4.2) and reroutes the
+//!   victim within a few RTOs — every step closes near the healthy
+//!   pace and the collective finishes an order of magnitude ahead;
+//! * CONGA's utilization feedback mistakes the starved link for an
+//!   idle one often enough that some steps still crawl;
+//! * ECMP rehashes a fresh victim onto the degraded link step after
+//!   step; each one drags the whole barrier through a ~410 ms
+//!   chunk-crawl, so the ring only closes after the fault clears;
+//! * the hermes point replays with the same seed to an identical trace
+//!   digest: the driver's completion-released flows are part of the
+//!   deterministic event order, not wall-clock scheduling.
+
+use hermes_bench::TextTable;
+use hermes_core::HermesParams;
+use hermes_lb::CongaCfg;
+use hermes_net::{FaultPlan, LeafId, SpineId, Topology};
+use hermes_runtime::{Scheme, SimConfig, Simulation};
+use hermes_sim::Time;
+use hermes_workload::{RingAllreduce, RingCfg};
+
+const RING: RingCfg = RingCfg {
+    ranks: 8,
+    steps: 6,
+    chunk_bytes: 256_000,
+};
+const DEGRADED_BPS: u64 = 5_000_000;
+const ONSET: Time = Time::from_ms(2);
+const CLEAR: Time = Time::from_ms(2_500);
+const HORIZON: Time = Time::from_ms(3_000);
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+struct RunOut {
+    /// First chunk start → last chunk finish (the collective's span).
+    completion: Option<Time>,
+    /// Slowest single step (step release → ring-wide close).
+    worst_step: Option<Time>,
+    unfinished: usize,
+    digest: u64,
+    conservation_balanced: bool,
+}
+
+fn run(scheme: Scheme, seed: u64) -> RunOut {
+    let topo = Topology::testbed();
+    let plan =
+        FaultPlan::new().link_degrade_window(LeafId(0), SpineId(0), DEGRADED_BPS, ONSET, CLEAR);
+    let cfg = SimConfig::new(Topology::testbed(), scheme)
+        .with_seed(seed)
+        .with_fault_plan(plan);
+    let mut sim = Simulation::new(cfg);
+    sim.set_driver(Box::new(RingAllreduce::new(&topo, RING)));
+    sim.run_to_completion(HORIZON);
+
+    let records = sim.records();
+    let unfinished = records.iter().filter(|r| r.finish.is_none()).count();
+    // Reconstruct per-step spans from the decodable flow ids, exactly
+    // as the ring_step conformance checker does.
+    let mut completion = None;
+    let mut worst_step = None;
+    if unfinished == 0 && records.len() == RING.ranks * RING.steps {
+        let first = records.iter().map(|r| r.start).min().expect("ring ran");
+        let mut closes = [Time::ZERO; RING.steps];
+        let mut opens = [Time::MAX; RING.steps];
+        for rec in records {
+            let (step, _) = RING.decode(rec.id);
+            let f = rec.finish.expect("no unfinished records");
+            closes[step] = closes[step].max(f);
+            opens[step] = opens[step].min(rec.start);
+        }
+        completion = Some(closes[RING.steps - 1] - first);
+        worst_step = closes.iter().zip(&opens).map(|(&c, &o)| c - o).max();
+    }
+    RunOut {
+        completion,
+        worst_step,
+        unfinished,
+        digest: sim.trace_digest(),
+        conservation_balanced: sim.conservation().balanced(),
+    }
+}
+
+fn ms(t: Option<Time>) -> String {
+    t.map_or("stalled".into(), |t| {
+        format!("{:.2}", t.as_secs_f64() * 1e3)
+    })
+}
+
+fn main() {
+    println!(
+        "== Collective stall: 8-rank x 6-step ring-allreduce (256 KB chunks), \
+         leaf0-spine0 degraded to 5 Mb/s at 2 ms =="
+    );
+    let schemes: Vec<(&str, Scheme)> = vec![
+        (
+            "hermes",
+            Scheme::Hermes(HermesParams::from_topology(&Topology::testbed())),
+        ),
+        ("conga", Scheme::Conga(CongaCfg::default())),
+        ("ecmp", Scheme::Ecmp),
+    ];
+    let mut tab = TextTable::new(&[
+        "scheme",
+        "seed",
+        "ring completion ms",
+        "worst step ms",
+        "unfinished",
+    ]);
+    let mut hermes_first = None;
+    let mut means: Vec<(&str, f64, usize)> = Vec::new();
+    for (name, scheme) in &schemes {
+        let mut total = 0.0;
+        let mut n_done = 0;
+        for &seed in &SEEDS {
+            let out = run(scheme.clone(), seed);
+            assert!(
+                out.conservation_balanced,
+                "{name}/{seed}: packet conservation must balance"
+            );
+            tab.row(vec![
+                (*name).into(),
+                format!("{seed}"),
+                ms(out.completion),
+                ms(out.worst_step),
+                format!("{}", out.unfinished),
+            ]);
+            if let Some(c) = out.completion {
+                total += c.as_secs_f64() * 1e3;
+                n_done += 1;
+            }
+            if *name == "hermes" && seed == SEEDS[0] {
+                hermes_first = Some(out);
+            }
+        }
+        means.push((name, total / n_done.max(1) as f64, n_done));
+    }
+    tab.print();
+
+    println!();
+    for (name, mean, n_done) in &means {
+        println!(
+            "{name}: mean ring completion {mean:.2} ms over {n_done}/{} finished seed(s)",
+            SEEDS.len()
+        );
+    }
+
+    // Same-seed replay: completion-released flows ride the event queue,
+    // so the whole collective must fingerprint identically.
+    let h = hermes_first.expect("hermes scheme ran");
+    let again = run(
+        Scheme::Hermes(HermesParams::from_topology(&Topology::testbed())),
+        SEEDS[0],
+    );
+    assert_eq!(
+        h.digest, again.digest,
+        "same-seed ring-allreduce runs must have identical trace digests"
+    );
+    println!(
+        "determinism: same-seed replay digest {:#018x} matches; conservation balanced",
+        h.digest
+    );
+    println!(
+        "\n(expected: hermes senses the crawling path through its timeouts and\n\
+         reroutes within a few RTOs, closing every step near the healthy pace;\n\
+         CONGA dodges some stalls but keeps steering flows into the \"idle\"\n\
+         starved link; ECMP rehashes a victim onto it step after step, and the\n\
+         barrier drags all eight ranks through each ~410 ms chunk crawl.)"
+    );
+}

@@ -5,13 +5,21 @@ use hermes_net::{ConservationReport, FaultPlan, SpineFailure, SpineId, Topology}
 use hermes_runtime::{Probe, Scheme, SimConfig, Simulation};
 use hermes_sim::{SimRng, Time};
 use hermes_transport::TransportCfg;
-use hermes_workload::{summarize, FctSummary, FlowGen, FlowRecord, FlowSizeDist};
+use hermes_workload::{
+    summarize, ElephantMiceGen, FctSummary, FlowGen, FlowRecord, FlowSizeDist, IncastDriver,
+    RingAllreduce, WorkloadKind,
+};
 
 /// One experiment point.
 #[derive(Clone)]
 pub struct PointCfg {
     pub topo: Topology,
     pub scheme: Scheme,
+    /// Which traffic shape drives the point. `Poisson` (the default)
+    /// pre-schedules `n_flows` open-loop arrivals from `dist`; the
+    /// staged-dependency kinds install a [`hermes_workload::FlowDriver`]
+    /// and ignore `dist`/`n_flows`.
+    pub workload: WorkloadKind,
     pub dist: FlowSizeDist,
     /// Offered load relative to `capacity_override` (or the topology's
     /// live uplink capacity).
@@ -40,6 +48,7 @@ impl PointCfg {
         PointCfg {
             topo,
             scheme,
+            workload: WorkloadKind::Poisson,
             dist,
             load,
             n_flows: 500,
@@ -96,6 +105,11 @@ impl PointCfg {
 
     pub fn drain(mut self, d: Time) -> PointCfg {
         self.drain = d;
+        self
+    }
+
+    pub fn workload(mut self, w: WorkloadKind) -> PointCfg {
+        self.workload = w;
         self
     }
 }
@@ -158,16 +172,15 @@ pub fn run_point_detailed(cfg: &PointCfg, goodput_interval: Time) -> DetailedRes
 
 /// Shared materialization: build the sim, wire failures/faults,
 /// schedule the workload, run to the drain horizon.
+///
+/// Open-loop kinds (`Poisson`, `ElephantMice`) pre-schedule their
+/// arrivals and drain for `cfg.drain` past the last one. The
+/// staged-dependency kinds (`RingAllreduce`, `Incast`) have no arrival
+/// schedule — flows are released by completions — so `cfg.drain` is the
+/// whole run's time budget.
 fn run_sim(cfg: &PointCfg, goodput_interval: Option<Time>) -> (Simulation, Time) {
-    let mut gen = FlowGen::new(
-        &cfg.topo,
-        cfg.dist.clone(),
-        cfg.load,
-        cfg.capacity_override,
-        SimRng::new(cfg.seed).split(0x6E4),
-    );
-    let specs = gen.schedule(cfg.n_flows);
-    let last_arrival = specs.last().map_or(Time::ZERO, |s| s.start);
+    // The workload RNG stream, disjoint from the sim's internal streams.
+    let wl_rng = SimRng::new(cfg.seed).split(0x6E4);
     let mut sim_cfg = SimConfig::new(cfg.topo.clone(), cfg.scheme.clone())
         .with_seed(cfg.seed)
         .with_transport(cfg.transport)
@@ -186,8 +199,37 @@ fn run_sim(cfg: &PointCfg, goodput_interval: Option<Time>) -> (Simulation, Time)
     if let Some(plan) = &cfg.fault_plan {
         sim.set_fault_plan(plan);
     }
-    sim.add_flows(specs);
-    let horizon = last_arrival + cfg.drain;
+    let horizon = match cfg.workload {
+        WorkloadKind::Poisson => {
+            let mut gen = FlowGen::new(
+                &cfg.topo,
+                cfg.dist.clone(),
+                cfg.load,
+                cfg.capacity_override,
+                wl_rng,
+            );
+            let specs = gen.schedule(cfg.n_flows);
+            let last_arrival = specs.last().map_or(Time::ZERO, |s| s.start);
+            sim.add_flows(specs);
+            last_arrival + cfg.drain
+        }
+        WorkloadKind::ElephantMice(mix) => {
+            let mut gen =
+                ElephantMiceGen::new(&cfg.topo, mix, cfg.load, cfg.capacity_override, wl_rng);
+            let specs = gen.schedule(cfg.n_flows);
+            let last_arrival = specs.last().map_or(Time::ZERO, |s| s.start);
+            sim.add_flows(specs);
+            last_arrival + cfg.drain
+        }
+        WorkloadKind::RingAllreduce(ring) => {
+            sim.set_driver(Box::new(RingAllreduce::new(&cfg.topo, ring)));
+            cfg.drain
+        }
+        WorkloadKind::Incast(incast) => {
+            sim.set_driver(Box::new(IncastDriver::new(&cfg.topo, incast, wl_rng)));
+            cfg.drain
+        }
+    };
     sim.run_to_completion(horizon);
     (sim, horizon)
 }
@@ -270,6 +312,64 @@ mod tests {
         let det2 = run_point_detailed(&cfg, Time::from_ms(1));
         assert_eq!(det.digest, det2.digest);
         assert_eq!(det.goodput, det2.goodput);
+    }
+
+    #[test]
+    fn ring_workload_runs_every_step_to_completion() {
+        use hermes_workload::RingCfg;
+        let cfg = PointCfg::new(
+            Topology::testbed(),
+            Scheme::Ecmp,
+            FlowSizeDist::web_search(),
+            0.3,
+        )
+        .workload(WorkloadKind::RingAllreduce(RingCfg {
+            ranks: 4,
+            steps: 3,
+            chunk_bytes: 32_000,
+        }))
+        .drain(Time::from_secs(2));
+        let det = run_point_detailed(&cfg, Time::from_ms(1));
+        assert_eq!(det.records.len(), 12, "ranks × steps flows must run");
+        assert_eq!(det.fct.unfinished, 0);
+        let bytes: u64 = det.records.iter().map(|r| r.size).sum();
+        assert_eq!(bytes, 4 * 3 * 32_000);
+        let det2 = run_point_detailed(&cfg, Time::from_ms(1));
+        assert_eq!(det.digest, det2.digest, "driver runs must be deterministic");
+    }
+
+    #[test]
+    fn incast_workload_releases_bursts_sequentially() {
+        use hermes_workload::IncastCfg;
+        let cfg = PointCfg::new(
+            Topology::testbed(),
+            Scheme::Ecmp,
+            FlowSizeDist::web_search(),
+            0.3,
+        )
+        .workload(WorkloadKind::Incast(IncastCfg {
+            fanout: 4,
+            reply_bytes: 16_000,
+            bursts: 3,
+        }))
+        .drain(Time::from_secs(2));
+        let det = run_point_detailed(&cfg, Time::from_ms(1));
+        assert_eq!(det.records.len(), 12);
+        assert_eq!(det.fct.unfinished, 0);
+        // Burst b+1 must start strictly after burst b's last finish.
+        for b in 0..2 {
+            let close = det.records[b * 4..(b + 1) * 4]
+                .iter()
+                .map(|r| r.finish.unwrap())
+                .max()
+                .unwrap();
+            for r in &det.records[(b + 1) * 4..(b + 2) * 4] {
+                assert!(
+                    r.start >= close,
+                    "burst released before predecessor drained"
+                );
+            }
+        }
     }
 
     #[test]

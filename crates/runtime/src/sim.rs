@@ -19,7 +19,7 @@ use hermes_net::{
 };
 use hermes_sim::{EventQueue, SimRng, Time};
 use hermes_transport::{Receiver, RecvAction, SegmentIn, SendAction, Sender};
-use hermes_workload::{FlowRecord, FlowSpec, VisibilityTracker};
+use hermes_workload::{FlowDriver, FlowRecord, FlowSpec, VisibilityTracker};
 
 use crate::config::{presto_weights_for, Scheme, SimConfig};
 
@@ -161,6 +161,10 @@ pub struct Simulation {
     udps: Vec<UdpRt>,
     records: Vec<FlowRecord>,
     pending: std::collections::VecDeque<FlowSpec>,
+    /// Staged-dependency workload reacting to completions, if any.
+    /// Taken out of the slot while its hook runs (the hook needs the
+    /// rest of `self` to schedule released flows).
+    driver: Option<Box<dyn FlowDriver>>,
     samplers: Vec<SamplerRt>,
     visibility: VisibilityTracker,
     probe_seq: u64,
@@ -283,6 +287,7 @@ impl Simulation {
             udps: Vec::new(),
             records: Vec::new(),
             pending: std::collections::VecDeque::new(),
+            driver: None,
             samplers: Vec::new(),
             visibility,
             probe_seq: 0,
@@ -350,6 +355,19 @@ impl Simulation {
         for s in specs {
             self.add_flow(s);
         }
+    }
+
+    /// Install a staged-dependency workload ([`FlowDriver`]): its
+    /// initial flows are scheduled now, and every TCP flow completion
+    /// is fed back so it can release dependent flows at the completion
+    /// instant. Released flows enter the pending queue during the
+    /// completing event's dispatch, so `run_to_completion` keeps
+    /// running until the driver has nothing left to release.
+    pub fn set_driver(&mut self, mut driver: Box<dyn FlowDriver>) {
+        let specs = driver.initial(self.q.now());
+        assert!(!specs.is_empty(), "driver released no initial flows");
+        self.add_flows(specs);
+        self.driver = Some(driver);
     }
 
     /// Add a constant-rate UDP source (Fig. 2's competitor). Returns its
@@ -826,6 +844,7 @@ impl Simulation {
 
     fn process_recv_actions(&mut self, fid: u64, mut actions: Vec<RecvAction>) {
         let now = self.q.now();
+        let mut completed = false;
         for a in actions.drain(..) {
             match a {
                 RecvAction::SendAck {
@@ -867,6 +886,7 @@ impl Simulation {
                     }
                 }
                 RecvAction::Complete => {
+                    completed = true;
                     if let Some(f) = self.flows.get(&fid) {
                         self.records[f.rec_idx].finish = Some(now);
                         if hermes_telemetry::enabled() {
@@ -890,6 +910,18 @@ impl Simulation {
             }
         }
         self.recv_scratch = actions;
+        if completed {
+            // Feed the completion to the staged-dependency driver (if
+            // any) and schedule whatever it releases. The slot is taken
+            // for the call so `add_flows` can borrow `self` freely;
+            // released flows start at `now`, which `add_flow` accepts.
+            if let Some(mut d) = self.driver.take() {
+                let mut released = Vec::new();
+                d.on_flow_completed(FlowId(fid), now, &mut released);
+                self.add_flows(released);
+                self.driver = Some(d);
+            }
+        }
     }
 
     fn on_timer(&mut self, token: u64) {

@@ -121,6 +121,26 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
                 ",\"flow\":{flow},\"from_path\":{from_path},\"to_path\":{to_path}"
             );
         }
+        Record::RingStep {
+            step,
+            ranks,
+            chunk_bytes,
+        } => {
+            let _ = write!(
+                s,
+                ",\"step\":{step},\"ranks\":{ranks},\"chunk_bytes\":{chunk_bytes}"
+            );
+        }
+        Record::IncastBurst {
+            burst,
+            fanout,
+            reply_bytes,
+        } => {
+            let _ = write!(
+                s,
+                ",\"burst\":{burst},\"fanout\":{fanout},\"reply_bytes\":{reply_bytes}"
+            );
+        }
         Record::FaultApplied { kind } => {
             let _ = write!(s, ",\"fault\":\"{kind}\"");
         }

@@ -175,6 +175,20 @@ pub enum Record {
         from_path: i64,
         to_path: i64,
     },
+    /// A ring-allreduce step closed ring-wide (all `ranks` chunks of
+    /// `step` completed; the barrier released the next step).
+    RingStep {
+        step: u32,
+        ranks: u32,
+        chunk_bytes: u64,
+    },
+    /// An incast burst drained (the slowest of `fanout` replies landed;
+    /// the next burst released).
+    IncastBurst {
+        burst: u32,
+        fanout: u32,
+        reply_bytes: u64,
+    },
     /// A scheduled fault-plan action fired.
     FaultApplied { kind: &'static str },
     /// The fabric retired a packet without delivering it.
@@ -197,6 +211,8 @@ impl Record {
             Record::FlowStarted { .. } => "flow_started",
             Record::FlowCompleted { .. } => "flow_completed",
             Record::PathChange { .. } => "path_change",
+            Record::RingStep { .. } => "ring_step",
+            Record::IncastBurst { .. } => "incast_burst",
             Record::FaultApplied { .. } => "fault_applied",
             Record::Drop { .. } => "drop",
         }
@@ -257,6 +273,18 @@ mod tests {
             .kind(),
             Record::FlowCompleted { flow: 0, fct_ns: 0 }.kind(),
             Record::FaultApplied { kind: "x" }.kind(),
+            Record::RingStep {
+                step: 0,
+                ranks: 0,
+                chunk_bytes: 0,
+            }
+            .kind(),
+            Record::IncastBurst {
+                burst: 0,
+                fanout: 0,
+                reply_bytes: 0,
+            }
+            .kind(),
             Record::QueueSample {
                 leaf: 0,
                 spine: 0,

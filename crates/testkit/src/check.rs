@@ -1,4 +1,5 @@
-//! The three checker classes: invariants, golden digests, envelopes.
+//! The five checker classes: invariants, golden digests, envelopes,
+//! ring-step conservation, and the incast goodput floor.
 //!
 //! Every check produces [`Failure`]s rather than panicking, so one
 //! broken cell doesn't mask the rest of the grid and the self-test can
@@ -9,6 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use hermes_sim::Time;
+use hermes_workload::WorkloadKind;
 
 use crate::run::RunOutcome;
 use crate::spec::{Metric, ScenarioSpec};
@@ -23,6 +25,13 @@ pub enum CheckClass {
     Digest,
     /// Statistical FCT-ratio envelope between LBs.
     Envelope,
+    /// Ring-allreduce step conservation: every rank exactly once per
+    /// step, no step released before its predecessor closed ring-wide,
+    /// total bytes = ranks × steps × chunk.
+    RingStep,
+    /// Incast burst-drain goodput stayed above the configured fraction
+    /// of the aggregator's line rate (and below the line rate itself).
+    IncastFloor,
 }
 
 impl fmt::Display for CheckClass {
@@ -31,6 +40,8 @@ impl fmt::Display for CheckClass {
             CheckClass::Invariant => write!(f, "invariant"),
             CheckClass::Digest => write!(f, "digest"),
             CheckClass::Envelope => write!(f, "envelope"),
+            CheckClass::RingStep => write!(f, "ring_step"),
+            CheckClass::IncastFloor => write!(f, "incast_floor"),
         }
     }
 }
@@ -138,6 +149,218 @@ pub fn check_invariants(spec: &ScenarioSpec, out: &RunOutcome) -> Vec<Failure> {
                     rec.size,
                     finish - rec.start,
                     lower
+                ),
+            );
+        }
+    }
+    fails
+}
+
+/// Check ring-step conservation on a ring-allreduce outcome: a no-op
+/// for every other workload kind.
+///
+/// Everything is reconstructed from the flow records alone (flow id =
+/// `step × ranks + rank`, see `hermes_workload::RingCfg::flow_id`), so
+/// the checker is independent of the driver that produced the run:
+/// * every `(step, rank)` flow exists exactly once, with `chunk` bytes;
+/// * every flow finished (a stalled collective is a failure — drain
+///   budgets must cover the worst tolerated stall);
+/// * no step-`k+1` flow starts before step `k` closed ring-wide;
+/// * total payload = ranks × steps × chunk.
+pub fn check_ring_steps(spec: &ScenarioSpec, out: &RunOutcome) -> Vec<Failure> {
+    let WorkloadKind::RingAllreduce(ring) = spec.workload else {
+        return Vec::new();
+    };
+    let mut fails = Vec::new();
+    let cell = spec.digest_key(out.lb_idx, out.seed);
+    let fail = |fails: &mut Vec<Failure>, detail: String| {
+        fails.push(Failure {
+            class: CheckClass::RingStep,
+            cell: cell.clone(),
+            detail,
+        });
+    };
+    let r = &out.result;
+
+    // Index records by decoded (step, rank); surface duplicates,
+    // aliens, and wrong sizes as we go.
+    let mut by_step: Vec<Vec<Option<&hermes_workload::FlowRecord>>> =
+        vec![vec![None; ring.ranks]; ring.steps];
+    for rec in &r.records {
+        if rec.id.0 >= (ring.ranks * ring.steps) as u64 {
+            fail(
+                &mut fails,
+                format!("flow {:?} outside the ring's id space", rec.id),
+            );
+            continue;
+        }
+        let (step, rank) = ring.decode(rec.id);
+        if by_step[step][rank].replace(rec).is_some() {
+            fail(
+                &mut fails,
+                format!("rank {rank} appears twice in step {step}"),
+            );
+        }
+        if rec.size != ring.chunk_bytes {
+            fail(
+                &mut fails,
+                format!(
+                    "flow {:?} carries {} B, chunk is {} B",
+                    rec.id, rec.size, ring.chunk_bytes
+                ),
+            );
+        }
+    }
+
+    // Completeness + barrier ordering, step by step.
+    let mut prev_close: Option<Time> = None;
+    for (step, slots) in by_step.iter().enumerate() {
+        let mut close: Option<Time> = None;
+        for (rank, slot) in slots.iter().enumerate() {
+            let Some(rec) = slot else {
+                fail(&mut fails, format!("rank {rank} never ran step {step}"));
+                continue;
+            };
+            if let Some(close_k) = prev_close {
+                if rec.start < close_k {
+                    fail(
+                        &mut fails,
+                        format!(
+                            "rank {rank} started step {step} at {:?}, before step {} \
+                             closed ring-wide at {close_k:?}",
+                            rec.start,
+                            step - 1
+                        ),
+                    );
+                }
+            }
+            match rec.finish {
+                Some(f) => close = Some(close.map_or(f, |c: Time| c.max(f))),
+                None => fail(
+                    &mut fails,
+                    format!("rank {rank} never finished step {step}: collective stalled"),
+                ),
+            }
+        }
+        // A step with unfinished flows has no close; suppress cascading
+        // barrier noise and keep the stall failure as the signal.
+        prev_close = close;
+        if close.is_none() {
+            break;
+        }
+    }
+
+    let total: u64 = r.records.iter().map(|rec| rec.size).sum();
+    if total != ring.total_bytes() {
+        fail(
+            &mut fails,
+            format!(
+                "total workload bytes {} != ranks × steps × chunk = {}",
+                total,
+                ring.total_bytes()
+            ),
+        );
+    }
+    fails
+}
+
+/// Check the incast goodput floor on an incast outcome: a no-op for
+/// every other workload kind.
+///
+/// Per burst (flow id = `burst × fanout + i`): all replies exist, were
+/// released at the same instant, and finished; the burst's aggregate
+/// goodput `fanout × reply_bytes × 8 / (last finish − release)` must
+/// sit within `[floor_frac × line rate, line rate]` of the
+/// aggregator's host link — below the floor means a starved responder
+/// or collapsed drain, above the ceiling means broken accounting.
+pub fn check_incast_floor(spec: &ScenarioSpec, out: &RunOutcome) -> Vec<Failure> {
+    let WorkloadKind::Incast(cfg) = spec.workload else {
+        return Vec::new();
+    };
+    let mut fails = Vec::new();
+    let cell = spec.digest_key(out.lb_idx, out.seed);
+    let fail = |fails: &mut Vec<Failure>, detail: String| {
+        fails.push(Failure {
+            class: CheckClass::IncastFloor,
+            cell: cell.clone(),
+            detail,
+        });
+    };
+    let r = &out.result;
+    let (topo, _) = spec.topology.build();
+    let line_rate = topo.host_link.rate_bps as f64;
+    let floor = spec.invariants.incast_floor_frac * line_rate;
+
+    let mut by_burst: Vec<Vec<&hermes_workload::FlowRecord>> = vec![Vec::new(); cfg.bursts];
+    for rec in &r.records {
+        if rec.id.0 >= (cfg.fanout * cfg.bursts) as u64 {
+            fail(
+                &mut fails,
+                format!("flow {:?} outside the incast id space", rec.id),
+            );
+            continue;
+        }
+        let (burst, _) = cfg.decode(rec.id);
+        by_burst[burst].push(rec);
+    }
+
+    for (burst, recs) in by_burst.iter().enumerate() {
+        if recs.len() != cfg.fanout {
+            fail(
+                &mut fails,
+                format!(
+                    "burst {burst} has {} of {} replies: incast never drained",
+                    recs.len(),
+                    cfg.fanout
+                ),
+            );
+            continue;
+        }
+        let release = recs[0].start;
+        if recs.iter().any(|rec| rec.start != release) {
+            fail(
+                &mut fails,
+                format!("burst {burst} replies not released synchronously"),
+            );
+        }
+        let mut last_finish = release;
+        let mut starved = false;
+        for rec in recs {
+            match rec.finish {
+                Some(f) => last_finish = last_finish.max(f),
+                None => {
+                    starved = true;
+                    fail(
+                        &mut fails,
+                        format!("burst {burst}: reply {:?} never finished", rec.id),
+                    );
+                }
+            }
+        }
+        if starved || last_finish <= release {
+            continue;
+        }
+        let drain_s = (last_finish - release).as_secs_f64();
+        let goodput = (cfg.fanout as u64 * cfg.reply_bytes * 8) as f64 / drain_s;
+        if goodput < floor {
+            fail(
+                &mut fails,
+                format!(
+                    "burst {burst} drained at {:.3e} bps, below the floor {:.3e} \
+                     ({:.0}% of line rate)",
+                    goodput,
+                    floor,
+                    100.0 * spec.invariants.incast_floor_frac
+                ),
+            );
+        }
+        if goodput > line_rate {
+            fail(
+                &mut fails,
+                format!(
+                    "burst {burst} drained at {:.3e} bps, above the aggregator's \
+                     line rate {line_rate:.3e}",
+                    goodput
                 ),
             );
         }

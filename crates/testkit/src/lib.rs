@@ -9,10 +9,12 @@
 //!   topology, workload, fault plan, the LBs under test, and seeds;
 //! * **run** — every `(scenario, lb, seed)` cell executed as its own
 //!   deterministic simulation, fanned out across threads;
-//! * **check** — three checker classes over the evidence: physical
+//! * **check** — five checker classes over the evidence: physical
 //!   invariants (packet conservation, monotonic time, FCT sanity,
 //!   unfinished-flow bounds), golden event-trace digests with a bless
-//!   flow, and statistical FCT-ratio envelopes between LBs;
+//!   flow, statistical FCT-ratio envelopes between LBs, ring-step
+//!   conservation for collective workloads, and the incast goodput
+//!   floor for burst workloads;
 //! * **selftest** — deliberately-broken fixtures proving each checker
 //!   class actually fails when it should.
 //!

@@ -11,7 +11,10 @@
 
 use std::collections::BTreeMap;
 
-use crate::check::{check_digests, check_envelopes, check_invariants, CheckClass, Failure};
+use crate::check::{
+    check_digests, check_envelopes, check_incast_floor, check_invariants, check_ring_steps,
+    CheckClass, Failure,
+};
 use crate::run::{run_grid, RunOutcome};
 use crate::spec::{parse_scenario, ScenarioSpec, SpecError};
 
@@ -133,6 +136,62 @@ pub fn run_self_test() -> Result<Vec<SelfTestCase>, SpecError> {
         failures: check_envelopes(&spec, &refs),
     });
 
+    // -- RingStep: a healthy ring-allreduce run with one rank's step-1
+    // record removed — the rank "skipped a step", breaking both the
+    // every-rank-once and the total-bytes conservation law.
+    let ring_src = r#"
+        [topology]
+        kind = "testbed"
+        [workload]
+        kind = "ring_allreduce"
+        ranks = 4
+        steps = 2
+        chunk_kb = 16
+        [run]
+        seeds = [1]
+        lbs = ["ecmp"]
+        drain_ms = 800
+        "#;
+    let spec = parse_scenario(ring_src, "selftest", "broken_ring_skip")?;
+    let mut outs = run_grid(std::slice::from_ref(&spec), 0)?;
+    // Step 1, rank 2 (flow id = 1 × ranks + 2 = 6) vanishes.
+    outs[0].result.records.retain(|r| r.id.0 != 6);
+    cases.push(SelfTestCase {
+        name: "ring-step conservation (rank skipped a step)",
+        expect: CheckClass::RingStep,
+        failures: check_ring_steps(&spec, &outs[0]),
+    });
+
+    // -- IncastFloor: a healthy incast run with one reply's finish
+    // stretched far past the burst — a starved responder collapses the
+    // burst's drain goodput below any reasonable floor.
+    let incast_src = r#"
+        [topology]
+        kind = "testbed"
+        [workload]
+        kind = "incast"
+        fanout = 4
+        reply_kb = 16
+        bursts = 2
+        [run]
+        seeds = [1]
+        lbs = ["ecmp"]
+        drain_ms = 800
+        "#;
+    let spec = parse_scenario(incast_src, "selftest", "broken_incast_starved")?;
+    let mut outs = run_grid(std::slice::from_ref(&spec), 0)?;
+    {
+        // Stretch reply 0 of burst 0 out by 10 s: its burst now drains
+        // at a goodput far below the floor.
+        let rec = &mut outs[0].result.records[0];
+        rec.finish = rec.finish.map(|f| f + hermes_sim::Time::from_secs(10));
+    }
+    cases.push(SelfTestCase {
+        name: "incast goodput floor (starved responder)",
+        expect: CheckClass::IncastFloor,
+        failures: check_incast_floor(&spec, &outs[0]),
+    });
+
     Ok(cases)
 }
 
@@ -164,6 +223,8 @@ mod tests {
         assert!(classes.contains(&CheckClass::Invariant));
         assert!(classes.contains(&CheckClass::Digest));
         assert!(classes.contains(&CheckClass::Envelope));
+        assert!(classes.contains(&CheckClass::RingStep));
+        assert!(classes.contains(&CheckClass::IncastFloor));
         assert!(self_test_passed(&cases));
     }
 }

@@ -21,9 +21,28 @@
 //! degrade = [[0, 2, 100]]        # optional [leaf, spine, rate_mbps]
 //!
 //! [workload]
-//! dist = "web_search"            # "web_search" | "data_mining"
+//! kind = "poisson"               # optional (default "poisson"); also
+//!                                # "ring_allreduce" | "incast" | "elephant_mice"
+//! dist = "web_search"            # poisson: "web_search" | "data_mining"
 //! load = 0.5                     # vs the healthy fabric when cut/degraded
 //! flows = 60
+//!
+//! # kind = "ring_allreduce":     barrier-stepped collective; drain_ms
+//! # ranks = 8                    is the whole run's time budget
+//! # steps = 3
+//! # chunk_kb = 64
+//!
+//! # kind = "incast":             sequential N-to-1 bursts
+//! # fanout = 6
+//! # reply_kb = 32
+//! # bursts = 5
+//!
+//! # kind = "elephant_mice":      open-loop bimodal mix
+//! # load = 0.3
+//! # flows = 60
+//! # mice_kb = 20
+//! # elephant_kb = 1000
+//! # elephant_frac = 0.1
 //!
 //! [run]
 //! seeds = [1, 2, 3]
@@ -44,6 +63,8 @@
 //!
 //! [invariants]
 //! max_unfinished_frac = 0.0      # optional (default 1.0 = no bound)
+//! incast_floor_frac = 0.25       # optional; incast scenarios only:
+//!                                # per-burst goodput ≥ frac × line rate
 //!
 //! [[envelope]]                   # optional statistical envelopes
 //! metric = "avg"                 # "avg" | "p99"
@@ -61,9 +82,9 @@ use hermes_lb::{CloveCfg, CongaCfg, FlowBenderCfg};
 use hermes_net::{FaultPlan, LeafId, SpineId, Topology};
 use hermes_runtime::Scheme;
 use hermes_sim::Time;
-use hermes_workload::FlowSizeDist;
+use hermes_workload::{FlowSizeDist, IncastCfg, MixCfg, RingCfg, WorkloadKind};
 
-use crate::toml::{self, Table, Value};
+use crate::toml::{self, KeyLines, Table, Value};
 
 /// A spec-level error: what went wrong, and in which file.
 #[derive(Clone, Debug)]
@@ -239,12 +260,18 @@ pub struct InvariantCfg {
     /// of 1.0 disables the bound (fault scenarios legitimately strand
     /// flows under non-adaptive LBs).
     pub max_unfinished_frac: f64,
+    /// Incast scenarios only: every drained burst's aggregate goodput
+    /// (`fanout × reply_bytes × 8 / drain time`) must stay at or above
+    /// this fraction of the aggregator's line rate. The default leaves
+    /// generous headroom for slow-start and synchronized-loss recovery.
+    pub incast_floor_frac: f64,
 }
 
 impl Default for InvariantCfg {
     fn default() -> InvariantCfg {
         InvariantCfg {
             max_unfinished_frac: 1.0,
+            incast_floor_frac: 0.25,
         }
     }
 }
@@ -255,6 +282,9 @@ pub struct ScenarioSpec {
     pub name: String,
     pub description: String,
     pub topology: TopologySpec,
+    /// Traffic shape. For the staged-dependency kinds, `dist`, `load`
+    /// and `n_flows` hold placeholder defaults and are unused.
+    pub workload: WorkloadKind,
     pub dist: FlowSizeDist,
     pub load: f64,
     pub n_flows: usize,
@@ -290,6 +320,7 @@ impl ScenarioSpec {
             msg,
         })?;
         let mut cfg = PointCfg::new(topo, scheme, self.dist.clone(), self.load)
+            .workload(self.workload)
             .flows(self.n_flows)
             .seed(seed)
             .drain(self.drain);
@@ -371,13 +402,109 @@ fn pair_list(v: &Value, file: &str, key: &str) -> Result<Vec<(u16, u16)>, SpecEr
     Ok(out)
 }
 
+/// Per-section allowed key sets. A key outside these is a hard error
+/// with the offending line — typos (`flws`) must not silently become
+/// defaults.
+const TOP_KEYS: &[&str] = &[
+    "name",
+    "description",
+    "pin_digests",
+    "topology",
+    "workload",
+    "run",
+    "fault",
+    "invariants",
+    "envelope",
+];
+const TOPOLOGY_KEYS: &[&str] = &["kind", "cut", "degrade"];
+const RUN_KEYS: &[&str] = &[
+    "seeds",
+    "lbs",
+    "drain_ms",
+    "letflow_timeout_us",
+    "drill_samples",
+    "goodput_interval_us",
+];
+const FAULT_KEYS: &[&str] = &[
+    "kind", "spine", "src_leaf", "dst_leaf", "frac", "start_ms", "end_ms",
+];
+const INVARIANT_KEYS: &[&str] = &["max_unfinished_frac", "incast_floor_frac"];
+const ENVELOPE_KEYS: &[&str] = &["metric", "lb", "baseline", "max_ratio"];
+
+/// `[workload]` keys allowed for each `kind`.
+fn workload_keys(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "ring_allreduce" => &["kind", "ranks", "steps", "chunk_kb"],
+        "incast" => &["kind", "fanout", "reply_kb", "bursts"],
+        "elephant_mice" => &[
+            "kind",
+            "load",
+            "flows",
+            "mice_kb",
+            "elephant_kb",
+            "elephant_frac",
+        ],
+        // "poisson" and anything unknown (the kind itself errors later).
+        _ => &["kind", "dist", "load", "flows"],
+    }
+}
+
+/// Reject unknown keys anywhere in the document, naming the source
+/// line. `wl_kind` selects which `[workload]` keys are legal.
+fn validate_keys(key_lines: &KeyLines, wl_kind: &str, file: &str) -> Result<(), SpecError> {
+    let unknown = |line: usize, key: &str, section: &str| -> Result<(), SpecError> {
+        serr(
+            file,
+            format!("line {line}: unknown key `{key}` in {section}"),
+        )
+    };
+    for (path, &line) in key_lines {
+        let segs: Vec<&str> = path.split('.').collect();
+        if !TOP_KEYS.contains(&segs[0]) {
+            return serr(
+                file,
+                format!("line {line}: unknown top-level key `{}`", segs[0]),
+            );
+        }
+        if segs.len() == 1 {
+            continue;
+        }
+        let (section, allowed, key_idx) = match segs[0] {
+            "topology" => ("[topology]", TOPOLOGY_KEYS, 1),
+            "workload" => ("[workload]", workload_keys(wl_kind), 1),
+            "run" => ("[run]", RUN_KEYS, 1),
+            "fault" => ("[fault]", FAULT_KEYS, 1),
+            "invariants" => ("[invariants]", INVARIANT_KEYS, 1),
+            // AoT paths carry the element index: envelope.<i>.<key>.
+            "envelope" => ("[[envelope]]", ENVELOPE_KEYS, 2),
+            _ => {
+                // Scalar top-level key used as a table (`[name.x]`).
+                return unknown(line, segs[1], &format!("[{}]", segs[0]));
+            }
+        };
+        match segs.get(key_idx) {
+            Some(key) if segs.len() == key_idx + 1 && allowed.contains(key) => {}
+            Some(key) => return unknown(line, key, section),
+            None => {} // the AoT header itself (`envelope`)
+        }
+    }
+    Ok(())
+}
+
 /// Parse one scenario file's contents. `file` is used for error
 /// context; `stem` is the default scenario name.
 pub fn parse_scenario(src: &str, file: &str, stem: &str) -> Result<ScenarioSpec, SpecError> {
-    let root = toml::parse(src).map_err(|e| SpecError {
+    let (root, key_lines) = toml::parse_with_lines(src).map_err(|e| SpecError {
         file: file.to_string(),
         msg: e.to_string(),
     })?;
+    let wl_kind = get(&root, "workload")
+        .and_then(Value::as_table)
+        .and_then(|t| get(t, "kind"))
+        .and_then(Value::as_str)
+        .unwrap_or("poisson")
+        .to_string();
+    validate_keys(&key_lines, &wl_kind, file)?;
 
     let name = match get(&root, "name").and_then(Value::as_str) {
         Some(s) => s.to_string(),
@@ -430,16 +557,77 @@ pub fn parse_scenario(src: &str, file: &str, stem: &str) -> Result<ScenarioSpec,
     let Some(work_t) = get(&root, "workload").and_then(Value::as_table) else {
         return serr(file, "missing [workload] table");
     };
-    let dist = match req_str(work_t, "dist", file)?.as_str() {
-        "web_search" => FlowSizeDist::web_search(),
-        "data_mining" => FlowSizeDist::data_mining(),
-        other => return serr(file, format!("unknown dist `{other}`")),
+    // Placeholders for the staged-dependency kinds, which have no
+    // size CDF / load / flow count (PointCfg carries them unused).
+    let mut dist = FlowSizeDist::web_search();
+    let mut load = 0.3;
+    let mut n_flows = 0;
+    let workload = match wl_kind.as_str() {
+        "poisson" => {
+            dist = match req_str(work_t, "dist", file)?.as_str() {
+                "web_search" => FlowSizeDist::web_search(),
+                "data_mining" => FlowSizeDist::data_mining(),
+                other => return serr(file, format!("unknown dist `{other}`")),
+            };
+            load = req_float(work_t, "load", file)?;
+            n_flows = req_usize(work_t, "flows", file)?;
+            WorkloadKind::Poisson
+        }
+        "ring_allreduce" => {
+            let ranks = req_usize(work_t, "ranks", file)?;
+            let steps = req_usize(work_t, "steps", file)?;
+            let chunk_kb = req_usize(work_t, "chunk_kb", file)?;
+            if ranks < 2 || steps < 1 || chunk_kb < 1 {
+                return serr(
+                    file,
+                    "ring_allreduce needs ranks ≥ 2, steps ≥ 1, chunk_kb ≥ 1",
+                );
+            }
+            WorkloadKind::RingAllreduce(RingCfg {
+                ranks,
+                steps,
+                chunk_bytes: chunk_kb as u64 * 1000,
+            })
+        }
+        "incast" => {
+            let fanout = req_usize(work_t, "fanout", file)?;
+            let reply_kb = req_usize(work_t, "reply_kb", file)?;
+            let bursts = req_usize(work_t, "bursts", file)?;
+            if fanout < 1 || reply_kb < 1 || bursts < 1 {
+                return serr(file, "incast needs fanout ≥ 1, reply_kb ≥ 1, bursts ≥ 1");
+            }
+            WorkloadKind::Incast(IncastCfg {
+                fanout,
+                reply_bytes: reply_kb as u64 * 1000,
+                bursts,
+            })
+        }
+        "elephant_mice" => {
+            load = req_float(work_t, "load", file)?;
+            n_flows = req_usize(work_t, "flows", file)?;
+            let mice_kb = req_usize(work_t, "mice_kb", file)?;
+            let elephant_kb = req_usize(work_t, "elephant_kb", file)?;
+            let elephant_frac = req_float(work_t, "elephant_frac", file)?;
+            if mice_kb < 1 || elephant_kb <= mice_kb {
+                return serr(file, "elephant_mice needs elephant_kb > mice_kb ≥ 1");
+            }
+            if !(0.0..=1.0).contains(&elephant_frac) {
+                return serr(
+                    file,
+                    format!("elephant_frac {elephant_frac} outside [0, 1]"),
+                );
+            }
+            WorkloadKind::ElephantMice(MixCfg {
+                mice_bytes: mice_kb as u64 * 1000,
+                elephant_bytes: elephant_kb as u64 * 1000,
+                elephant_frac,
+            })
+        }
+        other => return serr(file, format!("unknown workload kind `{other}`")),
     };
-    let load = req_float(work_t, "load", file)?;
     if !(0.0..=1.5).contains(&load) {
         return serr(file, format!("load {load} outside [0, 1.5]"));
     }
-    let n_flows = req_usize(work_t, "flows", file)?;
 
     // [run]
     let Some(run_t) = get(&root, "run").and_then(Value::as_table) else {
@@ -522,6 +710,9 @@ pub fn parse_scenario(src: &str, file: &str, stem: &str) -> Result<ScenarioSpec,
             max_unfinished_frac: get(it, "max_unfinished_frac")
                 .and_then(Value::as_float)
                 .unwrap_or(1.0),
+            incast_floor_frac: get(it, "incast_floor_frac")
+                .and_then(Value::as_float)
+                .unwrap_or_else(|| InvariantCfg::default().incast_floor_frac),
         },
         None => InvariantCfg::default(),
     };
@@ -561,6 +752,7 @@ pub fn parse_scenario(src: &str, file: &str, stem: &str) -> Result<ScenarioSpec,
             cuts,
             degrades,
         },
+        workload,
         dist,
         load,
         n_flows,
@@ -717,6 +909,123 @@ mod tests {
         );
         let e = parse_scenario(&dangling, "mem", "x").expect_err("must fail");
         assert!(e.msg.contains("conga"));
+    }
+
+    #[test]
+    fn ring_and_incast_workloads_parse() {
+        let ring = r#"
+            [topology]
+            kind = "testbed"
+            [workload]
+            kind = "ring_allreduce"
+            ranks = 8
+            steps = 3
+            chunk_kb = 64
+            [run]
+            seeds = [1]
+            lbs = ["hermes"]
+        "#;
+        let s = parse_scenario(ring, "mem", "ring").expect("parses");
+        assert_eq!(
+            s.workload,
+            WorkloadKind::RingAllreduce(RingCfg {
+                ranks: 8,
+                steps: 3,
+                chunk_bytes: 64_000,
+            })
+        );
+        let cfg = s.materialize(0, 1).expect("materializes");
+        assert_eq!(cfg.workload, s.workload);
+
+        let incast = r#"
+            [topology]
+            kind = "testbed"
+            [workload]
+            kind = "incast"
+            fanout = 6
+            reply_kb = 32
+            bursts = 5
+            [run]
+            seeds = [1]
+            lbs = ["ecmp"]
+            [invariants]
+            incast_floor_frac = 0.3
+        "#;
+        let s = parse_scenario(incast, "mem", "inc").expect("parses");
+        assert_eq!(
+            s.workload,
+            WorkloadKind::Incast(IncastCfg {
+                fanout: 6,
+                reply_bytes: 32_000,
+                bursts: 5,
+            })
+        );
+        assert_eq!(s.invariants.incast_floor_frac, 0.3);
+    }
+
+    #[test]
+    fn elephant_mice_workload_parses() {
+        let src = r#"
+            [topology]
+            kind = "testbed"
+            [workload]
+            kind = "elephant_mice"
+            load = 0.3
+            flows = 60
+            mice_kb = 20
+            elephant_kb = 1000
+            elephant_frac = 0.1
+            [run]
+            seeds = [1]
+            lbs = ["conga"]
+        "#;
+        let s = parse_scenario(src, "mem", "mix").expect("parses");
+        let WorkloadKind::ElephantMice(mix) = s.workload else {
+            panic!("wrong kind: {:?}", s.workload);
+        };
+        assert_eq!(mix.mice_bytes, 20_000);
+        assert_eq!(mix.elephant_bytes, 1_000_000);
+        assert_eq!(s.load, 0.3);
+        assert_eq!(s.n_flows, 60);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_line_numbers() {
+        // Typo'd `flws` in [workload]: must fail, naming the line.
+        let typo = MINIMAL.replace("flows = 40", "flws = 40");
+        let e = parse_scenario(&typo, "mem", "x").expect_err("typo must fail");
+        assert!(e.msg.contains("unknown key `flws`"), "{}", e.msg);
+        assert!(e.msg.contains("line 8"), "{}", e.msg);
+        assert!(e.msg.contains("[workload]"), "{}", e.msg);
+
+        // Unknown top-level table.
+        let e = parse_scenario(&format!("{MINIMAL}\n[faultx]\nspine = 0\n"), "mem", "x")
+            .expect_err("unknown section must fail");
+        assert!(
+            e.msg.contains("unknown top-level key `faultx`"),
+            "{}",
+            e.msg
+        );
+
+        // Per-kind keys: `ranks` is not a poisson key.
+        let e = parse_scenario(
+            &MINIMAL.replace("flows = 40", "flows = 40\n        ranks = 4"),
+            "mem",
+            "x",
+        )
+        .expect_err("kind-mismatched key must fail");
+        assert!(e.msg.contains("unknown key `ranks`"), "{}", e.msg);
+
+        // Unknown key inside [[envelope]].
+        let e = parse_scenario(
+            &format!(
+                "{MINIMAL}\n[[envelope]]\nmetric = \"avg\"\nlb = \"hermes\"\nbaseline = \"ecmp\"\nmax_ratio = 1.0\nratio = 2.0\n"
+            ),
+            "mem",
+            "x",
+        )
+        .expect_err("envelope typo must fail");
+        assert!(e.msg.contains("unknown key `ratio`"), "{}", e.msg);
     }
 
     #[test]

@@ -7,7 +7,8 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use crate::check::{
-    check_digests, check_envelopes, check_invariants, format_digests, parse_digests, Failure,
+    check_digests, check_envelopes, check_incast_floor, check_invariants, check_ring_steps,
+    format_digests, parse_digests, Failure,
 };
 use crate::run::{run_grid, RunOutcome};
 use crate::spec::{load_dir, ScenarioSpec, SpecError};
@@ -83,8 +84,9 @@ pub fn load_goldens(dir: &Path) -> Result<BTreeMap<String, u64>, SpecError> {
     })
 }
 
-/// Run every scenario in `dir` across its grid and apply all three
-/// checker classes. `threads = 0` uses every available core.
+/// Run every scenario in `dir` across its grid and apply all five
+/// checker classes (the workload-specific ones are no-ops on other
+/// kinds). `threads = 0` uses every available core.
 pub fn run_conformance(dir: &Path, threads: usize) -> Result<ConformanceReport, SpecError> {
     let scenarios = load_dir(dir)?;
     if scenarios.is_empty() {
@@ -100,6 +102,8 @@ pub fn run_conformance(dir: &Path, threads: usize) -> Result<ConformanceReport, 
         let mine: Vec<&RunOutcome> = outcomes.iter().filter(|o| o.scenario == si).collect();
         for out in &mine {
             failures.extend(check_invariants(spec, out));
+            failures.extend(check_ring_steps(spec, out));
+            failures.extend(check_incast_floor(spec, out));
         }
         failures.extend(check_digests(spec, &mine, &goldens));
         failures.extend(check_envelopes(spec, &mine));

@@ -100,11 +100,26 @@ impl Value {
     }
 }
 
+/// 1-based source line of every key and table header, keyed by dotted
+/// path (array-of-tables elements get their 0-based index as a path
+/// segment: `envelope.0.metric`). Lets schema validators report
+/// *where* an unknown key sits, not just that one exists.
+pub type KeyLines = BTreeMap<String, usize>;
+
 /// Parse a TOML document into its root table.
 pub fn parse(src: &str) -> Result<Table, ParseError> {
+    parse_with_lines(src).map(|(t, _)| t)
+}
+
+/// [`parse`], also returning the source line of every key and header
+/// (see [`KeyLines`]).
+pub fn parse_with_lines(src: &str) -> Result<(Table, KeyLines), ParseError> {
     let mut root = Table::new();
+    let mut key_lines = KeyLines::new();
     // Path of the table new `key = value` pairs land in.
     let mut current: Vec<String> = Vec::new();
+    // Dotted display path of `current` (AoT element index included).
+    let mut display: String = String::new();
     let lines: Vec<&str> = src.lines().collect();
     let mut i = 0;
     while i < lines.len() {
@@ -120,7 +135,9 @@ pub fn parse(src: &str) -> Result<Table, ParseError> {
                 return err(lineno, "unterminated [[array-of-tables]] header");
             };
             let path = parse_key_path(head.trim(), lineno)?;
-            push_array_table(&mut root, &path, lineno)?;
+            let idx = push_array_table(&mut root, &path, lineno)?;
+            display = format!("{}.{idx}", path.join("."));
+            key_lines.entry(path.join(".")).or_insert(lineno);
             current = path;
             current.push(String::new()); // marker: inside the last array element
             i += 1;
@@ -132,6 +149,8 @@ pub fn parse(src: &str) -> Result<Table, ParseError> {
             };
             let path = parse_key_path(head.trim(), lineno)?;
             ensure_table(&mut root, &path, lineno)?;
+            display = path.join(".");
+            key_lines.entry(display.clone()).or_insert(lineno);
             current = path;
             i += 1;
             continue;
@@ -152,10 +171,16 @@ pub fn parse(src: &str) -> Result<Table, ParseError> {
             vtext.push_str(strip_comment(lines[i]).trim());
         }
         let value = parse_value(&vtext, lineno)?;
+        let dotted = if display.is_empty() {
+            key.clone()
+        } else {
+            format!("{display}.{key}")
+        };
+        key_lines.insert(dotted, lineno);
         insert(&mut root, &current, key, value, lineno)?;
         i += 1;
     }
-    Ok(root)
+    Ok((root, key_lines))
 }
 
 /// Strip a `#` comment, respecting quoted strings.
@@ -414,7 +439,9 @@ fn ensure_table(root: &mut Table, path: &[String], lineno: usize) -> Result<(), 
     descend(root, path, lineno).map(|_| ())
 }
 
-fn push_array_table(root: &mut Table, path: &[String], lineno: usize) -> Result<(), ParseError> {
+/// Append an element to the array-of-tables at `path`; returns the new
+/// element's 0-based index.
+fn push_array_table(root: &mut Table, path: &[String], lineno: usize) -> Result<usize, ParseError> {
     let (last, prefix) = path.split_last().ok_or(ParseError {
         line: lineno,
         msg: "empty [[header]]".to_string(),
@@ -426,7 +453,7 @@ fn push_array_table(root: &mut Table, path: &[String], lineno: usize) -> Result<
     {
         Value::Array(a) => {
             a.push(Value::Table(Table::new()));
-            Ok(())
+            Ok(a.len() - 1)
         }
         _ => err(lineno, format!("key `{last}` is not an array of tables")),
     }
@@ -529,6 +556,28 @@ mod tests {
         );
         assert!(parse("d = 2024-01-01\n").is_err(), "dates unsupported");
         assert!(parse("[unclosed\n").is_err());
+    }
+
+    #[test]
+    fn key_lines_map_paths_to_source_lines() {
+        let (_, lines) = parse_with_lines(
+            "name = \"x\"\n\
+             \n\
+             [topology]\n\
+             kind = \"testbed\"\n\
+             \n\
+             [[envelope]]\n\
+             metric = \"avg\"\n\
+             [[envelope]]\n\
+             metric = \"p99\"\n",
+        )
+        .expect("parses");
+        assert_eq!(lines["name"], 1);
+        assert_eq!(lines["topology"], 3);
+        assert_eq!(lines["topology.kind"], 4);
+        assert_eq!(lines["envelope"], 6, "first AoT header line is kept");
+        assert_eq!(lines["envelope.0.metric"], 7);
+        assert_eq!(lines["envelope.1.metric"], 9);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Ring-allreduce collective generator.
+//!
+//! `ranks` hosts form a logical ring; in every step each rank sends one
+//! `chunk_bytes` flow to its successor, and step `k+1` is released only
+//! when *all* `ranks` step-`k` flows have completed. That barrier is the
+//! point: one degraded path slows one flow, and the whole collective —
+//! every rank — stalls behind it. Time-to-ring-completion is therefore
+//! a direct readout of how fast a load balancer routes around trouble.
+//!
+//! Ranks are placed round-robin across racks (rank `r` lives on leaf
+//! `r mod n_leaves`), so ring successors are almost always in another
+//! rack and every step crosses the fabric. Flow ids are dense
+//! (`step × ranks + rank`, see [`RingCfg::flow_id`]) so checkers can
+//! reconstruct the full step structure from flow records alone.
+
+use hermes_net::{FlowId, HostId, Topology};
+use hermes_sim::Time;
+
+use crate::driver::{FlowDriver, RingCfg};
+use crate::flowgen::FlowSpec;
+
+/// Barrier-stepped ring-allreduce driver (see module docs).
+pub struct RingAllreduce {
+    cfg: RingCfg,
+    n_leaves: usize,
+    hosts_per_leaf: usize,
+    /// Step currently in flight (== `cfg.steps` once done).
+    step: usize,
+    /// Flows of the in-flight step not yet completed.
+    outstanding: usize,
+    /// Ring-wide close time of each finished step.
+    step_closes: Vec<Time>,
+}
+
+impl RingAllreduce {
+    pub fn new(topo: &Topology, cfg: RingCfg) -> RingAllreduce {
+        assert!(cfg.ranks >= 2, "a ring needs at least 2 ranks");
+        assert!(cfg.steps >= 1 && cfg.chunk_bytes >= 1);
+        assert!(topo.n_leaves >= 2, "collective workload needs ≥2 racks");
+        assert!(
+            cfg.ranks <= topo.n_leaves * topo.hosts_per_leaf,
+            "ranks {} exceed host count {}",
+            cfg.ranks,
+            topo.n_leaves * topo.hosts_per_leaf
+        );
+        RingAllreduce {
+            cfg,
+            n_leaves: topo.n_leaves,
+            hosts_per_leaf: topo.hosts_per_leaf,
+            step: 0,
+            outstanding: 0,
+            step_closes: Vec::with_capacity(cfg.steps),
+        }
+    }
+
+    /// Host of rank `r`: round-robin across racks so ring neighbours
+    /// sit under different leaves and every chunk crosses the fabric.
+    pub fn host_of(&self, rank: usize) -> HostId {
+        let leaf = rank % self.n_leaves;
+        let idx = rank / self.n_leaves;
+        HostId((leaf * self.hosts_per_leaf + idx) as u32)
+    }
+
+    fn step_flows(&self, step: usize, now: Time) -> Vec<FlowSpec> {
+        (0..self.cfg.ranks)
+            .map(|rank| FlowSpec {
+                id: self.cfg.flow_id(step, rank),
+                src: self.host_of(rank),
+                dst: self.host_of((rank + 1) % self.cfg.ranks),
+                size: self.cfg.chunk_bytes,
+                start: now,
+            })
+            .collect()
+    }
+
+    /// Ring-wide close times of the steps finished so far.
+    pub fn step_closes(&self) -> &[Time] {
+        &self.step_closes
+    }
+
+    /// Completion time of the whole collective (last step's close), if
+    /// it ran to the end.
+    pub fn completion(&self) -> Option<Time> {
+        if self.step_closes.len() == self.cfg.steps {
+            self.step_closes.last().copied()
+        } else {
+            None
+        }
+    }
+}
+
+impl FlowDriver for RingAllreduce {
+    fn initial(&mut self, now: Time) -> Vec<FlowSpec> {
+        self.step = 0;
+        self.outstanding = self.cfg.ranks;
+        self.step_closes.clear();
+        self.step_flows(0, now)
+    }
+
+    fn on_flow_completed(&mut self, id: FlowId, now: Time, out: &mut Vec<FlowSpec>) {
+        if id.0 >= (self.cfg.ranks * self.cfg.steps) as u64 || self.step >= self.cfg.steps {
+            return; // not ours (e.g. a co-scheduled background flow)
+        }
+        let (step, _rank) = self.cfg.decode(id);
+        debug_assert_eq!(step, self.step, "completion from a step not in flight");
+        self.outstanding -= 1;
+        if self.outstanding > 0 {
+            return;
+        }
+        // Barrier: the whole ring finished this step.
+        self.step_closes.push(now);
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::emit_with(now, || hermes_telemetry::Record::RingStep {
+                step: self.step as u32,
+                ranks: self.cfg.ranks as u32,
+                chunk_bytes: self.cfg.chunk_bytes,
+            });
+        }
+        self.step += 1;
+        if self.step < self.cfg.steps {
+            self.outstanding = self.cfg.ranks;
+            out.extend(self.step_flows(self.step, now));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(ranks: usize, steps: usize) -> RingAllreduce {
+        RingAllreduce::new(
+            &Topology::sim_baseline(),
+            RingCfg {
+                ranks,
+                steps,
+                chunk_bytes: 64_000,
+            },
+        )
+    }
+
+    #[test]
+    fn ranks_spread_round_robin_across_racks() {
+        let r = ring(8, 3);
+        // sim_baseline: 8 leaves × 16 hosts ⇒ each rank on its own leaf.
+        for rank in 0..8 {
+            assert_eq!(r.host_of(rank).0 as usize / 16, rank % 8);
+        }
+    }
+
+    #[test]
+    fn initial_releases_exactly_step_zero() {
+        let mut r = ring(4, 2);
+        let flows = r.initial(Time::ZERO);
+        assert_eq!(flows.len(), 4);
+        for (rank, f) in flows.iter().enumerate() {
+            assert_eq!(f.id, FlowId(rank as u64));
+            assert_eq!(f.size, 64_000);
+            assert_eq!(f.start, Time::ZERO);
+            assert_eq!(f.src, r.host_of(rank));
+            assert_eq!(f.dst, r.host_of((rank + 1) % 4));
+        }
+    }
+
+    #[test]
+    fn barrier_holds_next_step_until_ring_closes() {
+        let mut r = ring(4, 2);
+        let step0 = r.initial(Time::ZERO);
+        let mut out = Vec::new();
+        // Three of four complete: nothing released.
+        for f in step0.iter().take(3) {
+            r.on_flow_completed(f.id, Time::from_us(10), &mut out);
+            assert!(out.is_empty(), "released before the ring closed");
+        }
+        // Last one closes the ring; step 1 releases at that instant.
+        r.on_flow_completed(step0[3].id, Time::from_us(25), &mut out);
+        assert_eq!(out.len(), 4);
+        for (rank, f) in out.iter().enumerate() {
+            assert_eq!(f.id, FlowId((4 + rank) as u64));
+            assert_eq!(f.start, Time::from_us(25));
+        }
+        assert_eq!(r.step_closes(), &[Time::from_us(25)]);
+        assert!(r.completion().is_none());
+        // Finish step 1: collective complete, nothing further.
+        let mut out2 = Vec::new();
+        for f in &out {
+            r.on_flow_completed(f.id, Time::from_us(40), &mut out2);
+        }
+        assert!(out2.is_empty());
+        assert_eq!(r.completion(), Some(Time::from_us(40)));
+    }
+
+    #[test]
+    fn foreign_flow_ids_are_ignored() {
+        let mut r = ring(4, 2);
+        r.initial(Time::ZERO);
+        let mut out = Vec::new();
+        r.on_flow_completed(FlowId(1_000), Time::from_us(5), &mut out);
+        assert!(out.is_empty());
+        assert!(r.step_closes().is_empty());
+    }
+}

@@ -15,17 +15,27 @@
 //! * [`degradation_report`] — goodput-timeline degradation metrics for
 //!   the transient-failure experiments (dip depth, time-to-impact,
 //!   time-to-recover-to-baseline, stranded flows).
+//! * [`FlowDriver`] / [`WorkloadKind`] — staged-dependency workloads
+//!   released by flow *completion*: [`RingAllreduce`] collectives,
+//!   barrier-stepped [`IncastDriver`] bursts, and the open-loop
+//!   [`ElephantMiceGen`] bimodal mix.
 
+mod collective;
 mod degradation;
 mod dist;
+mod driver;
 mod flowgen;
 mod incast;
 mod metrics;
+mod mix;
 mod visibility;
 
+pub use collective::RingAllreduce;
 pub use degradation::{degradation_report, DegradationCfg, DegradationReport};
 pub use dist::FlowSizeDist;
+pub use driver::{FlowClass, FlowDriver, IncastCfg, MixCfg, RingCfg, WorkloadKind};
 pub use flowgen::{FlowGen, FlowSpec};
-pub use incast::{query_completion, IncastGen, Query};
+pub use incast::{query_completion, IncastDriver, IncastGen, Query};
 pub use metrics::{summarize, FctSummary, FlowRecord, LARGE_FLOW_BYTES, SMALL_FLOW_BYTES};
+pub use mix::ElephantMiceGen;
 pub use visibility::VisibilityTracker;

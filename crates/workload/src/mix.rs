@@ -1,0 +1,189 @@
+//! Elephant/mice bimodal traffic mix.
+//!
+//! DiffFlow-style workloads are dominated by two populations: many
+//! latency-sensitive mice and a few throughput-hungry elephants that
+//! carry most of the bytes. [`ElephantMiceGen`] is the open-loop
+//! Poisson generator from [`crate::FlowGen`] with the empirical CDF
+//! replaced by a two-point size draw ([`MixCfg`]): each arrival is an
+//! elephant with probability `elephant_frac`, a mouse otherwise. The
+//! two modes are far apart by construction, so a flow's class is
+//! recoverable from its size alone ([`MixCfg::class_of`]) — specs carry
+//! no side-channel tag.
+
+use hermes_net::{FlowId, HostId, Topology};
+use hermes_sim::{SimRng, Time};
+
+use crate::driver::MixCfg;
+use crate::flowgen::FlowSpec;
+
+/// Open-loop Poisson generator of inter-rack elephant/mice traffic.
+///
+/// Offered load follows the [`crate::FlowGen`] convention:
+/// `λ = load × Σ(uplink bps) / (8 × E[size])` with the bimodal mean.
+pub struct ElephantMiceGen {
+    rng: SimRng,
+    cfg: MixCfg,
+    /// Mean inter-arrival time in seconds.
+    mean_iat_s: f64,
+    n_leaves: usize,
+    hosts_per_leaf: usize,
+    next_id: u64,
+    clock: Time,
+}
+
+impl ElephantMiceGen {
+    /// A generator for `topo` at offered `load ∈ (0, 1.5]` (relative to
+    /// `capacity_bps` if given, else the topology's live capacity).
+    pub fn new(
+        topo: &Topology,
+        cfg: MixCfg,
+        load: f64,
+        capacity_bps: Option<u64>,
+        rng: SimRng,
+    ) -> ElephantMiceGen {
+        assert!(load > 0.0 && load <= 1.5, "load {load} out of range");
+        assert!(topo.n_leaves >= 2, "inter-rack workload needs ≥2 racks");
+        assert!(
+            cfg.mice_bytes >= 1 && cfg.elephant_bytes > cfg.mice_bytes,
+            "mix must have elephant > mice ≥ 1 byte"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.elephant_frac),
+            "elephant_frac {} out of [0, 1]",
+            cfg.elephant_frac
+        );
+        let cap = capacity_bps.unwrap_or_else(|| topo.total_uplink_bps()) as f64;
+        let lambda = load * cap / (cfg.mean_bytes() * 8.0); // flows per second
+        ElephantMiceGen {
+            rng,
+            cfg,
+            mean_iat_s: 1.0 / lambda,
+            n_leaves: topo.n_leaves,
+            hosts_per_leaf: topo.hosts_per_leaf,
+            next_id: 0,
+            clock: Time::ZERO,
+        }
+    }
+
+    /// Fabric-wide arrival rate (flows per second).
+    pub fn lambda(&self) -> f64 {
+        1.0 / self.mean_iat_s
+    }
+
+    /// The size mix this generator draws from.
+    pub fn cfg(&self) -> MixCfg {
+        self.cfg
+    }
+
+    /// Next flow: exponential inter-arrival, uniform cross-rack pair,
+    /// Bernoulli class draw.
+    pub fn next_flow(&mut self) -> FlowSpec {
+        let dt = self.rng.exp(self.mean_iat_s);
+        self.clock += Time::from_secs_f64(dt);
+        let n_hosts = self.n_leaves * self.hosts_per_leaf;
+        let src = self.rng.below(n_hosts);
+        let src_leaf = src / self.hosts_per_leaf;
+        let other_leaf = {
+            let r = self.rng.below(self.n_leaves - 1);
+            if r >= src_leaf {
+                r + 1
+            } else {
+                r
+            }
+        };
+        let dst = other_leaf * self.hosts_per_leaf + self.rng.below(self.hosts_per_leaf);
+        let size = if self.rng.chance(self.cfg.elephant_frac) {
+            self.cfg.elephant_bytes
+        } else {
+            self.cfg.mice_bytes
+        };
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        FlowSpec {
+            id,
+            src: HostId(src as u32),
+            dst: HostId(dst as u32),
+            size,
+            start: self.clock,
+        }
+    }
+
+    /// Generate a fixed-count schedule.
+    pub fn schedule(&mut self, n: usize) -> Vec<FlowSpec> {
+        (0..n).map(|_| self.next_flow()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::FlowClass;
+
+    fn mix() -> MixCfg {
+        MixCfg {
+            mice_bytes: 20_000,
+            elephant_bytes: 1_000_000,
+            elephant_frac: 0.1,
+        }
+    }
+
+    fn gen(load: f64, seed: u64) -> ElephantMiceGen {
+        ElephantMiceGen::new(
+            &Topology::sim_baseline(),
+            mix(),
+            load,
+            None,
+            SimRng::new(seed),
+        )
+    }
+
+    #[test]
+    fn draws_are_exactly_the_two_modes_and_cross_rack() {
+        let mut g = gen(0.4, 11);
+        for _ in 0..2000 {
+            let f = g.next_flow();
+            assert!(f.size == 20_000 || f.size == 1_000_000);
+            assert_ne!(f.src.0 / 16, f.dst.0 / 16, "must cross racks");
+        }
+    }
+
+    #[test]
+    fn elephant_fraction_converges() {
+        let mut g = gen(0.4, 12);
+        let flows = g.schedule(20_000);
+        let elephants = flows
+            .iter()
+            .filter(|f| mix().class_of(f.size) == FlowClass::Elephant)
+            .count();
+        let frac = elephants as f64 / flows.len() as f64;
+        assert!((frac - 0.1).abs() < 0.01, "elephant frac {frac}");
+    }
+
+    #[test]
+    fn offered_load_matches_request() {
+        let mut g = gen(0.6, 13);
+        let flows = g.schedule(60_000);
+        let horizon = flows.last().unwrap().start.as_secs_f64();
+        let bits: f64 = flows.iter().map(|f| f.size as f64 * 8.0).sum();
+        let offered = bits / horizon;
+        let want = 0.6 * Topology::sim_baseline().total_uplink_bps() as f64;
+        assert!(
+            (offered - want).abs() / want < 0.07,
+            "offered {offered:.3e} want {want:.3e}"
+        );
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let mut a = gen(0.4, 14);
+        let mut b = gen(0.4, 14);
+        for _ in 0..200 {
+            let fa = a.next_flow();
+            let fb = b.next_flow();
+            assert_eq!(
+                (fa.src, fa.dst, fa.size, fa.start),
+                (fb.src, fb.dst, fb.size, fb.start)
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the staged-dependency flow drivers: for *any*
+//! well-formed ring/incast geometry and any completion order, the
+//! ring-allreduce driver must release every rank exactly once per step
+//! and conserve bytes, and the incast driver must release exactly
+//! `fanout` synchronized replies per burst — with the barrier holding
+//! until the straggler finishes in both cases.
+
+use hermes_net::Topology;
+use hermes_sim::{SimRng, Time};
+use hermes_workload::{FlowDriver, FlowSpec, IncastCfg, IncastDriver, RingAllreduce, RingCfg};
+use proptest::prelude::*;
+
+/// Complete `flows` against `driver` in a seed-chosen random order,
+/// advancing a fake clock one microsecond per completion; returns the
+/// flows released by the straggler (empty for the last stage).
+fn complete_in_random_order(
+    driver: &mut dyn FlowDriver,
+    flows: &[FlowSpec],
+    rng: &mut SimRng,
+    clock: &mut Time,
+) -> Vec<FlowSpec> {
+    let mut order: Vec<&FlowSpec> = flows.iter().collect();
+    let mut released = Vec::new();
+    while !order.is_empty() {
+        let pick = rng.below(order.len());
+        let f = order.swap_remove(pick);
+        *clock += Time::from_us(1);
+        let mut out = Vec::new();
+        driver.on_flow_completed(f.id, *clock, &mut out);
+        if !order.is_empty() {
+            // The barrier: nothing may be released before the straggler.
+            assert!(
+                out.is_empty(),
+                "driver released {} flow(s) before the stage drained",
+                out.len()
+            );
+        }
+        released.extend(out);
+    }
+    released
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any ring geometry, any completion order: each step releases
+    /// every rank exactly once, later steps wait for the barrier, and
+    /// total released bytes equal `ranks × steps × chunk`.
+    #[test]
+    fn ring_releases_every_rank_exactly_once_per_step(
+        ranks in 2usize..13,
+        steps in 1usize..5,
+        chunk_kb in 1u64..257,
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::testbed();
+        let cfg = RingCfg { ranks, steps, chunk_bytes: chunk_kb * 1000 };
+        let mut driver = RingAllreduce::new(&topo, cfg);
+        let mut rng = SimRng::new(seed);
+        let mut clock = Time::ZERO;
+        let mut total_bytes = 0u64;
+
+        let mut current = driver.initial(clock);
+        for step in 0..steps {
+            prop_assert_eq!(current.len(), ranks, "step {} release width", step);
+            let mut seen = vec![false; ranks];
+            for f in &current {
+                let (s, rank) = cfg.decode(f.id);
+                prop_assert_eq!(s, step, "flow {:?} belongs to step {}", f.id, s);
+                prop_assert!(!seen[rank], "rank {} released twice in step {}", rank, step);
+                seen[rank] = true;
+                prop_assert_eq!(f.size, cfg.chunk_bytes);
+                total_bytes += f.size;
+                // Ring edge: the destination is the successor's host.
+                let n = topo.n_hosts() as u64;
+                prop_assert!(u64::from(f.src.0) < n && u64::from(f.dst.0) < n);
+                prop_assert!(f.src != f.dst, "rank {} sends to itself", rank);
+            }
+            prop_assert!(seen.iter().all(|&s| s), "step {} missing a rank", step);
+            current = complete_in_random_order(&mut driver, &current, &mut rng, &mut clock);
+        }
+        prop_assert!(current.is_empty(), "driver released past the last step");
+        prop_assert_eq!(total_bytes, cfg.total_bytes(), "byte conservation");
+    }
+
+    /// Any incast geometry, any completion order: each burst releases
+    /// exactly `fanout` same-instant replies aimed at one aggregator
+    /// from other racks, and burst `b+1` waits for burst `b`'s
+    /// straggler.
+    #[test]
+    fn incast_bursts_are_synchronized_and_fan_in(
+        fanout in 1usize..7,
+        reply_kb in 1u64..129,
+        bursts in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::testbed();
+        let cfg = IncastCfg { fanout, reply_bytes: reply_kb * 1000, bursts };
+        let mut driver = IncastDriver::new(&topo, cfg, SimRng::new(seed).split(1));
+        let mut rng = SimRng::new(seed).split(2);
+        let mut clock = Time::ZERO;
+        let hosts_per_leaf = topo.hosts_per_leaf as u32;
+
+        let mut current = driver.initial(clock);
+        let mut prev_straggler = Time::ZERO;
+        for burst in 0..bursts {
+            prop_assert_eq!(current.len(), fanout, "burst {} fan-in", burst);
+            let release = current[0].start;
+            prop_assert!(
+                release >= prev_straggler,
+                "burst {} released before burst {} drained",
+                burst,
+                burst.wrapping_sub(1)
+            );
+            let aggregator = current[0].dst;
+            for (i, f) in current.iter().enumerate() {
+                let (b, slot) = cfg.decode(f.id);
+                prop_assert_eq!(b, burst);
+                prop_assert_eq!(slot, i, "dense reply ids within the burst");
+                prop_assert_eq!(f.start, release, "replies released synchronously");
+                prop_assert_eq!(f.dst, aggregator, "all replies converge on one host");
+                prop_assert_eq!(f.size, cfg.reply_bytes);
+                prop_assert!(
+                    f.src.0 / hosts_per_leaf != aggregator.0 / hosts_per_leaf,
+                    "worker {:?} shares the aggregator's rack",
+                    f.src
+                );
+            }
+            current = complete_in_random_order(&mut driver, &current, &mut rng, &mut clock);
+            prev_straggler = clock;
+        }
+        prop_assert!(current.is_empty(), "driver released past the last burst");
+    }
+}

@@ -222,3 +222,64 @@ fn mine_overlapping_counterexample() {
     };
     println!("--- corpus entry ---\n{}", chaos::plan_to_toml(&entry));
 }
+
+/// The staged-dependency workloads (ring-allreduce, incast) release
+/// flows from completion callbacks *inside* the event loop. Running
+/// them must leave the chaos engine untouched: a campaign fingerprints
+/// identically before and after, and the committed corpus still
+/// replays green — no hidden global state (RNG, id counters, caches)
+/// leaks between the workload drivers and the fault harness.
+#[test]
+fn staged_workloads_do_not_perturb_chaos_digests() {
+    use hermes_bench::{run_point_detailed, PointCfg};
+    use hermes_net::Topology;
+    use hermes_runtime::Scheme;
+    use hermes_workload::{FlowSizeDist, IncastCfg, RingCfg, WorkloadKind};
+
+    let cfg = CampaignCfg {
+        seeds: 2,
+        quick: true,
+        ..CampaignCfg::default()
+    };
+    let before = chaos::run_campaign(&cfg);
+
+    // Interleave both driver kinds between the two campaign runs.
+    for kind in [
+        WorkloadKind::RingAllreduce(RingCfg {
+            ranks: 4,
+            steps: 2,
+            chunk_bytes: 32_000,
+        }),
+        WorkloadKind::Incast(IncastCfg {
+            fanout: 4,
+            reply_bytes: 16_000,
+            bursts: 2,
+        }),
+    ] {
+        let point = PointCfg::new(
+            Topology::testbed(),
+            Scheme::Ecmp,
+            FlowSizeDist::web_search(),
+            0.3,
+        )
+        .workload(kind)
+        .seed(5)
+        .drain(Time::from_ms(800));
+        let det = run_point_detailed(&point, Time::from_ms(1));
+        assert!(det.conservation.balanced());
+    }
+
+    let replay = chaos::replay_corpus(corpus_dir(), &SloCfg::default(), true)
+        .expect("corpus must load and run");
+    assert!(
+        replay.violations.is_empty(),
+        "corpus regressed after staged workloads ran"
+    );
+    let after = chaos::run_campaign(&cfg);
+    assert_eq!(
+        before.digest(),
+        after.digest(),
+        "staged workloads perturbed the campaign fingerprint"
+    );
+    assert_eq!(before.to_json(), after.to_json());
+}

@@ -1,10 +1,13 @@
 //! Tier-1 conformance: the small scenario grid under `tests/scenarios/`
-//! (symmetric, asymmetric, blackhole, random-drop × hermes/conga/ecmp
-//! × 3 seeds), run in parallel and held to all three checker classes —
-//! physical invariants, golden event-trace digests, and the paper's
-//! FCT-ratio envelopes. The extended grid (8×8 fabric, wider LB field)
-//! runs via `cargo run -p xtask -- conformance`; goldens regenerate
-//! via `cargo run -p xtask -- bless`. See DESIGN.md §10.
+//! (symmetric, asymmetric, blackhole, random-drop, plus the
+//! workload-diversity regimes — ring-allreduce collective, incast
+//! burst, elephant/mice mix — × hermes/conga/ecmp × 3 seeds), run in
+//! parallel and held to all five checker classes — physical
+//! invariants, golden event-trace digests, the paper's FCT-ratio
+//! envelopes, ring-step conservation, and the incast goodput floor.
+//! The extended grid (8×8 fabric, wider LB field) runs via `cargo run
+//! -p xtask -- conformance`; goldens regenerate via `cargo run -p
+//! xtask -- bless`. See DESIGN.md §10 and §15.
 
 use std::path::{Path, PathBuf};
 
@@ -17,9 +20,16 @@ fn scenario_dir() -> PathBuf {
 #[test]
 fn small_grid_passes_all_checker_classes() {
     let report = run_conformance(&scenario_dir(), 0).expect("scenario grid runs");
-    // The ISSUE's floor: four failure regimes × at least three LBs ×
-    // at least three seeds.
-    assert!(report.scenarios.len() >= 4, "expected the four-regime grid");
+    // The ISSUE's floor: six regimes (four failure regimes plus the
+    // workload-diversity scenarios) × at least three LBs × at least
+    // three seeds.
+    assert!(report.scenarios.len() >= 6, "expected the six-regime grid");
+    for name in ["ring_allreduce", "incast", "elephant_mice"] {
+        assert!(
+            report.scenarios.iter().any(|s| s.name == name),
+            "workload-diversity scenario `{name}` missing from the grid"
+        );
+    }
     let combos: usize = report
         .scenarios
         .iter()
@@ -31,8 +41,8 @@ fn small_grid_passes_all_checker_classes() {
         })
         .sum();
     assert!(
-        combos >= 12,
-        "expected a >=12 (scenario, lb) grid, got {combos}"
+        combos >= 18,
+        "expected a >=18 (scenario, lb) grid, got {combos}"
     );
     assert_eq!(
         report.cells(),
@@ -84,6 +94,8 @@ fn checker_self_test_trips_every_class() {
         CheckClass::Invariant,
         CheckClass::Digest,
         CheckClass::Envelope,
+        CheckClass::RingStep,
+        CheckClass::IncastFloor,
     ] {
         assert!(
             cases.iter().any(|c| c.expect == class),

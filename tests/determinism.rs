@@ -267,3 +267,74 @@ fn conservation_balances_for_every_scheme() {
         );
     }
 }
+
+#[test]
+fn staged_workload_drivers_are_deterministic_per_kind() {
+    // The new staged-dependency workloads release flows from completion
+    // callbacks *inside* the event loop, so their arrival times are
+    // themselves simulation outputs. Same seed must still reproduce the
+    // whole run bit-for-bit: full event-trace digest, FCT vector, and
+    // record timeline, for each driver kind.
+    use hermes_bench::{run_point_detailed, PointCfg};
+    use hermes_workload::{FlowSizeDist, IncastCfg, MixCfg, RingCfg, WorkloadKind};
+
+    let kinds = [
+        (
+            "ring_allreduce",
+            WorkloadKind::RingAllreduce(RingCfg {
+                ranks: 6,
+                steps: 2,
+                chunk_bytes: 48_000,
+            }),
+        ),
+        (
+            "incast",
+            WorkloadKind::Incast(IncastCfg {
+                fanout: 5,
+                reply_bytes: 24_000,
+                bursts: 3,
+            }),
+        ),
+        (
+            "elephant_mice",
+            WorkloadKind::ElephantMice(MixCfg {
+                mice_bytes: 20_000,
+                elephant_bytes: 500_000,
+                elephant_frac: 0.1,
+            }),
+        ),
+    ];
+    for (name, kind) in kinds {
+        let cfg = PointCfg::new(
+            Topology::testbed(),
+            Scheme::Hermes(HermesParams::from_topology(&Topology::testbed())),
+            FlowSizeDist::web_search(),
+            0.3,
+        )
+        .workload(kind)
+        .flows(30)
+        .seed(23)
+        .drain(Time::from_ms(1200));
+        let a = run_point_detailed(&cfg, Time::from_ms(1));
+        let b = run_point_detailed(&cfg, Time::from_ms(1));
+        assert_eq!(a.digest, b.digest, "{name}: same-seed digests differ");
+        assert_eq!(a.events, b.events, "{name}: event counts differ");
+        assert_eq!(
+            a.records.len(),
+            b.records.len(),
+            "{name}: record counts differ"
+        );
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(
+                (ra.id, ra.start, ra.finish, ra.size),
+                (rb.id, rb.start, rb.finish, rb.size),
+                "{name}: record timelines differ"
+            );
+        }
+        assert!(
+            a.records.iter().all(|r| r.finish.is_some()),
+            "{name}: staged workload did not drain within the budget"
+        );
+        assert!(a.conservation.balanced(), "{name}: conservation imbalance");
+    }
+}
