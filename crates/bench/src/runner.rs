@@ -153,6 +153,9 @@ pub struct DetailedResult {
     pub conservation: ConservationReport,
     /// `(sample time, cumulative in-order TCP payload bytes)`.
     pub goodput: Vec<(Time, u64)>,
+    /// `TxDone` boundaries handled inline within packet trains (already
+    /// counted in `events`); the perf harness reports the batching rate.
+    pub trains_inlined: u64,
 }
 
 /// Run one point, keeping the evidence. Deterministic in `(cfg, seed)`.
@@ -167,6 +170,7 @@ pub fn run_point_detailed(cfg: &PointCfg, goodput_interval: Time) -> DetailedRes
         digest: sim.trace_digest(),
         conservation: sim.conservation(),
         goodput: sim.sampler_series(0).to_vec(),
+        trains_inlined: sim.trains_inlined(),
     }
 }
 

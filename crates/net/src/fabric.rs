@@ -1,7 +1,7 @@
 //! The fabric: ports wired into a leaf-spine topology, packet
 //! forwarding, failure application, and load-balancer hook dispatch.
 
-use hermes_sim::{EventQueue, SimRng};
+use hermes_sim::{EventQueue, SimRng, Time};
 
 use crate::failure::SpineFailure;
 use crate::faultplan::FaultAction;
@@ -41,6 +41,10 @@ pub struct FabricStats {
     pub path_fallbacks: u64,
     /// Packets delivered to destination hosts.
     pub delivered: u64,
+    /// `TxDone` boundaries processed inline within a packet train
+    /// instead of as scheduled events (see [`Fabric::handle_traced`]).
+    /// Each one is an event the queue never had to store.
+    pub trains_inlined: u64,
 }
 
 /// The simulated fabric.
@@ -467,9 +471,31 @@ impl Fabric {
         q: &mut EventQueue<Event>,
         ev: Event,
     ) -> Option<(HostId, Box<Packet>)> {
+        self.handle_traced(q, ev, None, Time::MAX)
+    }
+
+    /// Like [`Fabric::handle`], with packet-train batching enabled.
+    ///
+    /// When `digest` is provided, a `TxDone` event may *inline* the
+    /// port's subsequent back-to-back transmissions (a "train") instead
+    /// of scheduling one `TxDone` per packet, provided each inlined
+    /// boundary is provably the very next thing the simulation would
+    /// dispatch anyway (see [`Fabric::tx_done`] for the exact gate).
+    /// Inlined boundaries are fed to `digest` and counted in
+    /// [`FabricStats::trains_inlined`], so the digested event stream is
+    /// byte-identical to the unbatched one; `limit` must be the run
+    /// loop's horizon so no boundary beyond it — which the unbatched run
+    /// would have left undispatched — is ever inlined.
+    pub fn handle_traced(
+        &mut self,
+        q: &mut EventQueue<Event>,
+        ev: Event,
+        digest: Option<&mut crate::audit::FnvDigest>,
+        limit: Time,
+    ) -> Option<(HostId, Box<Packet>)> {
         match ev {
             Event::TxDone { node, port } => {
-                self.tx_done(q, node, port);
+                self.tx_done(q, node, port, digest, limit);
                 None
             }
             Event::Arrive { node, pkt } => {
@@ -531,15 +557,72 @@ impl Fabric {
         }
     }
 
-    fn tx_done(&mut self, q: &mut EventQueue<Event>, node: NodeId, idx: usize) {
+    /// Complete a port's in-flight transmission and launch the packet
+    /// onto the wire, then either schedule the port's next `TxDone` or —
+    /// when batching is enabled — process the whole back-to-back train
+    /// inline, one queue event for the lot.
+    ///
+    /// A boundary at `b = now + tx_time` may be inlined only when all of:
+    ///
+    /// * `digest` is present (runtime-driven run that accounts for
+    ///   inlined events) and `b <= limit` (the unbatched run would have
+    ///   dispatched it before the horizon);
+    /// * `b <= now + delay`, this packet's own arrival time — evaluated
+    ///   *before* the `Arrive` is scheduled, with `>=` ties allowed
+    ///   because in the unbatched order the `TxDone` was scheduled first
+    ///   and so carried the smaller seq;
+    /// * every already-queued event is due strictly *after* `b` — a
+    ///   same-time queued event holds a smaller seq and would have
+    ///   dispatched first.
+    ///
+    /// Under those conditions the boundary is provably the next event
+    /// the simulation would pop, so handling it here — cursor advanced
+    /// via `advance_to`, digest fed the identical `(time, TxDone)`
+    /// record — reproduces the unbatched event stream byte-for-byte.
+    fn tx_done(
+        &mut self,
+        q: &mut EventQueue<Event>,
+        node: NodeId,
+        idx: usize,
+        mut digest: Option<&mut crate::audit::FnvDigest>,
+        limit: Time,
+    ) {
         let peer = self.peer(node, idx);
-        let port = self.port_mut(node, idx);
-        let pkt = port.complete_tx();
-        let delay = port.link.delay;
-        // Start the next packet back-to-back.
-        Self::kick_port(q, node, idx, port);
-        self.on_wire += 1;
-        q.schedule_in(delay, Event::Arrive { node: peer, pkt });
+        loop {
+            let port = self.port_mut(node, idx);
+            let pkt = port.complete_tx();
+            let delay = port.link.delay;
+            let arrive_at = q.now() + delay;
+            // Decide the next boundary's fate before scheduling anything:
+            // the gate must see the queue exactly as the unbatched run's
+            // scheduler would have at its kick_port call.
+            let inline_at = match port.begin_tx() {
+                Some(t) => {
+                    let boundary = q.now() + t;
+                    if digest.is_some()
+                        && boundary <= limit
+                        && arrive_at >= boundary
+                        && q.peek_time().is_none_or(|p| p > boundary)
+                    {
+                        Some(boundary)
+                    } else {
+                        // Unbatched path: TxDone before Arrive, exactly
+                        // the old kick-then-launch scheduling order.
+                        q.schedule(boundary, Event::TxDone { node, port: idx });
+                        None
+                    }
+                }
+                None => None,
+            };
+            self.on_wire += 1;
+            q.schedule(arrive_at, Event::Arrive { node: peer, pkt });
+            let Some(boundary) = inline_at else { break };
+            q.advance_to(boundary);
+            if let Some(d) = digest.as_deref_mut() {
+                crate::audit::digest_event(d, boundary, &Event::TxDone { node, port: idx });
+            }
+            self.stats.trains_inlined += 1;
+        }
     }
 
     fn kick_port(q: &mut EventQueue<Event>, node: NodeId, idx: usize, port: &mut Port) {

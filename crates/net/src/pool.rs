@@ -20,9 +20,14 @@
 //! * A recycled box's contents are stale until `boxed` overwrites them;
 //!   the pool never reads packet fields.
 //! * The free list is capped so a drain-heavy phase cannot pin an
-//!   unbounded high-water mark of dead allocations.
+//!   unbounded high-water mark of dead allocations, and trimmed toward
+//!   its epoch low-water mark on sustained underuse so a burst's
+//!   high-water mark is released once the burst drains.
 
-use crate::packet::Packet;
+use hermes_sim::Time;
+
+use crate::packet::{Packet, PacketKind};
+use crate::types::{FlowId, HostId, PathId, Priority};
 
 /// Counters for pool effectiveness; surfaced through
 /// [`Fabric::pool_stats`](crate::Fabric::pool_stats) and the perf
@@ -37,6 +42,9 @@ pub struct PoolStats {
     pub recycled: u64,
     /// Boxes dropped on return because the free list was at capacity.
     pub discarded: u64,
+    /// Parked boxes freed by the underuse trim policy (see
+    /// [`PacketPool::TRIM_PERIOD`]).
+    pub trimmed: u64,
 }
 
 /// A bounded free-list of packet allocations.
@@ -48,6 +56,12 @@ pub struct PacketPool {
     free: Vec<Box<Packet>>,
     cap: usize,
     stats: PoolStats,
+    /// Pool operations (boxed/recycle) since the last trim epoch ended.
+    ops_since_trim: u32,
+    /// Smallest free-list length observed this epoch: boxes that sat
+    /// parked through every operation of the epoch, i.e. provably unused
+    /// surplus.
+    epoch_min_free: usize,
 }
 
 impl Default for PacketPool {
@@ -73,13 +87,24 @@ impl PacketPool {
             free: Vec::new(),
             cap,
             stats: PoolStats::default(),
+            ops_since_trim: 0,
+            epoch_min_free: 0,
         }
     }
+
+    /// Operations per trim epoch. At each epoch boundary half of the
+    /// epoch's low-water free-list surplus — boxes that sat parked
+    /// through *every* operation of the epoch — is freed, so a
+    /// burst-then-idle workload releases its dead high-water allocation
+    /// geometrically instead of pinning it for the rest of the run.
+    /// Driven purely by operation counts (no wall clock, no RNG), so
+    /// trimming is deterministic and digest-neutral.
+    pub const TRIM_PERIOD: u32 = 4096;
 
     /// Box `pkt`, reusing a recycled allocation when one is available.
     #[inline]
     pub fn boxed(&mut self, pkt: Packet) -> Box<Packet> {
-        match self.free.pop() {
+        let slot = match self.free.pop() {
             Some(mut slot) => {
                 *slot = pkt;
                 self.stats.reused += 1;
@@ -89,7 +114,9 @@ impl PacketPool {
                 self.stats.fresh += 1;
                 Box::new(pkt)
             }
-        }
+        };
+        self.note_op();
+        slot
     }
 
     /// Identity stamped on parked boxes: no live packet or flow ever
@@ -101,21 +128,70 @@ impl PacketPool {
     /// Return a retired packet's allocation to the free list. Boxes
     /// beyond the capacity bound are freed instead of retained.
     ///
-    /// The parked packet's identity (`id`, `flow`) is poisoned on the
-    /// way in: `boxed` overwrites the whole struct on reuse, but a
-    /// retired packet's flow id must never be observable between
-    /// recycle and reuse — e.g. by a telemetry or audit hook reading a
-    /// box it should no longer hold (see `tests` for the regression).
+    /// The parked packet's whole identity-bearing surface is poisoned on
+    /// the way in: `boxed` overwrites the entire struct on reuse, but a
+    /// retired packet's fields must never be observable between recycle
+    /// and reuse — e.g. by a telemetry or audit hook reading a box it
+    /// should no longer hold (see `tests` for the regressions).
     #[inline]
     pub fn recycle(&mut self, mut pkt: Box<Packet>) {
         if self.free.len() < self.cap {
             self.stats.recycled += 1;
-            pkt.id = Self::POISON_ID;
-            pkt.flow = crate::types::FlowId(Self::POISON_ID);
+            Self::poison(&mut pkt);
             self.free.push(pkt);
         } else {
             self.stats.discarded += 1;
         }
+        self.note_op();
+    }
+
+    /// Scrub every field a downstream hook could mistake for live packet
+    /// state: identity (`id`, `flow`, endpoints), routing (`path`,
+    /// `prio`), ECN bits, sizes, timestamps, and LB metadata. `kind`
+    /// collapses to the payload-free `Udp` so no stale seq/ack numbers
+    /// survive either.
+    fn poison(pkt: &mut Packet) {
+        pkt.id = Self::POISON_ID;
+        pkt.flow = FlowId(Self::POISON_ID);
+        pkt.src = HostId(u32::MAX);
+        pkt.dst = HostId(u32::MAX);
+        pkt.size = 0;
+        pkt.kind = PacketKind::Udp;
+        pkt.ecn_capable = false;
+        pkt.ecn_marked = false;
+        pkt.path = PathId::UNSET;
+        pkt.prio = Priority::Low;
+        pkt.sent_at = Time::MAX;
+        pkt.meta = crate::packet::LbMeta::default();
+    }
+
+    /// Record one pool operation; at epoch boundaries, release half of
+    /// the free list's provably-unused surplus.
+    #[inline]
+    fn note_op(&mut self) {
+        self.epoch_min_free = self.epoch_min_free.min(self.free.len());
+        self.ops_since_trim += 1;
+        if self.ops_since_trim >= Self::TRIM_PERIOD {
+            self.trim_epoch();
+        }
+    }
+
+    fn trim_epoch(&mut self) {
+        let surplus = self.epoch_min_free / 2;
+        if surplus > 0 {
+            // len >= epoch_min_free >= surplus: the minimum bounds the
+            // current length from below, so the subtraction is safe.
+            self.free.truncate(self.free.len() - surplus);
+            self.stats.trimmed += surplus as u64;
+            // Return the Vec's own spare capacity too once it dwarfs the
+            // live list; otherwise the boxes are freed but the pointer
+            // array still pins its high-water allocation.
+            if self.free.capacity() > 64 && self.free.capacity() / 2 > self.free.len() {
+                self.free.shrink_to(self.free.len().max(64));
+            }
+        }
+        self.ops_since_trim = 0;
+        self.epoch_min_free = self.free.len();
     }
 
     /// Effectiveness counters.
@@ -226,5 +302,93 @@ mod tests {
         let _b = pool.boxed(pkt(1));
         assert_eq!(pool.stats().fresh, 2);
         assert_eq!(pool.stats().reused, 0);
+    }
+
+    /// Regression: the full identity-bearing surface is scrubbed while a
+    /// box is parked, not just (id, flow) — path tags, ECN bits, sizes
+    /// and timestamps must be unreadable between recycle and reuse.
+    #[test]
+    fn recycle_poisons_the_full_identity_surface() {
+        let mut pool = PacketPool::new();
+        let mut a = pool.boxed(pkt(9));
+        a.id = 42;
+        a.flow = FlowId(7);
+        a.path = crate::types::PathId(3);
+        a.ecn_capable = true;
+        a.ecn_marked = true;
+        a.prio = Priority::High;
+        a.sent_at = hermes_sim::Time::from_us(123);
+        a.meta.lb_tag = 5;
+        a.meta.fb_valid = true;
+        pool.recycle(a);
+        let parked = &pool.free[0];
+        assert_eq!(parked.id, PacketPool::POISON_ID);
+        assert_eq!(parked.flow, FlowId(PacketPool::POISON_ID));
+        assert_eq!(parked.src, HostId(u32::MAX));
+        assert_eq!(parked.dst, HostId(u32::MAX));
+        assert_eq!(parked.size, 0);
+        assert!(matches!(parked.kind, crate::packet::PacketKind::Udp));
+        assert!(!parked.ecn_capable && !parked.ecn_marked);
+        assert_eq!(parked.path, crate::types::PathId::UNSET);
+        assert_eq!(parked.prio, Priority::Low);
+        assert_eq!(parked.sent_at, hermes_sim::Time::MAX);
+        assert_eq!(parked.meta.lb_tag, crate::packet::LbMeta::default().lb_tag);
+        assert!(!parked.meta.fb_valid);
+    }
+
+    /// Burst-then-idle: a drained burst's free-list high-water mark is
+    /// released geometrically by the epoch trim instead of pinned for
+    /// the rest of the run.
+    #[test]
+    fn sustained_underuse_trims_the_free_list() {
+        let mut pool = PacketPool::new();
+        // Burst: 10k boxes out, all recycled.
+        let burst: Vec<_> = (0..10_000).map(|i| pool.boxed(pkt(i))).collect();
+        for b in burst {
+            pool.recycle(b);
+        }
+        // A few epoch boundaries already passed while the burst drained
+        // back, so some early trimming may have happened; the bulk of
+        // the surplus is still parked.
+        assert!(pool.free_len() > 4_000, "burst did not park its boxes");
+        // Idle phase: single-packet churn for several epochs. The free
+        // list's low-water mark stays high, so each epoch frees half.
+        for i in 0..(6 * PacketPool::TRIM_PERIOD as u64) {
+            let b = pool.boxed(pkt(i));
+            pool.recycle(b);
+        }
+        assert!(
+            pool.free_len() < 1_000,
+            "free list still holds {} boxes after sustained underuse",
+            pool.free_len()
+        );
+        assert!(
+            pool.stats().trimmed > 9_000,
+            "trim stat should record the released surplus, got {}",
+            pool.stats().trimmed
+        );
+        // The churn itself kept being served from the pool.
+        assert_eq!(pool.stats().fresh, 10_000);
+    }
+
+    /// An active pool (free list regularly near-empty) must NOT trim:
+    /// the low-water mark is what protects working capacity.
+    #[test]
+    fn active_pool_is_not_trimmed() {
+        let mut pool = PacketPool::new();
+        let outstanding: Vec<_> = (0..64).map(|i| pool.boxed(pkt(i))).collect();
+        for b in outstanding {
+            pool.recycle(b);
+        }
+        // Every epoch drains the list completely at least once.
+        for round in 0..(3 * PacketPool::TRIM_PERIOD as u64 / 64) {
+            let out: Vec<_> = (0..64).map(|i| pool.boxed(pkt(round * 64 + i))).collect();
+            assert_eq!(pool.free_len(), 0, "all 64 boxes in flight");
+            for b in out {
+                pool.recycle(b);
+            }
+        }
+        assert_eq!(pool.stats().trimmed, 0, "working capacity was trimmed");
+        assert_eq!(pool.free_len(), 64);
     }
 }

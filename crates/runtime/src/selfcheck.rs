@@ -25,6 +25,10 @@ pub struct RunFingerprint {
     pub fcts: Vec<(u64, Option<Time>)>,
     /// Packet accounting at the end of the run.
     pub conservation: ConservationReport,
+    /// Past-time schedules the event queue clamped to `now` (release
+    /// builds). Must be 0: a nonzero count is a causality violation that
+    /// release builds would otherwise paper over silently.
+    pub queue_clamps: u64,
 }
 
 /// Run `sim` to completion (bounded by `horizon`) and fingerprint it.
@@ -36,6 +40,7 @@ pub fn fingerprint(mut sim: Simulation, horizon: Time) -> RunFingerprint {
         events: sim.stats.events,
         fcts,
         conservation: sim.conservation(),
+        queue_clamps: sim.queue_clamps(),
     }
 }
 
@@ -64,6 +69,10 @@ pub fn assert_deterministic<F: FnMut() -> Simulation>(
         a.conservation.balanced(),
         "packet conservation violated: {}",
         a.conservation
+    );
+    assert_eq!(
+        a.queue_clamps, 0,
+        "causality violation: the event queue clamped past-time schedules"
     );
     a
 }

@@ -475,6 +475,22 @@ impl Simulation {
         self.fabric.conservation_report()
     }
 
+    /// Past-time schedules the event queue clamped to `now` (release
+    /// builds only; debug builds assert instead). Nonzero flags a
+    /// causality violation — surfaced through
+    /// [`crate::selfcheck::RunFingerprint`] so it cannot vanish
+    /// silently.
+    pub fn queue_clamps(&self) -> u64 {
+        self.q.clamp_count()
+    }
+
+    /// `TxDone` boundaries handled inline within back-to-back packet
+    /// trains instead of as scheduled events. Counted in
+    /// [`SimStats::events`] like any dispatched event.
+    pub fn trains_inlined(&self) -> u64 {
+        self.fabric.stats.trains_inlined
+    }
+
     // ---- run loop --------------------------------------------------
 
     /// Run until the horizon (absolute simulated time).
@@ -484,12 +500,18 @@ impl Simulation {
                 break;
             }
             let (_, ev) = self.q.pop().expect("peeked event vanished");
-            self.dispatch(ev);
+            self.dispatch(ev, horizon);
         }
     }
 
     /// Run until every scheduled TCP flow completed (receiver-side) or
     /// the horizon passes, whichever is first.
+    ///
+    /// The completion check between events stays sound under train
+    /// batching: flows only complete inside `Arrive` dispatches, and a
+    /// dispatched `TxDone` can at most inline further `TxDone`s — never
+    /// an `Arrive` — so the flow counters are unchanged at every point
+    /// where this loop inspects them.
     pub fn run_to_completion(&mut self, horizon: Time) {
         while let Some(t) = self.q.peek_time() {
             if t > horizon {
@@ -502,11 +524,15 @@ impl Simulation {
                 break;
             }
             let (_, ev) = self.q.pop().expect("peeked event vanished");
-            self.dispatch(ev);
+            self.dispatch(ev, horizon);
         }
     }
 
-    fn dispatch(&mut self, ev: Event) {
+    /// Dispatch one popped event. `limit` is the run loop's horizon,
+    /// bounding how far the fabric may inline packet-train boundaries
+    /// (an unbatched run would have left events past the horizon
+    /// undispatched and undigested).
+    fn dispatch(&mut self, ev: Event, limit: Time) {
         // `now` has already advanced to the event's timestamp.
         hermes_net::audit::digest_event(&mut self.digest, self.q.now(), &ev);
         self.stats.events += 1;
@@ -517,7 +543,14 @@ impl Simulation {
             Event::HostTimer { host: _, token } => self.on_timer(token),
             Event::Global { token } => self.on_global(token),
             other => {
-                if let Some((host, pkt)) = self.fabric.handle(&mut self.q, other) {
+                let inlined_before = self.fabric.stats.trains_inlined;
+                let delivered =
+                    self.fabric
+                        .handle_traced(&mut self.q, other, Some(&mut self.digest), limit);
+                // Inlined train boundaries are logical events: they were
+                // digested, so they count toward the event total too.
+                self.stats.events += self.fabric.stats.trains_inlined - inlined_before;
+                if let Some((host, pkt)) = delivered {
                     self.on_deliver(host, pkt);
                 }
             }

@@ -45,6 +45,9 @@ pub struct HeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: Time,
+    /// Past-time schedules clamped to `now` (release builds); see
+    /// [`HeapQueue::clamp_count`].
+    clamped: u64,
 }
 
 impl<E> Default for HeapQueue<E> {
@@ -60,6 +63,7 @@ impl<E> HeapQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: Time::ZERO,
+            clamped: 0,
         }
     }
 
@@ -73,13 +77,17 @@ impl<E> HeapQueue<E> {
     ///
     /// Scheduling strictly before `now` is a logic error in the caller
     /// (events cannot fire in the past); debug builds assert, release
-    /// builds clamp to `now` to stay safe.
+    /// builds clamp to `now` to stay safe — and count the clamp so the
+    /// causality violation stays visible (see [`Self::clamp_count`]).
     pub fn schedule(&mut self, at: Time, payload: E) {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
             self.now
         );
+        if at < self.now {
+            self.clamped += 1;
+        }
         let at = at.max(self.now);
         self.heap.push(Entry {
             at,
@@ -102,6 +110,21 @@ impl<E> HeapQueue<E> {
         Some((e.at, e.payload))
     }
 
+    /// Advance the cursor to `t` without popping anything.
+    ///
+    /// Contract: `t >= now`, and no pending event may be due strictly
+    /// before `t`. Used by packet-train batching when the caller has
+    /// proven `t` is the next instant and handles it without a
+    /// scheduler round-trip.
+    pub fn advance_to(&mut self, t: Time) {
+        debug_assert!(t >= self.now, "advance_to went backwards: {t} < {}", self.now);
+        debug_assert!(
+            self.peek_time().is_none_or(|p| p >= t),
+            "advance_to must not pass pending events"
+        );
+        self.now = t;
+    }
+
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|e| e.at)
@@ -120,6 +143,13 @@ impl<E> HeapQueue<E> {
     /// Total number of events ever scheduled (monotone counter).
     pub fn scheduled_count(&self) -> u64 {
         self.seq
+    }
+
+    /// Past-time schedules that release builds clamped to `now`.
+    /// Always 0 in a causality-respecting run; debug builds assert
+    /// instead of counting.
+    pub fn clamp_count(&self) -> u64 {
+        self.clamped
     }
 }
 
@@ -175,6 +205,28 @@ mod tests {
         assert_eq!(q.scheduled_count(), 2);
     }
 
+    #[test]
+    fn advance_to_moves_now_without_popping() {
+        let mut q = HeapQueue::new();
+        q.schedule(Time::from_us(10), 1u32);
+        q.advance_to(Time::from_us(10));
+        assert_eq!(q.now(), Time::from_us(10));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap(), (Time::from_us(10), 1));
+        q.advance_to(Time::from_us(25));
+        assert_eq!(q.now(), Time::from_us(25));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn clamp_count_is_zero_for_causal_schedules() {
+        let mut q = HeapQueue::new();
+        q.schedule(Time::from_us(1), ());
+        q.pop();
+        q.schedule_in(Time::from_us(1), ());
+        assert_eq!(q.clamp_count(), 0);
+    }
+
     #[cfg(not(debug_assertions))]
     #[test]
     fn release_clamps_past_scheduling() {
@@ -182,6 +234,7 @@ mod tests {
         q.schedule(Time::from_us(10), 1u32);
         q.pop();
         q.schedule(Time::from_us(1), 2); // in the past: clamped to now
+        assert_eq!(q.clamp_count(), 1, "the clamp must be visible in a stat");
         assert_eq!(q.pop().unwrap(), (Time::from_us(10), 2));
     }
 }

@@ -37,6 +37,26 @@
 //! `ready` queue sorted by seq to restore FIFO order. The jump skips
 //! empty slots entirely, so sparse far-future schedules (RTO timers,
 //! fault injections) cost O(levels), not O(elapsed ticks).
+//!
+//! # Memory model (DESIGN.md §16)
+//!
+//! Slot storage is sized for the measured common case — the overwhelming
+//! majority of occupied buckets hold one or two events:
+//!
+//! * **Inline lanes.** Each bucket stores its first two entries inline
+//!   (`Option<Entry>` pair); no heap buffer exists until a third
+//!   same-bucket entry lands.
+//! * **Lazy levels.** A level's 64-bucket array is `Box`-allocated on
+//!   first use. Short-horizon simulations never materialize the high
+//!   levels at all.
+//! * **Trim-on-drain.** A bucket's overflow (`spill`) buffer is detached
+//!   when the bucket drains and returned to a bounded pool
+//!   ([`SPILL_POOL_MAX`] buffers of at most [`SPILL_KEEP_CAP`] entries);
+//!   oversized or surplus buffers are freed. A burst that momentarily
+//!   piles thousands of events into one slot therefore no longer pins
+//!   its high-water allocation for the rest of the run — the regression
+//!   that put the PR-4 wheel at 144 MB peak RSS vs the heap's 19 MB.
+//!   The `ready` ring is trimmed the same way whenever it empties.
 
 use std::collections::VecDeque;
 
@@ -49,12 +69,67 @@ const SLOTS: usize = 1 << BITS;
 /// Wheel levels; 11 × 6 = 66 bits covers the full `u64` nanosecond domain.
 const LEVELS: usize = 11;
 
+/// Spill buffers with more capacity than this are freed on drain instead
+/// of pooled, so one burst cannot pin a huge dead allocation.
+const SPILL_KEEP_CAP: usize = 512;
+
+/// Bound on the number of pooled spill buffers. Generous reuse keeps
+/// the cascade from churning the allocator (churn fragments the arena,
+/// which shows up directly in peak RSS); the worst-case pooled bytes
+/// (64 × 512 entries) stay comfortably bounded.
+const SPILL_POOL_MAX: usize = 64;
+
+/// Capacity ceiling retained by the `ready` ring across drains.
+const READY_KEEP_CAP: usize = 1024;
+
 /// A scheduled event: absolute due time plus the global schedule sequence
 /// number that breaks same-instant ties FIFO.
 struct Entry<E> {
     at: Time,
     seq: u64,
     payload: E,
+}
+
+/// One wheel slot. The two inline lanes are filled first (in push
+/// order); `spill` is heap overflow for the rare crowded bucket and is
+/// only allocated — from the queue's bounded spill pool — when a third
+/// entry lands. Buckets are only ever drained whole, so `a` occupied ⇔
+/// bucket non-empty.
+struct Bucket<E> {
+    a: Option<Entry<E>>,
+    b: Option<Entry<E>>,
+    spill: Vec<Entry<E>>,
+}
+
+impl<E> Bucket<E> {
+    const fn new() -> Self {
+        Bucket {
+            a: None,
+            b: None,
+            spill: Vec::new(),
+        }
+    }
+}
+
+/// One lazily-allocated wheel level: occupancy bitmap, per-slot minima,
+/// and the 64 buckets.
+struct Level<E> {
+    /// Bitmap of non-empty slots.
+    occupied: u64,
+    /// Minimum due time per slot (`Time::MAX` when empty). Exact,
+    /// because buckets are only ever drained whole, never partially.
+    min: [Time; SLOTS],
+    buckets: [Bucket<E>; SLOTS],
+}
+
+impl<E> Level<E> {
+    fn boxed() -> Box<Level<E>> {
+        Box::new(Level {
+            occupied: 0,
+            min: [Time::MAX; SLOTS],
+            buckets: std::array::from_fn(|_| Bucket::new()),
+        })
+    }
 }
 
 /// A deterministic future-event list backed by a hierarchical timing
@@ -65,25 +140,24 @@ struct Entry<E> {
 /// * Pops in nondecreasing time order.
 /// * Ties broken by scheduling order (FIFO among same-instant events).
 /// * Tracks `now`, the time of the most recently popped event, and
-///   rejects scheduling into the past (debug assertion; release clamps).
+///   rejects scheduling into the past (debug assertion; release clamps
+///   and counts the clamp — see [`WheelQueue::clamp_count`]).
 pub struct WheelQueue<E> {
-    /// `LEVELS × SLOTS` buckets, row-major by level. Buckets keep their
-    /// allocation across drains (buffers rotate through `scratch`).
-    slots: Vec<Vec<Entry<E>>>,
-    /// Per-level bitmap of non-empty slots.
-    occupied: [u64; LEVELS],
-    /// Minimum due time per bucket (`Time::MAX` when empty). Exact,
-    /// because buckets are only ever drained whole, never partially.
-    slot_min: Vec<Time>,
+    /// Levels, allocated on first use (index = level).
+    levels: [Option<Box<Level<E>>>; LEVELS],
     /// Events due exactly at the cursor, in seq (FIFO) order.
     ready: VecDeque<Entry<E>>,
-    /// Reusable drain buffer so cascades don't allocate.
-    scratch: Vec<Entry<E>>,
+    /// Bounded pool of drained spill buffers awaiting reuse.
+    spill_pool: Vec<Vec<Entry<E>>>,
     /// Time of the most recently popped event; also the wheel cursor all
     /// placements are relative to.
     now: Time,
     seq: u64,
     len: usize,
+    /// Past-time schedules clamped to `now` (release builds). Nonzero
+    /// means a caller violated causality — surfaced through
+    /// `hermes-runtime::selfcheck` so the bug cannot vanish silently.
+    clamped: u64,
 }
 
 impl<E> Default for WheelQueue<E> {
@@ -95,17 +169,14 @@ impl<E> Default for WheelQueue<E> {
 impl<E> WheelQueue<E> {
     /// An empty queue with `now == Time::ZERO`.
     pub fn new() -> Self {
-        let mut slots = Vec::new();
-        slots.resize_with(LEVELS * SLOTS, Vec::new);
         WheelQueue {
-            slots,
-            occupied: [0; LEVELS],
-            slot_min: vec![Time::MAX; LEVELS * SLOTS],
+            levels: std::array::from_fn(|_| None),
             ready: VecDeque::new(),
-            scratch: Vec::new(),
+            spill_pool: Vec::new(),
             now: Time::ZERO,
             seq: 0,
             len: 0,
+            clamped: 0,
         }
     }
 
@@ -119,13 +190,17 @@ impl<E> WheelQueue<E> {
     ///
     /// Scheduling strictly before `now` is a logic error in the caller
     /// (events cannot fire in the past); debug builds assert, release
-    /// builds clamp to `now` to stay safe.
+    /// builds clamp to `now` to stay safe — and count the clamp so the
+    /// causality violation stays visible (see [`Self::clamp_count`]).
     pub fn schedule(&mut self, at: Time, payload: E) {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
             self.now
         );
+        if at < self.now {
+            self.clamped += 1;
+        }
         let at = at.max(self.now);
         let e = Entry {
             at,
@@ -151,6 +226,11 @@ impl<E> WheelQueue<E> {
     /// Pop the earliest event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         if self.ready.is_empty() {
+            if self.ready.capacity() > READY_KEEP_CAP {
+                // Trim the ready ring's burst high-water mark while it
+                // is empty (the only time shrinking copies nothing).
+                self.ready.shrink_to(READY_KEEP_CAP);
+            }
             // Jump the cursor straight to the next occupied instant and
             // re-bucket everything the jump strands in a pos slot.
             let target = self.wheel_min()?;
@@ -167,6 +247,27 @@ impl<E> WheelQueue<E> {
         debug_assert!(e.at == self.now, "ready event not at cursor");
         self.now = e.at;
         Some((e.at, e.payload))
+    }
+
+    /// Advance the cursor to `t` without popping anything.
+    ///
+    /// Contract: `t >= now`, and no pending event may be due strictly
+    /// before `t` (events due exactly at `t` are fine — they surface
+    /// into `ready` and pop next). This is the primitive behind
+    /// packet-train batching: the caller has proven the instant `t` is
+    /// the next thing to happen and processes it without a scheduler
+    /// round-trip, so the queue only needs its notion of "now" moved.
+    pub fn advance_to(&mut self, t: Time) {
+        debug_assert!(t >= self.now, "advance_to went backwards: {t} < {}", self.now);
+        debug_assert!(
+            self.peek_time().is_none_or(|p| p >= t),
+            "advance_to must not pass pending events"
+        );
+        if t == self.now {
+            return;
+        }
+        self.now = t;
+        self.cascade();
     }
 
     /// Timestamp of the next event without popping it.
@@ -192,6 +293,32 @@ impl<E> WheelQueue<E> {
         self.seq
     }
 
+    /// Past-time schedules that release builds clamped to `now`.
+    /// Always 0 in a causality-respecting run; debug builds assert
+    /// instead of counting.
+    pub fn clamp_count(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Approximate retained heap footprint of the queue's own buffers in
+    /// bytes (levels, spill buffers, spill pool, ready ring). O(levels ×
+    /// slots); used by the memory regression tests and diagnostics, not
+    /// by the hot path.
+    pub fn retained_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<Entry<E>>();
+        let mut total = self.ready.capacity() * entry;
+        for lvl in self.levels.iter().flatten() {
+            total += std::mem::size_of::<Level<E>>();
+            for b in &lvl.buckets {
+                total += b.spill.capacity() * entry;
+            }
+        }
+        for s in &self.spill_pool {
+            total += s.capacity() * entry;
+        }
+        total
+    }
+
     /// Bucket an entry with `at > now` relative to the current cursor.
     fn place(&mut self, e: Entry<E>) {
         let at = e.at.as_ns();
@@ -201,25 +328,42 @@ impl<E> WheelQueue<E> {
         // level picks the slot. msb ≤ 63 ⇒ level ≤ 10 ⇒ shift ≤ 60.
         let level = ((63 - xor.leading_zeros()) / BITS) as usize;
         let slot = ((at >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
-        let idx = level * SLOTS + slot;
         // ANALYZER: allow(panic-surface, level = msb(xor)/6 <= 10 < LEVELS since msb <= 63)
-        self.occupied[level] |= 1 << slot;
-        // ANALYZER: allow(panic-surface, idx < LEVELS*SLOTS: level bounded above and slot is masked to SLOTS-1)
-        if e.at < self.slot_min[idx] {
-            // ANALYZER: allow(panic-surface, same idx bound as the read above)
-            self.slot_min[idx] = e.at;
+        let lvl = self.levels[level].get_or_insert_with(Level::boxed);
+        lvl.occupied |= 1 << slot;
+        // ANALYZER: allow(panic-surface, slot is masked to SLOTS-1)
+        if e.at < lvl.min[slot] {
+            // ANALYZER: allow(panic-surface, same slot bound as the read above)
+            lvl.min[slot] = e.at;
         }
-        self.slots[idx].push(e); // ANALYZER: allow(panic-surface, same idx bound as slot_min)
+        let bucket = &mut lvl.buckets[slot]; // ANALYZER: allow(panic-surface, same slot bound as min)
+        if bucket.a.is_none() {
+            bucket.a = Some(e);
+        } else if bucket.b.is_none() {
+            bucket.b = Some(e);
+        } else {
+            if bucket.spill.capacity() == 0 {
+                bucket.spill = self.spill_pool.pop().unwrap_or_default();
+            }
+            if bucket.spill.len() == bucket.spill.capacity() {
+                // Grow in exact ~1.25× steps instead of Vec's doubling:
+                // capacity slack is what the peak-RSS budget pays for,
+                // and a crowded bucket at 2× slack across hundreds of
+                // buckets was a double-digit-MB overhead on fig12.
+                let grow = (bucket.spill.len() / 4).max(32);
+                bucket.spill.reserve_exact(grow);
+            }
+            bucket.spill.push(e);
+        }
     }
 
     /// Minimum due time across all bucketed events (excludes `ready`).
     fn wheel_min(&self) -> Option<Time> {
-        for level in 0..LEVELS {
-            let occ = self.occupied[level]; // ANALYZER: allow(panic-surface, level ranges over 0..LEVELS)
-            if occ != 0 {
-                let slot = occ.trailing_zeros() as usize;
-                // ANALYZER: allow(panic-surface, occ != 0 so slot <= 63 < SLOTS; level < LEVELS)
-                return Some(self.slot_min[level * SLOTS + slot]);
+        for lvl in self.levels.iter().flatten() {
+            if lvl.occupied != 0 {
+                let slot = lvl.occupied.trailing_zeros() as usize;
+                // ANALYZER: allow(panic-surface, occupied != 0 so slot <= 63 < SLOTS)
+                return Some(lvl.min[slot]);
             }
         }
         None
@@ -233,32 +377,66 @@ impl<E> WheelQueue<E> {
     /// by seq at the end (seqs are unique, so the order is total).
     fn cascade(&mut self) {
         let now_ns = self.now.as_ns();
-        let mut scratch = std::mem::take(&mut self.scratch);
         for level in (0..LEVELS).rev() {
             let pos = ((now_ns >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
             let bit = 1u64 << pos;
             // ANALYZER: allow(panic-surface, level ranges over 0..LEVELS)
-            if self.occupied[level] & bit == 0 {
+            let Some(lvl) = self.levels[level].as_deref_mut() else {
+                continue;
+            };
+            if lvl.occupied & bit == 0 {
                 continue;
             }
-            self.occupied[level] &= !bit; // ANALYZER: allow(panic-surface, level ranges over 0..LEVELS)
-            let idx = level * SLOTS + pos;
-            // ANALYZER: allow(panic-surface, idx < LEVELS*SLOTS: pos is masked to SLOTS-1)
-            self.slot_min[idx] = Time::MAX;
-            // Swap the bucket's buffer out (scratch is empty here), so
-            // both allocations survive and rotate instead of churning.
-            // ANALYZER: allow(panic-surface, same idx bound as slot_min)
-            std::mem::swap(&mut self.slots[idx], &mut scratch);
-            for e in scratch.drain(..) {
-                if e.at == self.now {
-                    self.ready.push_back(e);
-                } else {
-                    self.place(e);
+            lvl.occupied &= !bit;
+            // ANALYZER: allow(panic-surface, pos is masked to SLOTS-1)
+            lvl.min[pos] = Time::MAX;
+            let bucket = &mut lvl.buckets[pos]; // ANALYZER: allow(panic-surface, same pos bound as min)
+            let a = bucket.a.take();
+            let b = bucket.b.take();
+            let mut spill = std::mem::take(&mut bucket.spill);
+            for e in a.into_iter().chain(b) {
+                self.redeposit(e);
+            }
+            // Drain from the tail and shrink geometrically as the
+            // buffer empties: a crowded bucket's entries are being
+            // copied into fresh lower-level storage, and holding the
+            // old buffer at full capacity for the whole redeposit
+            // transiently doubles the bucket's footprint — which is
+            // exactly what peak-RSS measures. Tail order is fine:
+            // bucket-internal order never reaches the caller (`ready`
+            // is seq-sorted below; lower buckets re-normalize when
+            // they in turn drain).
+            while let Some(e) = spill.pop() {
+                self.redeposit(e);
+                if spill.len() >= SPILL_KEEP_CAP && spill.capacity() >= spill.len() * 2 {
+                    spill.shrink_to(spill.len());
                 }
             }
+            self.retire_spill(spill);
         }
-        self.scratch = scratch;
         self.ready.make_contiguous().sort_unstable_by_key(|e| e.seq);
+    }
+
+    #[inline]
+    fn redeposit(&mut self, e: Entry<E>) {
+        if e.at == self.now {
+            self.ready.push_back(e);
+        } else {
+            self.place(e);
+        }
+    }
+
+    /// Trim-on-drain: a drained bucket's overflow buffer rotates into
+    /// the bounded spill pool; oversized or surplus buffers are freed so
+    /// burst high-water allocations are not pinned for the run's rest.
+    fn retire_spill(&mut self, spill: Vec<Entry<E>>) {
+        debug_assert!(spill.is_empty());
+        if spill.capacity() > 0
+            && spill.capacity() <= SPILL_KEEP_CAP
+            && self.spill_pool.len() < SPILL_POOL_MAX
+        {
+            self.spill_pool.push(spill);
+        }
     }
 }
 
@@ -367,6 +545,22 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    /// Buckets past the two inline lanes spill to the heap and still
+    /// pop in exact FIFO order.
+    #[test]
+    fn crowded_bucket_spills_and_stays_fifo() {
+        let mut q = WheelQueue::new();
+        // All in one level-1 bucket at first (same slot digit), more
+        // than the two inline lanes can hold.
+        for i in 0..50u32 {
+            q.schedule(Time::from_ns(100), i);
+        }
+        for i in 0..50u32 {
+            assert_eq!(q.pop().unwrap(), (Time::from_ns(100), i));
+        }
+        assert!(q.pop().is_none());
+    }
+
     #[test]
     fn interleaved_schedule_pop_matches_heap() {
         // Cheap deterministic LCG-driven differential run against the
@@ -400,6 +594,98 @@ mod tests {
         }
     }
 
+    /// `advance_to` moves the cursor (and re-buckets stranded slots)
+    /// without disturbing pending events or FIFO order.
+    #[test]
+    fn advance_to_rebuckets_without_losing_events() {
+        let mut q = WheelQueue::new();
+        q.schedule(Time::from_ns(100), "a");
+        q.schedule(Time::from_ns(70), "b");
+        q.schedule(Time::from_ns(100), "c");
+        // 69 is strictly before every pending event; the jump forces the
+        // same cascade a pop to 69 would have done.
+        q.advance_to(Time::from_ns(69));
+        assert_eq!(q.now(), Time::from_ns(69));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(70), "b"));
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(100), "a"));
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(100), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    /// Advancing exactly onto a pending event's timestamp surfaces it
+    /// into `ready` so the next pop returns it at the right instant.
+    #[test]
+    fn advance_to_event_time_keeps_it_poppable() {
+        let mut q = WheelQueue::new();
+        q.schedule(Time::from_us(10), 1u32);
+        q.advance_to(Time::from_us(10));
+        assert_eq!(q.now(), Time::from_us(10));
+        assert_eq!(q.pop().unwrap(), (Time::from_us(10), 1));
+        // Advancing an empty queue is also legal (pure cursor move).
+        q.advance_to(Time::from_us(25));
+        assert_eq!(q.now(), Time::from_us(25));
+        assert!(q.pop().is_none());
+    }
+
+    /// Trim-on-drain: a one-off burst must not pin its high-water
+    /// allocation. After the burst drains, retained buffers shrink back
+    /// to the bounded pool + ready ceiling.
+    #[test]
+    fn burst_buffers_are_trimmed_after_drain() {
+        let mut q = WheelQueue::new();
+        let n = 50_000u64;
+        for i in 0..n {
+            // One crowded far bucket: everything spills.
+            q.schedule(Time::from_ns(1 << 20), i);
+        }
+        let peak = q.retained_bytes();
+        for _ in 0..n {
+            q.pop().unwrap();
+        }
+        // One more tiny cycle so the empty `ready` ring gets trimmed.
+        q.schedule_in(Time::from_ns(10), 0);
+        q.pop().unwrap();
+        let after = q.retained_bytes();
+        assert!(
+            peak > 1_000_000,
+            "burst should have spilled into a large buffer ({peak} B)"
+        );
+        assert!(
+            after < 300_000,
+            "drained wheel retains {after} B — trim-on-drain failed"
+        );
+        assert!(q.is_empty());
+    }
+
+    /// Levels are allocated lazily: a short-horizon queue touches only
+    /// the low levels, keeping the idle footprint small.
+    #[test]
+    fn untouched_levels_stay_unallocated() {
+        let q: WheelQueue<u32> = WheelQueue::new();
+        assert_eq!(
+            q.retained_bytes(),
+            0,
+            "a fresh queue must own no heap buffers"
+        );
+        let mut q = WheelQueue::new();
+        q.schedule(Time::from_ns(1), 1u32);
+        let one_level = q.retained_bytes();
+        assert!(
+            one_level <= std::mem::size_of::<Level<u32>>(),
+            "a near-term schedule must allocate at most one level"
+        );
+    }
+
+    #[test]
+    fn clamp_count_is_zero_for_causal_schedules() {
+        let mut q = WheelQueue::new();
+        q.schedule(Time::from_us(1), ());
+        q.pop();
+        q.schedule_in(Time::from_us(1), ());
+        assert_eq!(q.clamp_count(), 0);
+    }
+
     #[cfg(not(debug_assertions))]
     #[test]
     fn release_clamps_past_scheduling() {
@@ -407,6 +693,7 @@ mod tests {
         q.schedule(Time::from_us(10), 1u32);
         q.pop();
         q.schedule(Time::from_us(1), 2); // in the past: clamped to now
+        assert_eq!(q.clamp_count(), 1, "the clamp must be visible in a stat");
         assert_eq!(q.pop().unwrap(), (Time::from_us(10), 2));
     }
 }

@@ -10,6 +10,10 @@ enum QueueOp {
     ScheduleIn(u64),
     /// Pop one event (no-op allowed when both queues are empty).
     Pop,
+    /// Advance the cursor toward `now + delta_ns` without popping,
+    /// clamped to the next pending event so the advance_to contract
+    /// (never pass a pending event) holds by construction.
+    Advance(u64),
 }
 
 fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
@@ -23,6 +27,7 @@ fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
         2 => (3_500u64..5_000).prop_map(QueueOp::ScheduleIn),
         1 => (1u64 << 20..1u64 << 34).prop_map(QueueOp::ScheduleIn),
         4 => Just(QueueOp::Pop),
+        1 => (0u64..10_000).prop_map(QueueOp::Advance),
     ];
     proptest::collection::vec(op, 1..400)
 }
@@ -47,6 +52,15 @@ proptest! {
                     prop_assert_eq!(wheel.pop(), heap.pop());
                     prop_assert_eq!(wheel.now(), heap.now());
                 }
+                QueueOp::Advance(delta) => {
+                    // Clamp the target to the next pending event (trains
+                    // never advance past one in the fabric either).
+                    let want = wheel.now() + Time::from_ns(*delta);
+                    let target = wheel.peek_time().map_or(want, |p| p.min(want));
+                    wheel.advance_to(target);
+                    heap.advance_to(target);
+                    prop_assert_eq!(wheel.now(), heap.now());
+                }
             }
             prop_assert_eq!(wheel.peek_time(), heap.peek_time());
             prop_assert_eq!(wheel.len(), heap.len());
@@ -60,6 +74,10 @@ proptest! {
             }
         }
         prop_assert_eq!(wheel.scheduled_count(), heap.scheduled_count());
+        // Every schedule in the script was causal (delays are relative to
+        // now), so neither queue may have counted a clamp.
+        prop_assert_eq!(wheel.clamp_count(), 0);
+        prop_assert_eq!(heap.clamp_count(), 0);
     }
 
     /// Equal-time FIFO ordering holds in *both* implementations: events

@@ -362,6 +362,41 @@ const PERF_RUNS_FULL: usize = 3;
 /// only trips when the wheel's advantage itself erodes.
 const PERF_GATE_MIN_IMPROVEMENT_PCT: f64 = 10.0;
 
+/// Gate ceiling on the headline point's peak-RSS ratio: the wheel
+/// scheduler build may use at most this multiple of the heap build's
+/// peak RSS *in the same run*. Keeps the wheel's speed from being
+/// bought back with unbounded slot-storage memory (the pre-rework
+/// wheel sat at ~7.5× — 144 MB vs 19 MB).
+const PERF_GATE_MAX_RSS_RATIO: f64 = 2.0;
+
+/// Outcome of the same-run RSS ceiling check.
+#[derive(Debug, PartialEq)]
+enum RssGate {
+    /// Ratio measured and within the ceiling.
+    Ok(f64),
+    /// RSS unavailable (e.g. non-Linux: `peak_rss_kb()` returned 0) —
+    /// the check is skipped with a printed notice, never failed.
+    Skipped(&'static str),
+    /// Ratio measured and at or above the ceiling.
+    Failed(f64),
+}
+
+/// Evaluate the wheel-vs-heap peak-RSS ceiling for one run.
+fn rss_gate(wheel_kb: f64, heap_kb: f64) -> RssGate {
+    let unavailable = |kb: f64| kb.is_nan() || kb <= 0.0;
+    if unavailable(wheel_kb) || unavailable(heap_kb) {
+        // 0 is the probe's "unreadable" sentinel; NaN is a missing
+        // report field.
+        return RssGate::Skipped("peak RSS unavailable on this platform");
+    }
+    let ratio = wheel_kb / heap_kb;
+    if ratio < PERF_GATE_MAX_RSS_RATIO {
+        RssGate::Ok(ratio)
+    } else {
+        RssGate::Failed(ratio)
+    }
+}
+
 /// Build and run the `perf_point` binary once per scheduler per named
 /// point, check the event-trace digests agree across schedulers, and
 /// write the comparison to `BENCH_perf.json` at the workspace root.
@@ -435,11 +470,13 @@ fn perf(quick: bool, gate: bool) -> ExitCode {
     }
     println!("xtask perf: wrote {}", out.display());
     let mut headline_now = None;
+    let mut headline_rss = None;
     if let Some((_, reps)) = results.iter().find(|(p, _)| p == PERF_HEADLINE_POINT) {
         let (wheel, heap) = (&reps[0], &reps[1]);
         let improvement =
             perf_improvement_pct(perf_f64(heap, "wall_ms"), perf_f64(wheel, "wall_ms"));
         headline_now = Some(improvement);
+        headline_rss = Some((perf_f64(wheel, "peak_rss_kb"), perf_f64(heap, "peak_rss_kb")));
         println!(
             "xtask perf: {PERF_HEADLINE_POINT}: wheel {:.1} ms vs heap {:.1} ms — {improvement:.1}% \
              wall-clock improvement",
@@ -464,6 +501,25 @@ fn perf(quick: bool, gate: bool) -> ExitCode {
             }
             None => {
                 eprintln!("xtask perf: GATE FAILED — headline point missing from this run");
+                return ExitCode::FAILURE;
+            }
+        }
+        let (wheel_kb, heap_kb) = headline_rss.expect("headline present if wall gate passed");
+        match rss_gate(wheel_kb, heap_kb) {
+            RssGate::Ok(ratio) => {
+                println!(
+                    "xtask perf: RSS gate OK — wheel peak RSS is {ratio:.2}× heap's \
+                     (ceiling {PERF_GATE_MAX_RSS_RATIO:.1}×)"
+                );
+            }
+            RssGate::Skipped(why) => {
+                println!("xtask perf: RSS gate skipped — {why}");
+            }
+            RssGate::Failed(ratio) => {
+                eprintln!(
+                    "xtask perf: GATE FAILED — wheel peak RSS is {ratio:.2}× heap's, at or \
+                     above the {PERF_GATE_MAX_RSS_RATIO:.1}× ceiling"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -577,7 +633,7 @@ fn perf_json(quick: bool, results: &[(String, Vec<PerfReport>)], digests_ok: boo
                 concat!(
                     "{{\"scheduler\": \"{}\", \"wall_ms\": {}, \"events\": {}, ",
                     "\"events_per_sec\": {}, \"packets\": {}, \"packets_per_sec\": {}, ",
-                    "\"peak_rss_kb\": {}, \"digest\": \"{}\"}}"
+                    "\"peak_rss_kb\": {}, \"trains_inlined\": {}, \"digest\": \"{}\"}}"
                 ),
                 rep.get("scheduler").map_or("?", String::as_str),
                 num(rep, "wall_ms"),
@@ -586,6 +642,7 @@ fn perf_json(quick: bool, results: &[(String, Vec<PerfReport>)], digests_ok: boo
                 num(rep, "packets"),
                 num(rep, "packets_per_sec"),
                 num(rep, "peak_rss_kb"),
+                num(rep, "trains_inlined"),
                 rep.get("digest").map_or("?", String::as_str),
             ));
         }
@@ -593,6 +650,18 @@ fn perf_json(quick: bool, results: &[(String, Vec<PerfReport>)], digests_ok: boo
             perf_improvement_pct(perf_f64(&reps[1], "wall_ms"), perf_f64(&reps[0], "wall_ms"))
         } else {
             f64::NAN
+        };
+        // Wheel-vs-heap peak-RSS ratio (null when RSS was unreadable).
+        let rss_ratio_json = if reps.len() == 2 {
+            match rss_gate(
+                perf_f64(&reps[0], "peak_rss_kb"),
+                perf_f64(&reps[1], "peak_rss_kb"),
+            ) {
+                RssGate::Ok(r) | RssGate::Failed(r) => format!("{r:.3}"),
+                RssGate::Skipped(_) => "null".to_string(),
+            }
+        } else {
+            "null".to_string()
         };
         let digest_match = reps
             .windows(2)
@@ -605,16 +674,19 @@ fn perf_json(quick: bool, results: &[(String, Vec<PerfReport>)], digests_ok: boo
         let obj = format!(
             concat!(
                 "    {{\"point\": \"{}\", \"digest_match\": {}, ",
-                "\"wall_improvement_pct\": {}, \"schedulers\": [{}]}}"
+                "\"wall_improvement_pct\": {}, \"rss_ratio\": {}, \"schedulers\": [{}]}}"
             ),
             point,
             digest_match,
             improvement_json,
+            rss_ratio_json,
             sched_objs.join(", "),
         );
         if point == PERF_HEADLINE_POINT {
-            headline =
-                format!("{{\"point\": \"{point}\", \"wall_improvement_pct\": {improvement_json}}}");
+            headline = format!(
+                "{{\"point\": \"{point}\", \"wall_improvement_pct\": {improvement_json}, \
+                 \"rss_ratio\": {rss_ratio_json}}}"
+            );
         }
         points.push(obj);
     }
@@ -892,6 +964,7 @@ mod tests {
                 ("packets", "5"),
                 ("packets_per_sec", "50"),
                 ("peak_rss_kb", "1024"),
+                ("trains_inlined", "3"),
                 ("digest", digest),
             ]
             .into_iter()
@@ -910,6 +983,11 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"mode\": \"full\""), "{json}");
+        // Equal RSS on both sides → ratio 1.000, in the per-point object
+        // and the headline; the per-scheduler rows carry the raw columns.
+        assert!(json.contains("\"rss_ratio\": 1.000"), "{json}");
+        assert!(json.contains("\"peak_rss_kb\": 1024"), "{json}");
+        assert!(json.contains("\"trains_inlined\": 3"), "{json}");
         // A digest split must surface in both the per-point and the
         // top-level flags.
         let split = vec![(
@@ -923,6 +1001,23 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"mode\": \"quick\""), "{json}");
+    }
+
+    #[test]
+    fn rss_gate_passes_skips_and_fails() {
+        // Well under the ceiling: ok, with the measured ratio.
+        assert_eq!(rss_gate(30_000.0, 19_000.0), RssGate::Ok(30.0 / 19.0));
+        // Unavailable on either side (the probe's 0 sentinel or a NaN
+        // from a missing report field) skips the check — never fails it.
+        assert!(matches!(rss_gate(0.0, 19_000.0), RssGate::Skipped(_)));
+        assert!(matches!(rss_gate(30_000.0, 0.0), RssGate::Skipped(_)));
+        assert!(matches!(rss_gate(f64::NAN, 19_000.0), RssGate::Skipped(_)));
+        // At the ceiling exactly is a failure: the bound is exclusive.
+        assert_eq!(rss_gate(38_000.0, 19_000.0), RssGate::Failed(2.0));
+        assert!(matches!(
+            rss_gate(144_100.0, 19_032.0),
+            RssGate::Failed(r) if r > 7.0
+        ));
     }
 
     #[test]
