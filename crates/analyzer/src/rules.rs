@@ -104,8 +104,9 @@ pub const RULE_WHY: &[(&str, &str)] = &[
     ),
     (
         "concurrency-readiness",
-        "sim-facing crates stay single-thread-deterministic until the sharded engine lands; \
-         threads, locks, atomics and `static mut` belong only in testkit's scoped pool",
+        "sim-facing crates stay single-thread-deterministic; threads, locks, atomics and \
+         `static mut` belong only in testkit's scoped pool and the sharded-engine files \
+         whose merge/window protocols keep digests byte-identical (DESIGN.md §17)",
     ),
     (
         "telemetry-hygiene",
@@ -172,10 +173,18 @@ pub const FLOAT_ALLOW: &[(&str, &str)] = &[
 /// Hot-path files outside `crates/sim` that panic-surface also covers.
 const PANIC_HOT_FILES: &[&str] = &["crates/net/src/port.rs", "crates/net/src/pool.rs"];
 
-/// The one file allowed to use threads/locks/atomics: testkit's scoped
-/// worker pool, which parallelizes *independent whole runs*, never the
-/// inside of one simulation.
-const CONCURRENCY_ALLOW_FILE: &str = "crates/testkit/src/run.rs";
+/// Files allowed to use threads/locks/atomics: testkit's scoped worker
+/// pool (parallelizes *independent whole runs*), and the sharded-engine
+/// files that earn their parallelism through the deterministic
+/// `(time, seq)` merge / conservative-window contracts of DESIGN.md §17
+/// — the digest offload sink, the window-barrier drain engine, and the
+/// runtime's `run_parallel` surface.
+const CONCURRENCY_ALLOW_FILES: &[&str] = &[
+    "crates/testkit/src/run.rs",
+    "crates/net/src/audit.rs",
+    "crates/net/src/shard.rs",
+    "crates/runtime/src/sim.rs",
+];
 
 /// Identifiers that read as keywords before `[` (array literals /
 /// types, not indexing).
@@ -203,7 +212,7 @@ fn panic_scope(c: &FileClass) -> bool {
 fn concurrency_scope(c: &FileClass) -> bool {
     (c.is_sim_crate() || c.krate == "testkit")
         && c.kind == Kind::Lib
-        && c.rel != CONCURRENCY_ALLOW_FILE
+        && !CONCURRENCY_ALLOW_FILES.contains(&c.rel.as_str())
 }
 
 fn telemetry_scope(c: &FileClass) -> bool {
@@ -843,11 +852,16 @@ mod tests {
                 "should fire on: {src}"
             );
         }
-        // testkit's pool file is the sanctioned exception; bench is out
-        // of scope entirely.
+        // The sanctioned exceptions: testkit's pool file and the
+        // sharded-engine files (digest offload, window-barrier drain,
+        // run_parallel surface); bench is out of scope entirely.
         let src = "use std::sync::Mutex;\n";
         assert!(scan_at("crates/testkit/src/run.rs", src).is_empty());
+        assert!(scan_at("crates/net/src/audit.rs", src).is_empty());
+        assert!(scan_at("crates/net/src/shard.rs", src).is_empty());
+        assert!(scan_at("crates/runtime/src/sim.rs", src).is_empty());
         assert!(scan_at("crates/testkit/src/spec.rs", src).contains(&"concurrency-readiness"));
+        assert!(scan_at("crates/net/src/fabric.rs", src).contains(&"concurrency-readiness"));
         assert!(scan_at("crates/bench/src/t.rs", src).is_empty());
     }
 

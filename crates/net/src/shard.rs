@@ -1,0 +1,597 @@
+//! Fabric sharding: event→shard routing for the runtime's deterministic
+//! merge engine, and a conservative window-barrier drain engine that
+//! runs genuinely parallel across leaf/spine shards (DESIGN.md §17).
+//!
+//! Two layers share the same lookahead rule but make different
+//! trade-offs:
+//!
+//! * [`ShardMap`] routes every [`Event`] to a shard (shard 0 owns the
+//!   global timer wheel and all spines; shard `1 + l` owns leaf `l`,
+//!   its ports, and its member hosts' NICs and timers). The runtime's
+//!   `ShardedQueue` merge preserves the exact single-queue total order,
+//!   so *every* digest and golden stays byte-identical at any thread
+//!   count.
+//! * [`DrainCfg::run_parallel`] is the fabric-only parallel point: each
+//!   leaf and spine shard drains its own wheel inside a conservative
+//!   window bounded by `min(next event) + link delay`, hands packets
+//!   across shards through per-shard inboxes, and re-synchronizes at
+//!   two barriers per round. Handoffs are sorted by
+//!   `(time, src shard, src seq)` before insertion, so the per-shard
+//!   event sequences — and therefore the combined digest — are
+//!   identical whether the rounds run on one thread or many.
+//!
+//! Safety argument for the window protocol: every event processed in a
+//! round satisfies `t < horizon = global_min + L` where `L` is the
+//! cross-shard link delay. Any cross-shard arrival it generates lands
+//! at `t_tx + L ≥ global_min + L = horizon`, i.e. never inside the
+//! window being drained — so shards cannot miss each other's traffic
+//! no matter how the threads interleave.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use hermes_sim::{ShardStats, Time, WheelQueue};
+
+use crate::audit::FnvDigest;
+use crate::fabric::Event;
+use crate::topology::{LinkCfg, Topology};
+use crate::types::NodeId;
+
+/// Routes runtime events to merge shards.
+///
+/// Shard 0 is the *hub*: global timers (flow arrivals, probe ticks,
+/// fault actions) plus every spine. Shards `1..=n_leaves` each own one
+/// leaf — its switch ports, its hosts' NICs, and those hosts' timers.
+/// All traffic between leaves crosses the hub, so the minimum fabric
+/// link delay bounds every cross-shard interaction and serves as the
+/// conservative lookahead.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardMap {
+    n_leaves: usize,
+    hosts_per_leaf: u32,
+    lookahead: Time,
+}
+
+impl ShardMap {
+    /// Build the routing map for a topology. The lookahead is the
+    /// minimum leaf↔spine propagation delay (falling back to the host
+    /// link for degenerate fabrics with every uplink cut).
+    pub fn new(topo: &Topology) -> ShardMap {
+        let lookahead = topo
+            .up
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|l| l.delay)
+            .min()
+            .unwrap_or(topo.host_link.delay);
+        ShardMap {
+            n_leaves: topo.n_leaves,
+            hosts_per_leaf: topo.hosts_per_leaf as u32,
+            lookahead,
+        }
+    }
+
+    /// Shard count: the hub plus one shard per leaf.
+    pub fn n_shards(&self) -> usize {
+        1 + self.n_leaves
+    }
+
+    /// The conservative cross-shard lookahead bound.
+    pub fn lookahead(&self) -> Time {
+        self.lookahead
+    }
+
+    /// The merge shard that owns `ev`.
+    pub fn shard_of(&self, ev: &Event) -> usize {
+        match ev {
+            Event::Global { .. } => 0,
+            Event::HostTimer { host, .. } => 1 + (host.0 / self.hosts_per_leaf) as usize,
+            Event::TxDone { node, .. } | Event::Arrive { node, .. } => match node {
+                NodeId::Spine(_) => 0,
+                NodeId::Leaf(l) => 1 + l.0 as usize,
+                NodeId::Host(h) => 1 + (h.0 / self.hosts_per_leaf) as usize,
+            },
+        }
+    }
+}
+
+/// A packet in the drain engine: fixed-size, spine picked at injection
+/// (per-packet spraying), one up hop and one down hop.
+#[derive(Clone, Copy, Debug)]
+struct DrainPkt {
+    id: u64,
+    dst_leaf: u16,
+    spine: u16,
+    going_up: bool,
+}
+
+/// A drain shard's event: a packet arriving at this node, or one of
+/// this node's ports finishing serialization.
+#[derive(Debug)]
+enum DrainEv {
+    Arrive(DrainPkt),
+    TxDone { port: usize },
+}
+
+/// A minimal FIFO output port: one queue, one wire slot. The full
+/// [`crate::Port`] carries priority queues, ECN and drop accounting the
+/// drain benchmark doesn't exercise.
+#[derive(Default)]
+struct LitePort {
+    q: VecDeque<DrainPkt>,
+    in_flight: Option<DrainPkt>,
+}
+
+/// One cross-shard packet handoff. Sorted by `(at, src_shard, src_seq)`
+/// before insertion — a total order (the per-source sequence is unique),
+/// so inbox arrival order never leaks into the event order.
+struct Handoff {
+    at: Time,
+    src_shard: usize,
+    src_seq: u64,
+    dst_shard: usize,
+    pkt: DrainPkt,
+}
+
+/// One drain shard: a leaf (`idx < n_leaves`, ports point up to each
+/// spine) or a spine (ports point down to each leaf).
+struct DrainShard {
+    idx: usize,
+    q: WheelQueue<DrainEv>,
+    ports: Vec<LitePort>,
+    /// Per-shard handoff sequence, part of the handoff sort key.
+    seq: u64,
+    digest: FnvDigest,
+    stats: ShardStats,
+    delivered: u64,
+}
+
+/// Configuration for a drain run.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainCfg {
+    pub n_leaves: usize,
+    pub n_spines: usize,
+    pub hosts_per_leaf: usize,
+    /// Fabric link; its propagation delay is the lookahead.
+    pub link: LinkCfg,
+    /// Packets each host injects at its leaf.
+    pub pkts_per_host: u32,
+    pub pkt_size: u32,
+    pub seed: u64,
+}
+
+/// Outcome of a drain run: aggregate counters plus the order-sensitive
+/// digest (per-shard digests folded in shard index order).
+#[derive(Clone, Debug)]
+pub struct DrainResult {
+    pub digest: u64,
+    pub events: u64,
+    pub injected: u64,
+    pub delivered: u64,
+    pub handoffs: u64,
+    pub rounds: u64,
+    pub shards: Vec<ShardStats>,
+}
+
+impl DrainCfg {
+    /// The Fig. 12-shaped parallel point: the sim baseline's 8×8 fabric
+    /// and 128 hosts, spraying fixed-size packets across all spines.
+    pub fn fig12(quick: bool) -> DrainCfg {
+        DrainCfg {
+            n_leaves: 8,
+            n_spines: 8,
+            hosts_per_leaf: 16,
+            link: LinkCfg::new(10_000_000_000, Time::from_us(10)),
+            pkts_per_host: if quick { 40 } else { 400 },
+            pkt_size: 1500,
+            seed: 12,
+        }
+    }
+
+    fn n_shards(&self) -> usize {
+        self.n_leaves + self.n_spines
+    }
+
+    fn injected(&self) -> u64 {
+        (self.n_leaves * self.hosts_per_leaf) as u64 * u64::from(self.pkts_per_host)
+    }
+
+    /// Build all shards with their injection schedules pre-loaded.
+    /// Injection is derived from a per-shard LCG stream, so it is
+    /// identical for every thread count by construction.
+    fn build(&self) -> Vec<DrainShard> {
+        assert!(self.n_leaves >= 2, "packet spraying needs a second leaf");
+        assert!(self.n_spines >= 1 && self.hosts_per_leaf >= 1);
+        let spacing = Time::tx_time(u64::from(self.pkt_size), self.link.rate_bps)
+            .as_ns()
+            .max(1);
+        let mut next_id = 0u64;
+        (0..self.n_shards())
+            .map(|idx| {
+                let n_ports = if idx < self.n_leaves {
+                    self.n_spines
+                } else {
+                    self.n_leaves
+                };
+                let mut shard = DrainShard {
+                    idx,
+                    q: WheelQueue::new(),
+                    ports: (0..n_ports).map(|_| LitePort::default()).collect(),
+                    seq: 0,
+                    digest: FnvDigest::new(),
+                    stats: ShardStats::default(),
+                    delivered: 0,
+                };
+                if idx < self.n_leaves {
+                    let mut lcg =
+                        (self.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+                    let mut step = || {
+                        lcg = lcg
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        lcg >> 33
+                    };
+                    for _host in 0..self.hosts_per_leaf {
+                        for k in 0..u64::from(self.pkts_per_host) {
+                            let d = step() as usize % (self.n_leaves - 1);
+                            let dst_leaf = if d >= idx { d + 1 } else { d } as u16;
+                            let spine = (step() as usize % self.n_spines) as u16;
+                            let at = Time::from_ns(k * spacing + step() % spacing);
+                            shard.q.schedule(
+                                at,
+                                DrainEv::Arrive(DrainPkt {
+                                    id: next_id,
+                                    dst_leaf,
+                                    spine,
+                                    going_up: true,
+                                }),
+                            );
+                            next_id += 1;
+                        }
+                    }
+                }
+                shard
+            })
+            .collect()
+    }
+
+    /// Drain the fabric on the calling thread, replaying the exact
+    /// bulk-synchronous rounds of the parallel engine — the reference
+    /// the parallel digest must match, and the serial leg of the
+    /// speedup measurement.
+    pub fn run_serial(&self) -> DrainResult {
+        let mut shards = self.build();
+        let lookahead = self.link.delay;
+        let n = shards.len();
+        let mut inboxes: Vec<Vec<Handoff>> = (0..n).map(|_| Vec::new()).collect();
+        let mut out = Vec::new();
+        let mut rounds = 0u64;
+        while let Some(min) = shards.iter_mut().filter_map(|s| s.q.peek_time()).min() {
+            let horizon = min + lookahead;
+            rounds += 1;
+            for s in &mut shards {
+                s.process_window(horizon, self, &mut out);
+            }
+            for h in out.drain(..) {
+                // invariant: dst_shard is a topology index produced by process_window
+                inboxes[h.dst_shard].push(h);
+            }
+            for (s, inbox) in shards.iter_mut().zip(inboxes.iter_mut()) {
+                s.absorb(inbox);
+            }
+        }
+        finish(shards, rounds, self.injected())
+    }
+
+    /// Drain the fabric across `threads` worker threads (clamped to the
+    /// shard count; 1 falls back to [`DrainCfg::run_serial`]). Each
+    /// worker owns a contiguous block of shards; rounds are separated
+    /// by two barriers — one after processing/handoff delivery, one
+    /// after every shard has absorbed its inbox and published its next
+    /// event time. Every worker then recomputes the same global minimum
+    /// independently, so all of them agree on the next window (and on
+    /// termination) without a coordinator.
+    pub fn run_parallel(&self, threads: usize) -> DrainResult {
+        let mut shards = self.build();
+        let n = shards.len();
+        let threads = threads.clamp(1, n);
+        if threads == 1 {
+            return self.run_serial();
+        }
+        let inboxes: Vec<Mutex<Vec<Handoff>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let next_at: Vec<AtomicU64> = shards
+            .iter_mut()
+            .map(|s| AtomicU64::new(s.q.peek_time().map_or(u64::MAX, Time::as_ns)))
+            .collect();
+        let rounds = AtomicU64::new(0);
+        let chunk = n.div_ceil(threads);
+        // The barrier must count the *blocks actually spawned*: ceil
+        // division can cover all n shards with fewer than `threads`
+        // chunks (e.g. 5 shards over 4 threads → 3 blocks of 2).
+        let barrier = Barrier::new(n.div_ceil(chunk));
+        std::thread::scope(|scope| {
+            for (w, block) in shards.chunks_mut(chunk).enumerate() {
+                let (inboxes, next_at, barrier, rounds) = (&inboxes, &next_at, &barrier, &rounds);
+                scope.spawn(move || {
+                    drain_worker(self, block, inboxes, next_at, barrier, w == 0, rounds);
+                });
+            }
+        });
+        finish(shards, rounds.into_inner(), self.injected())
+    }
+}
+
+/// One worker's round loop. All cross-thread data flows through the
+/// inbox mutexes and the published next-event times; the two barriers
+/// order those accesses, so `SeqCst` is belt-and-braces rather than
+/// load-bearing.
+fn drain_worker(
+    cfg: &DrainCfg,
+    shards: &mut [DrainShard],
+    inboxes: &[Mutex<Vec<Handoff>>],
+    next_at: &[AtomicU64],
+    barrier: &Barrier,
+    count_rounds: bool,
+    rounds: &AtomicU64,
+) {
+    let lookahead = cfg.link.delay;
+    let mut out = Vec::new();
+    loop {
+        let min = next_at
+            .iter()
+            .map(|a| a.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX);
+        if min == u64::MAX {
+            return;
+        }
+        if count_rounds {
+            rounds.fetch_add(1, Ordering::SeqCst);
+        }
+        let horizon = Time::from_ns(min) + lookahead;
+        for s in shards.iter_mut() {
+            s.process_window(horizon, cfg, &mut out);
+        }
+        for h in out.drain(..) {
+            // invariant: dst_shard is a topology index produced by process_window
+            let mut inbox = inboxes[h.dst_shard].lock().expect("inbox lock poisoned");
+            inbox.push(h);
+        }
+        barrier.wait(); // every handoff for this round is delivered
+        for s in shards.iter_mut() {
+            // invariant: one inbox per shard by construction
+            let mut inbox =
+                std::mem::take(&mut *inboxes[s.idx].lock().expect("inbox lock poisoned"));
+            s.absorb(&mut inbox);
+            // invariant: one published slot per shard by construction
+            next_at[s.idx].store(
+                s.q.peek_time().map_or(u64::MAX, Time::as_ns),
+                Ordering::SeqCst,
+            );
+        }
+        barrier.wait(); // every next-event time is published
+    }
+}
+
+impl DrainShard {
+    /// Process every owned event strictly before `horizon`, appending
+    /// cross-shard handoffs to `out`.
+    fn process_window(&mut self, horizon: Time, cfg: &DrainCfg, out: &mut Vec<Handoff>) {
+        let mut worked = false;
+        while self.q.peek_time().is_some_and(|t| t < horizon) {
+            let Some((at, ev)) = self.q.pop() else { break };
+            worked = true;
+            self.stats.events += 1;
+            match ev {
+                DrainEv::Arrive(mut pkt) => {
+                    self.fold(at, 2, pkt.id);
+                    let port = if self.idx < cfg.n_leaves {
+                        if !pkt.going_up {
+                            self.delivered += 1;
+                            continue;
+                        }
+                        pkt.spine as usize
+                    } else {
+                        pkt.going_up = false;
+                        pkt.dst_leaf as usize
+                    };
+                    // invariant: spine/leaf indices are drawn modulo the port count at injection
+                    self.ports[port].q.push_back(pkt);
+                    self.kick(port, at, cfg);
+                }
+                DrainEv::TxDone { port } => {
+                    self.fold(at, 1, port as u64);
+                    // invariant: TxDone events carry the port index that scheduled them
+                    let p = &mut self.ports[port];
+                    let pkt = p.in_flight.take().expect("TxDone with idle port");
+                    let dst_shard = if self.idx < cfg.n_leaves {
+                        cfg.n_leaves + port
+                    } else {
+                        pkt.dst_leaf as usize
+                    };
+                    self.seq += 1;
+                    self.stats.handoffs += 1;
+                    out.push(Handoff {
+                        at: at + cfg.link.delay,
+                        src_shard: self.idx,
+                        src_seq: self.seq,
+                        dst_shard,
+                        pkt,
+                    });
+                    self.kick(port, at, cfg);
+                }
+            }
+        }
+        if !worked {
+            self.stats.stalls += 1;
+        }
+    }
+
+    /// Start serializing the next queued packet if the wire is idle.
+    fn kick(&mut self, port: usize, now: Time, cfg: &DrainCfg) {
+        // invariant: callers pass indices bounded by the port vector they just touched
+        let p = &mut self.ports[port];
+        if p.in_flight.is_none() {
+            if let Some(pkt) = p.q.pop_front() {
+                let tx = Time::tx_time(u64::from(cfg.pkt_size), cfg.link.rate_bps);
+                p.in_flight = Some(pkt);
+                self.q.schedule(now + tx, DrainEv::TxDone { port });
+            }
+        }
+    }
+
+    /// Sort this round's received handoffs into the deterministic
+    /// `(time, src shard, src seq)` order and insert them. Handoffs
+    /// land at or after the round's horizon (see the module-level
+    /// safety argument), so they never precede the wheel cursor.
+    fn absorb(&mut self, inbox: &mut Vec<Handoff>) {
+        inbox.sort_unstable_by_key(|h| (h.at, h.src_shard, h.src_seq));
+        for h in inbox.drain(..) {
+            self.q.schedule(h.at, DrainEv::Arrive(h.pkt));
+        }
+    }
+
+    fn fold(&mut self, at: Time, code: u64, key: u64) {
+        self.digest.push(at.as_ns());
+        self.digest.push(code);
+        self.digest.push(key);
+    }
+}
+
+/// Fold the per-shard digests (in shard index order) and counters into
+/// one result — identical for the serial and parallel engines because
+/// each shard's event sequence is.
+fn finish(shards: Vec<DrainShard>, rounds: u64, injected: u64) -> DrainResult {
+    let mut master = FnvDigest::new();
+    let mut r = DrainResult {
+        digest: 0,
+        events: 0,
+        injected,
+        delivered: 0,
+        handoffs: 0,
+        rounds,
+        shards: Vec::with_capacity(shards.len()),
+    };
+    for s in shards {
+        master.push(s.digest.value());
+        master.push(s.stats.events);
+        r.events += s.stats.events;
+        r.delivered += s.delivered;
+        r.handoffs += s.stats.handoffs;
+        r.shards.push(s.stats);
+    }
+    r.digest = master.value();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use crate::types::{FlowId, HostId, LeafId, SpineId};
+
+    fn small() -> DrainCfg {
+        DrainCfg {
+            n_leaves: 3,
+            n_spines: 2,
+            hosts_per_leaf: 4,
+            link: LinkCfg::new(10_000_000_000, Time::from_us(10)),
+            pkts_per_host: 25,
+            pkt_size: 1500,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn shard_map_routes_hub_and_leaves() {
+        let topo = Topology::sim_baseline();
+        let m = ShardMap::new(&topo);
+        assert_eq!(m.n_shards(), 9);
+        assert_eq!(m.lookahead(), Time::from_us(10));
+        assert_eq!(m.shard_of(&Event::Global { token: 3 }), 0);
+        assert_eq!(
+            m.shard_of(&Event::TxDone {
+                node: NodeId::Spine(SpineId(5)),
+                port: 2
+            }),
+            0
+        );
+        assert_eq!(
+            m.shard_of(&Event::TxDone {
+                node: NodeId::Leaf(LeafId(4)),
+                port: 0
+            }),
+            5
+        );
+        // Host 17 sits under leaf 1 (16 hosts per leaf).
+        assert_eq!(
+            m.shard_of(&Event::HostTimer {
+                host: HostId(17),
+                token: 0
+            }),
+            2
+        );
+        assert_eq!(
+            m.shard_of(&Event::Arrive {
+                node: NodeId::Host(HostId(127)),
+                pkt: Box::new(Packet::data(
+                    FlowId(1),
+                    HostId(0),
+                    HostId(127),
+                    0,
+                    100,
+                    false
+                ))
+            }),
+            8
+        );
+    }
+
+    #[test]
+    fn shard_map_lookahead_survives_cut_uplinks() {
+        let mut topo = Topology::sim_baseline();
+        for row in &mut topo.up {
+            for l in row.iter_mut() {
+                *l = None;
+            }
+        }
+        assert_eq!(ShardMap::new(&topo).lookahead(), topo.host_link.delay);
+    }
+
+    #[test]
+    fn drain_conserves_every_injected_packet() {
+        let r = small().run_serial();
+        assert_eq!(r.injected, 3 * 4 * 25);
+        assert_eq!(r.delivered, r.injected, "no drops in the lite fabric");
+        // Each packet: leaf arrive + leaf tx + spine arrive + spine tx
+        // + destination arrive.
+        assert_eq!(r.events, 5 * r.injected);
+        assert_eq!(r.handoffs, 2 * r.injected, "one hop up, one hop down");
+        assert!(r.rounds > 0);
+    }
+
+    #[test]
+    fn parallel_drain_matches_serial_at_any_thread_count() {
+        let cfg = small();
+        let serial = cfg.run_serial();
+        for threads in [1, 2, 4, 16] {
+            let par = cfg.run_parallel(threads);
+            assert_eq!(par.digest, serial.digest, "threads={threads}");
+            assert_eq!(par.events, serial.events);
+            assert_eq!(par.delivered, serial.delivered);
+            assert_eq!(par.rounds, serial.rounds);
+            assert_eq!(par.shards, serial.shards);
+        }
+    }
+
+    #[test]
+    fn drain_digest_is_sensitive_to_the_schedule() {
+        let a = small().run_serial();
+        let mut cfg = small();
+        cfg.seed = 8;
+        let b = cfg.run_serial();
+        assert_ne!(a.digest, b.digest, "different spraying, different trace");
+    }
+}

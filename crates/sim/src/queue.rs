@@ -117,7 +117,11 @@ impl<E> HeapQueue<E> {
     /// proven `t` is the next instant and handles it without a
     /// scheduler round-trip.
     pub fn advance_to(&mut self, t: Time) {
-        debug_assert!(t >= self.now, "advance_to went backwards: {t} < {}", self.now);
+        debug_assert!(
+            t >= self.now,
+            "advance_to went backwards: {t} < {}",
+            self.now
+        );
         debug_assert!(
             self.peek_time().is_none_or(|p| p >= t),
             "advance_to must not pass pending events"

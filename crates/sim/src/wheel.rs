@@ -258,7 +258,11 @@ impl<E> WheelQueue<E> {
     /// the next thing to happen and processes it without a scheduler
     /// round-trip, so the queue only needs its notion of "now" moved.
     pub fn advance_to(&mut self, t: Time) {
-        debug_assert!(t >= self.now, "advance_to went backwards: {t} < {}", self.now);
+        debug_assert!(
+            t >= self.now,
+            "advance_to went backwards: {t} < {}",
+            self.now
+        );
         debug_assert!(
             self.peek_time().is_none_or(|p| p >= t),
             "advance_to must not pass pending events"

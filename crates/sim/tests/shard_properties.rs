@@ -1,0 +1,135 @@
+//! Property-based tests for the sharded merge core (`ShardedQueue`)
+//! behind `Simulation::run_parallel` — the determinism contract that
+//! lets intra-run parallelism keep every digest byte-identical.
+//!
+//! Two properties carry the whole design (DESIGN.md §17):
+//!
+//! 1. *Merge equivalence*: for any interleaving of schedules across any
+//!    shard assignment, the `(time, global seq)` merge pops the exact
+//!    sequence a single `EventQueue` would.
+//! 2. *Lookahead safety*: a pop never admits an event at or beyond a
+//!    neighbor shard's safe horizon (`min(heads) + lookahead`), and any
+//!    cross-shard work an admitted event generates (delay ≥ lookahead)
+//!    lands at or after that horizon — the invariant that makes the
+//!    conservative-window drain engine race-free.
+
+use hermes_sim::{conservative_horizon, EventQueue, ShardedQueue, Time};
+use proptest::prelude::*;
+
+/// One scripted step against the sharded queue and its single-queue
+/// reference.
+#[derive(Debug, Clone)]
+enum ShardOp {
+    /// Schedule at `now + delay_ns` into the given shard (index taken
+    /// modulo the shard count).
+    ScheduleIn { shard: usize, delay_ns: u64 },
+    /// Pop one event (no-op allowed when empty).
+    Pop,
+}
+
+fn shard_ops() -> impl Strategy<Value = Vec<ShardOp>> {
+    // Heavy on zero delays: cross-shard *same-instant* ties are the
+    // case the global-seq tiebreak exists for, so most weight goes to
+    // collisions, with a spread of near and far times around them.
+    let op = prop_oneof![
+        4 => (0usize..8, Just(0u64)).prop_map(|(shard, delay_ns)| ShardOp::ScheduleIn {
+            shard,
+            delay_ns
+        }),
+        3 => (0usize..8, 0u64..300).prop_map(|(shard, delay_ns)| ShardOp::ScheduleIn {
+            shard,
+            delay_ns
+        }),
+        2 => (0usize..8, 1_000u64..50_000).prop_map(|(shard, delay_ns)| ShardOp::ScheduleIn {
+            shard,
+            delay_ns
+        }),
+        4 => Just(ShardOp::Pop),
+    ];
+    proptest::collection::vec(op, 1..500)
+}
+
+proptest! {
+    /// Property 1: the sharded `(time, seq)` merge is indistinguishable
+    /// from a single queue for any cross-shard interleaving — pops,
+    /// peeks, `now`, lengths and the causality counters all agree.
+    #[test]
+    fn sharded_merge_equals_single_queue(ops in shard_ops(), n_shards in 1usize..6) {
+        let lookahead = Time::from_us(10);
+        let mut sharded: ShardedQueue<u32> = ShardedQueue::new(n_shards, lookahead);
+        let mut reference: EventQueue<u32> = EventQueue::new();
+        let mut tag = 0u32;
+        for op in &ops {
+            match *op {
+                ShardOp::ScheduleIn { shard, delay_ns } => {
+                    let at = reference.now() + Time::from_ns(delay_ns);
+                    sharded.schedule_to(shard % n_shards, at, tag);
+                    reference.schedule(at, tag);
+                    tag += 1;
+                }
+                ShardOp::Pop => {
+                    prop_assert_eq!(sharded.pop(), reference.pop());
+                    prop_assert_eq!(sharded.now(), reference.now());
+                }
+            }
+            prop_assert_eq!(sharded.peek_time(), reference.peek_time());
+            prop_assert_eq!(sharded.len(), reference.len());
+        }
+        // Full drain: the tails must agree too.
+        loop {
+            let (a, b) = (sharded.pop(), reference.pop());
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(sharded.clamp_count(), 0);
+        prop_assert_eq!(sharded.scheduled_count(), u64::from(tag));
+        let per_shard: u64 = sharded.shard_stats().iter().map(|s| s.events).sum();
+        prop_assert_eq!(per_shard, u64::from(tag));
+    }
+
+    /// Property 2: every admitted event respects the conservative
+    /// horizon. Before each pop, take the shard head times; the popped
+    /// event must be the global minimum, must sit strictly inside
+    /// `min + lookahead`, and any cross-shard event it could generate
+    /// with delay ≥ lookahead lands at or after that horizon — i.e. the
+    /// lookahead never admits work a neighbor shard hasn't seen yet.
+    #[test]
+    fn pops_never_precede_a_neighbors_safe_horizon(
+        ops in shard_ops(),
+        n_shards in 2usize..6,
+        lookahead_us in 1u64..50,
+    ) {
+        let lookahead = Time::from_us(lookahead_us);
+        let mut q: ShardedQueue<u32> = ShardedQueue::new(n_shards, lookahead);
+        let mut tag = 0u32;
+        for op in &ops {
+            match *op {
+                ShardOp::ScheduleIn { shard, delay_ns } => {
+                    q.schedule_to(shard % n_shards, q.now() + Time::from_ns(delay_ns), tag);
+                    tag += 1;
+                }
+                ShardOp::Pop => {
+                    let heads = q.shard_heads();
+                    let Some(min_head) = heads.iter().flatten().min().copied() else {
+                        prop_assert!(q.pop().is_none());
+                        continue;
+                    };
+                    let horizon = conservative_horizon(&heads, lookahead)
+                        .expect("non-empty heads have a horizon");
+                    let (t, _) = q.pop().expect("peeked non-empty");
+                    // The merge admits exactly the global minimum…
+                    prop_assert_eq!(t, min_head);
+                    // …which sits strictly inside the safe window…
+                    prop_assert!(t < horizon);
+                    // …and its cross-shard consequences (delay ≥
+                    // lookahead) land at or after the horizon, so no
+                    // neighbor shard processing the same window can
+                    // miss them.
+                    prop_assert!(t + lookahead >= horizon);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Tier-1 thread-count invariance: the sharded engine must replay the
+//! exact committed event order at any worker count.
+//!
+//! Every tier-1 scenario pins its event-trace digests in
+//! `tests/scenarios/digests.toml`, blessed from single-queue runs.
+//! This suite re-runs a trimmed matrix — every scenario regime × its
+//! first LB × its first seed × sim threads {1, 2, 4} — through
+//! `Simulation::run_parallel` and demands each digest equal the
+//! committed golden byte for byte. Nothing is ever re-blessed here: a
+//! mismatch at any thread count is a merge-order bug in the sharded
+//! engine, never a reason to update a golden. The full 63-cell ×
+//! thread-count matrix runs via `cargo run -p xtask -- parallel`.
+//!
+//! Triage on a digest failure: the per-shard counters narrow it down —
+//! compare `shards` between the failing and a passing thread count;
+//! the first shard whose event count diverges owns the leaf (or hub,
+//! shard 0) where the merge first mis-ordered a tie. See DESIGN.md §17
+//! and tests/README.md.
+
+use std::path::{Path, PathBuf};
+
+use hermes_bench::{build_sim, run_point_detailed, run_point_detailed_parallel};
+use hermes_runtime::fingerprint_parallel;
+use hermes_testkit::{load_dir, load_goldens};
+
+fn scenario_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/scenarios")
+}
+
+#[test]
+fn sharded_engine_reproduces_committed_goldens_at_every_thread_count() {
+    let specs = load_dir(&scenario_dir()).expect("scenarios load");
+    let goldens = load_goldens(&scenario_dir()).expect("goldens load");
+    assert!(!goldens.is_empty(), "tier-1 goldens must be committed");
+    let mut cells = 0;
+    for spec in &specs {
+        assert!(
+            spec.pin_digests,
+            "{}: tier-1 scenarios pin digests",
+            spec.name
+        );
+        let seed = spec.seeds[0];
+        let key = spec.digest_key(0, seed);
+        let golden = *goldens
+            .get(&key)
+            .unwrap_or_else(|| panic!("no committed golden for {key}"));
+        let cfg = spec.materialize(0, seed).expect("cell materializes");
+        for sim_threads in [1usize, 2, 4] {
+            let r = run_point_detailed_parallel(&cfg, spec.goodput_interval, sim_threads);
+            assert_eq!(
+                r.digest, golden,
+                "{key} @ {sim_threads} thread(s): digest diverged from the committed golden"
+            );
+            assert_eq!(
+                r.queue_clamps, 0,
+                "{key} @ {sim_threads} thread(s): merge clamped a past-time schedule"
+            );
+            assert_eq!(r.sim_threads, sim_threads as u64);
+            if sim_threads >= 2 {
+                assert!(
+                    !r.shards.is_empty(),
+                    "{key}: sharded run must record per-shard counters"
+                );
+                assert!(
+                    r.shards.iter().map(|s| s.events).sum::<u64>() > 0,
+                    "{key}: shards dispatched nothing"
+                );
+            }
+            cells += 1;
+        }
+    }
+    // The regime floor from tests/conformance.rs, times the 3-count
+    // thread matrix.
+    assert!(cells >= 18, "expected >= 6 regimes x 3 thread counts");
+}
+
+#[test]
+fn sharded_run_matches_the_single_queue_run_in_every_observable() {
+    // Beyond the digest: events, FCTs, conservation and goodput must
+    // agree too — the digest covers dispatch order, these cover what
+    // the handlers computed.
+    let specs = load_dir(&scenario_dir()).expect("scenarios load");
+    let spec = specs
+        .iter()
+        .find(|s| s.name == "incast")
+        .expect("incast regime present");
+    let cfg = spec.materialize(0, spec.seeds[0]).expect("materializes");
+    let single = run_point_detailed(&cfg, spec.goodput_interval);
+    for sim_threads in [2usize, 4] {
+        let sharded = run_point_detailed_parallel(&cfg, spec.goodput_interval, sim_threads);
+        assert_eq!(single.digest, sharded.digest);
+        assert_eq!(single.events, sharded.events);
+        assert_eq!(single.conservation, sharded.conservation);
+        assert_eq!(single.fct.avg, sharded.fct.avg);
+        assert_eq!(single.fct.p99, sharded.fct.p99);
+        assert_eq!(single.goodput, sharded.goodput);
+    }
+}
+
+#[test]
+fn parallel_fingerprints_are_interchangeable_with_serial_ones() {
+    // The runtime's own self-check surface: fingerprint_parallel at
+    // different worker counts must produce fingerprints that pass
+    // assert_matches against each other (thread count excluded from
+    // the contract, per-shard counters included).
+    let specs = load_dir(&scenario_dir()).expect("scenarios load");
+    let spec = specs
+        .iter()
+        .find(|s| s.name == "symmetric")
+        .expect("symmetric regime present");
+    let cfg = spec.materialize(0, spec.seeds[0]).expect("materializes");
+    let (sim2, horizon2) = build_sim(&cfg, None);
+    let (sim4, horizon4) = build_sim(&cfg, None);
+    assert_eq!(horizon2, horizon4);
+    let a = fingerprint_parallel(sim2, 2, horizon2);
+    let b = fingerprint_parallel(sim4, 4, horizon4);
+    a.assert_matches(&b);
+    assert_eq!(a.threads, 2);
+    assert_eq!(b.threads, 4);
+    assert!(!a.shards.is_empty());
+}
